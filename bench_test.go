@@ -1,0 +1,366 @@
+// Package bench is the benchmark harness regenerating every table and
+// figure of the paper's evaluation (one benchmark per artifact; see the
+// experiment index in DESIGN.md) plus the ablation studies A1-A6.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks report the headline quantity of each experiment through
+// b.ReportMetric (speedups, epoch hours, stall reductions) in addition to
+// the usual ns/op of regenerating the artifact.
+package bench
+
+import (
+	"testing"
+
+	"karma/internal/baseline"
+	"karma/internal/dist"
+	"karma/internal/experiments"
+	"karma/internal/hw"
+	"karma/internal/karma"
+	"karma/internal/model"
+	"karma/internal/profiler"
+)
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+// BenchmarkFigure5 regenerates each panel of Fig. 5 (single-GPU
+// samples/s vs batch size for six models across all methods).
+func BenchmarkFigure5(b *testing.B) {
+	node := hw.ABCINode()
+	for _, w := range experiments.Fig5Workloads() {
+		w := w
+		b.Run(w.Model, func(b *testing.B) {
+			var panel *experiments.Fig5Panel
+			var err error
+			for i := 0; i < b.N; i++ {
+				panel, err = experiments.Figure5Panel(w, node)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			last := panel.Points[len(panel.Points)-1]
+			if r := last.Results[baseline.KARMARecompute]; r != nil && r.Feasible {
+				b.ReportMetric(r.Throughput, "samples/s@max-batch")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5Speedup reports the §IV headline (paper: 1.52x).
+func BenchmarkFigure5Speedup(b *testing.B) {
+	node := hw.ABCINode()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		panels, err := experiments.Figure5(node)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = experiments.AverageSpeedup(panels)
+	}
+	b.ReportMetric(s, "x-speedup-vs-sota")
+}
+
+// BenchmarkFigure6 regenerates the ResNet-200 backward stall profile.
+func BenchmarkFigure6(b *testing.B) {
+	node := hw.ABCINode()
+	var series []experiments.Fig6Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		series, err = experiments.Figure6(node)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range series {
+		if s.Method == baseline.KARMARecompute {
+			b.ReportMetric(s.TotalStallSec, "karma-stall-sec")
+		}
+		if s.Method == baseline.VDNNPP {
+			b.ReportMetric(s.TotalStallSec, "vdnn-stall-sec")
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the ResNet-50 blocking and reports the
+// stall reduction versus the eager baselines (paper: 43% and 37%).
+func BenchmarkFigure7(b *testing.B) {
+	node := hw.ABCINode()
+	var r *experiments.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Figure7(node)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if red, ok := r.StallReduction[baseline.SuperNeurons]; ok {
+		b.ReportMetric(100*red, "%stall-reduction-vs-superneurons")
+	}
+	if red, ok := r.StallReduction[baseline.VDNNPP]; ok {
+		b.ReportMetric(100*red, "%stall-reduction-vs-vdnn")
+	}
+}
+
+// BenchmarkFigure8Megatron25B regenerates the 2.5B scaling panel.
+func BenchmarkFigure8Megatron25B(b *testing.B) {
+	benchFig8Megatron(b, 2, []int{128, 512, 2048})
+}
+
+// BenchmarkFigure8Megatron83B regenerates the 8.3B scaling panel.
+func BenchmarkFigure8Megatron83B(b *testing.B) {
+	benchFig8Megatron(b, 4, []int{512, 1024, 2048})
+}
+
+func benchFig8Megatron(b *testing.B, cfgIdx int, gpus []int) {
+	cl := hw.ABCI()
+	var panel *experiments.Fig8Panel
+	var err error
+	for i := 0; i < b.N; i++ {
+		panel, err = experiments.Figure8Megatron(cl, cfgIdx, gpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := panel.Rows[len(panel.Rows)-1]
+	if r := last.Results["karma-dp"]; r.Feasible {
+		b.ReportMetric(float64(r.EpochTime)/3600, "karma-epoch-h@2048gpu")
+	}
+	if r := last.Results["mp+dp"]; r.Feasible {
+		b.ReportMetric(float64(r.EpochTime)/3600, "hybrid-epoch-h@2048gpu")
+	}
+}
+
+// BenchmarkFigure8Turing regenerates the Turing-NLG panel (ZeRO, KARMA,
+// ZeRO+KARMA).
+func BenchmarkFigure8Turing(b *testing.B) {
+	cl := hw.ABCI()
+	var panel *experiments.Fig8Panel
+	var err error
+	for i := 0; i < b.N; i++ {
+		panel, err = experiments.Figure8Turing(cl, []int{512, 1024, 2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := panel.Rows[len(panel.Rows)-1]
+	zero := last.Results["zero"]
+	combo := last.Results["zero+karma"]
+	if zero.Feasible && combo.Feasible {
+		b.ReportMetric(float64(zero.EpochTime)/float64(combo.EpochTime), "x-zero+karma-vs-zero")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+// BenchmarkTableI renders the qualitative capability matrix.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := experiments.TableI(); len(got.Rows) != 8 {
+			b.Fatal("table I corrupted")
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the Megatron-LM configuration table.
+func BenchmarkTableIV(b *testing.B) {
+	cl := hw.ABCI()
+	var rows []experiments.TableIVRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.TableIV(cl)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1] // 8.3B
+	if last.KARMA.Feasible {
+		b.ReportMetric(last.KARMA.IterPerSec, "karma-iter/s-8.3B")
+	}
+}
+
+// BenchmarkTableV regenerates the cost/performance sweeps.
+func BenchmarkTableV(b *testing.B) {
+	cl := hw.ABCI()
+	var sweeps map[string][]experiments.TableVRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		sweeps, err = experiments.TableV(cl)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rows := sweeps["resnet50"]
+	if rows[1].KARMA.Feasible && rows[0].KARMA.CostPerf > 0 {
+		b.ReportMetric(rows[1].KARMA.CostPerf/rows[0].KARMA.CostPerf, "karma-$/P@2x-batch")
+	}
+}
+
+// BenchmarkEquivalence runs the §IV-D substitution (bitwise equivalence
+// of out-of-core and distributed training).
+func BenchmarkEquivalence(b *testing.B) {
+	var rs []experiments.EquivalenceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		rs, err = experiments.Equivalence()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worst float64
+	for _, r := range rs {
+		if r.MaxAbsDiff > worst {
+			worst = r.MaxAbsDiff
+		}
+	}
+	b.ReportMetric(worst, "max-param-deviation")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md A1-A6)
+// ---------------------------------------------------------------------------
+
+func resnet50Profile(b *testing.B, batch int) *profiler.Profile {
+	b.Helper()
+	g := model.ResNet50()
+	p, err := profiler.New(g, hw.ABCINode(), profiler.Options{Batch: batch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkAblationSwapPolicy (A1): capacity-based swapping vs the eager
+// vDNN schedule, recompute disabled in both, isolating the swap policy.
+func BenchmarkAblationSwapPolicy(b *testing.B) {
+	p := resnet50Profile(b, 256)
+	var capacityBased, eager float64
+	for i := 0; i < b.N; i++ {
+		k, err := baseline.Run(baseline.KARMA, p) // capacity-based, no recompute
+		if err != nil || !k.Feasible {
+			b.Fatal(err, k)
+		}
+		v, err := baseline.Run(baseline.VDNNPP, p)
+		if err != nil || !v.Feasible {
+			b.Fatal(err, v)
+		}
+		capacityBased, eager = k.Throughput, v.Throughput
+	}
+	b.ReportMetric(capacityBased/eager, "x-capacity-vs-eager")
+}
+
+// BenchmarkAblationRecompute (A2): the Opt-2 interleave on vs off.
+func BenchmarkAblationRecompute(b *testing.B) {
+	p := resnet50Profile(b, 512)
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		on, err := baseline.Run(baseline.KARMARecompute, p)
+		if err != nil || !on.Feasible {
+			b.Fatal(err, on)
+		}
+		off, err := baseline.Run(baseline.KARMA, p)
+		if err != nil || !off.Feasible {
+			b.Fatal(err, off)
+		}
+		with, without = on.Throughput, off.Throughput
+	}
+	b.ReportMetric(with/without, "x-recompute-gain")
+}
+
+// BenchmarkAblationExchange (A3): phased vs bulk gradient exchange in the
+// Megatron hybrid.
+func BenchmarkAblationExchange(b *testing.B) {
+	cl := hw.ABCI()
+	cfg := model.MegatronConfigs()[2]
+	var phased, bulk float64
+	for i := 0; i < b.N; i++ {
+		pr, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, 7_200_000, true)
+		if err != nil || !pr.Feasible {
+			b.Fatal(err, pr)
+		}
+		br, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, 7_200_000, false)
+		if err != nil || !br.Feasible {
+			b.Fatal(err, br)
+		}
+		phased, bulk = float64(pr.IterTime), float64(br.IterTime)
+	}
+	b.ReportMetric(bulk/phased, "x-phased-vs-bulk")
+}
+
+// BenchmarkAblationUpdateSite (A4): CPU-side vs move-back-to-GPU weight
+// updates in the 5-stage pipeline.
+func BenchmarkAblationUpdateSite(b *testing.B) {
+	cl := hw.ABCI()
+	cfg := model.MegatronConfigs()[2]
+	g := model.Transformer(cfg)
+	var host, device float64
+	for i := 0; i < b.N; i++ {
+		h, err := dist.KARMADataParallel(g, cl, 512, 4, 7_200_000, dist.KARMAOptions{})
+		if err != nil || !h.Feasible {
+			b.Fatal(err, h)
+		}
+		d, err := dist.KARMADataParallel(g, cl, 512, 4, 7_200_000, dist.KARMAOptions{UpdateOnDevice: true})
+		if err != nil || !d.Feasible {
+			b.Fatal(err, d)
+		}
+		host, device = float64(h.IterTime), float64(d.IterTime)
+	}
+	b.ReportMetric(device/host, "x-gpu-update-overhead")
+}
+
+// BenchmarkAblationSolver (A5): the deterministic balanced/hill-climb
+// Opt-1 backend vs the ant-colony (MIDACO stand-in) backend.
+func BenchmarkAblationSolver(b *testing.B) {
+	p := resnet50Profile(b, 384)
+	for _, solver := range []struct {
+		name string
+		s    karma.Solver
+	}{
+		{"balanced", karma.SolverBalanced},
+		{"aco", karma.SolverACO},
+	} {
+		solver := solver
+		b.Run(solver.name, func(b *testing.B) {
+			var thr float64
+			for i := 0; i < b.N; i++ {
+				s, err := karma.Plan(p, karma.Options{Solver: solver.s, Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := karma.Simulate(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				thr = rep.Throughput
+			}
+			b.ReportMetric(thr, "samples/s")
+		})
+	}
+}
+
+// BenchmarkAblationBlocking (A6): block-granularity sweep.
+func BenchmarkAblationBlocking(b *testing.B) {
+	p := resnet50Profile(b, 384)
+	for _, maxBlocks := range []int{4, 8, 16, 32} {
+		maxBlocks := maxBlocks
+		b.Run(map[int]string{4: "k4", 8: "k8", 16: "k16", 32: "k32"}[maxBlocks], func(b *testing.B) {
+			var thr float64
+			for i := 0; i < b.N; i++ {
+				s, err := karma.Plan(p, karma.Options{MaxBlocks: maxBlocks})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := karma.Simulate(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				thr = rep.Throughput
+			}
+			b.ReportMetric(thr, "samples/s")
+		})
+	}
+}

@@ -1,0 +1,171 @@
+// Command karma-bench regenerates the paper's evaluation tables and
+// figures (§IV) on the simulated substrate and prints them as text
+// tables. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured outcomes.
+//
+// Usage:
+//
+//	karma-bench -exp all            # everything (Fig. 5-8, Tables I/IV/V, equivalence)
+//	karma-bench -exp fig5           # single-GPU throughput sweeps
+//	karma-bench -exp fig5 -model resnet50
+//	karma-bench -exp fig8           # multi-node scaling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"karma/internal/experiments"
+	"karma/internal/hw"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table4|table5|equiv|ablations|all")
+	modelName := flag.String("model", "", "restrict fig5 to one model")
+	flag.Parse()
+
+	if err := run(*exp, *modelName); err != nil {
+		fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, modelName string) error {
+	node := hw.ABCINode()
+	cl := hw.ABCI()
+	all := exp == "all"
+
+	if all || exp == "table1" {
+		if _, err := experiments.TableI().WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if all || exp == "fig5" {
+		for _, w := range experiments.Fig5Workloads() {
+			if modelName != "" && w.Model != modelName {
+				continue
+			}
+			panel, err := experiments.Figure5Panel(w, node)
+			if err != nil {
+				return err
+			}
+			if _, err := panel.Table().WriteTo(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if modelName == "" {
+			panels, err := experiments.Figure5(node)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("average speedup over SOTA out-of-core/recompute methods: %.2fx (paper: 1.52x)\n\n",
+				experiments.AverageSpeedup(panels))
+		}
+	}
+
+	if all || exp == "fig6" {
+		series, err := experiments.Figure6(node)
+		if err != nil {
+			return err
+		}
+		if _, err := experiments.Fig6Table(series).WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if all || exp == "fig7" {
+		r, err := experiments.Figure7(node)
+		if err != nil {
+			return err
+		}
+		if _, err := r.Table().WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if all || exp == "fig8" {
+		for _, cfg := range []struct {
+			idx  int
+			gpus []int
+		}{
+			{2, []int{128, 256, 512, 1024, 2048}}, // 2.5B
+			{4, []int{512, 1024, 2048}},           // 8.3B
+		} {
+			panel, err := experiments.Figure8Megatron(cl, cfg.idx, cfg.gpus)
+			if err != nil {
+				return err
+			}
+			if _, err := panel.Table().WriteTo(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		turing, err := experiments.Figure8Turing(cl, []int{512, 1024, 2048})
+		if err != nil {
+			return err
+		}
+		if _, err := turing.Table().WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if all || exp == "table4" {
+		rows, err := experiments.TableIV(cl)
+		if err != nil {
+			return err
+		}
+		if _, err := experiments.TableIVTable(rows).WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if all || exp == "table5" {
+		sweeps, err := experiments.TableV(cl)
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"resnet50", "resnet200"} {
+			if _, err := experiments.TableVTable(name, sweeps[name]).WriteTo(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+
+	if all || exp == "equiv" {
+		rs, err := experiments.Equivalence()
+		if err != nil {
+			return err
+		}
+		if _, err := experiments.EquivalenceTable(rs).WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if all || exp == "ablations" {
+		rs, err := experiments.Ablations(node, cl)
+		if err != nil {
+			return err
+		}
+		if _, err := experiments.AblationTable(rs).WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	switch exp {
+	case "all", "fig5", "fig6", "fig7", "fig8", "table1", "table4", "table5", "equiv", "ablations":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,145 @@
+// Command karma-plan runs KARMA's two-tier optimizer on a model and
+// prints the resulting blocking, policies, and execution plan (the
+// textual form of paper Fig. 7 plus the §III-F3 plan notation), together
+// with the simulated iteration report.
+//
+// Usage:
+//
+//	karma-plan -model resnet50 -batch 512
+//	karma-plan -model unet -batch 24 -maxopen 5
+//	karma-plan -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"karma/internal/hw"
+	"karma/internal/karma"
+	"karma/internal/model"
+	"karma/internal/profiler"
+	"karma/internal/sim"
+	"karma/internal/trace"
+)
+
+func main() {
+	modelName := flag.String("model", "resnet50", "model name")
+	batch := flag.Int("batch", 512, "mini-batch size")
+	maxOpen := flag.Int("maxopen", 1, "segmentation bound (use >1 for U-Net)")
+	overhead := flag.Float64("overhead", 1.0, "activation overhead factor (framework slack)")
+	noRecompute := flag.Bool("no-recompute", false, "disable the Opt-2 recompute interleave")
+	useACO := flag.Bool("aco", false, "use the ant-colony Opt-1 backend (MIDACO stand-in)")
+	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart of the simulated pipeline")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON file of the timeline")
+	planOut := flag.String("plan-json", "", "write the execution plan as JSON")
+	dotOut := flag.String("dot", "", "write the model dependency graph in Graphviz dot format")
+	list := flag.Bool("list", false, "list available models")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(model.Names(), "\n"))
+		return
+	}
+	if err := run(*modelName, *batch, *maxOpen, *overhead, *noRecompute, *useACO, *gantt, *chrome, *planOut, *dotOut); err != nil {
+		fmt.Fprintf(os.Stderr, "karma-plan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName string, batch, maxOpen int, overhead float64, noRecompute, useACO, gantt bool, chromePath, planPath, dotPath string) error {
+	g, err := model.Build(modelName)
+	if err != nil {
+		return err
+	}
+	node := hw.ABCINode()
+	p, err := profiler.New(g, node, profiler.Options{
+		Batch: batch, MaxOpen: maxOpen, ActOverhead: overhead,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s: %d nodes, %d segments, %d params, %v activations at batch %d\n",
+		g.Name(), g.Len(), len(p.Blocks), g.ParamCount(), p.TotalActBytes, batch)
+	fmt.Printf("device %s: %v usable; in-core footprint %v (fits: %v)\n",
+		node.Device.Name, node.Device.UsableMem(), p.InCoreBytes(), p.FitsInCore())
+
+	opts := karma.Options{DisableRecompute: noRecompute}
+	if useACO {
+		opts.Solver = karma.SolverACO
+	}
+	s, err := karma.Plan(p, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nblocking: %d blocks, resident tail from block %d, budget %v\n",
+		s.NumBlocks(), s.Resident, s.Budget)
+	fmt.Printf("%-5s %-11s %-6s %-12s %-12s %-12s %-10s\n",
+		"block", "segments", "policy", "activations", "heavy", "fwd", "swap")
+	for i, b := range s.Blocks {
+		pol := b.Policy.String()
+		if b.Ckpt {
+			pol += "+ckpt"
+		}
+		fmt.Printf("%-5d %4d-%-6d %-6s %-12v %-12v %-12v %-10v\n",
+			i, b.Range[0], b.Range[1], pol,
+			b.Cost.ActBytes, b.Cost.HeavyActBytes, b.Cost.FwdTime, b.Cost.SwapTime)
+	}
+
+	rep, err := karma.Simulate(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\niteration: %v (%.1f samples/s), occupancy %.3f, stall %v, peak activations %v\n",
+		rep.IterTime, rep.Throughput, rep.Occupancy, rep.ComputeStall, rep.PeakMem)
+	fmt.Printf("swapped per direction: %v; redundant recompute: %v\n",
+		s.SwappedBytes(), s.RecomputedTime())
+	fmt.Printf("\nplan: %s\n", rep.Plan)
+
+	if gantt || chromePath != "" {
+		compiled, tl, err := rep.Plan.Simulate(s.Budget)
+		if err != nil {
+			return err
+		}
+		events := trace.Collect(compiled.Ops, tl)
+		if gantt {
+			fmt.Println()
+			if err := trace.Gantt(os.Stdout, events, tl.Makespan, 100); err != nil {
+				return err
+			}
+			util := trace.Utilization(events, tl.Makespan)
+			fmt.Printf("utilization: compute %.2f, h2d %.2f, d2h %.2f\n",
+				util[sim.Compute], util[sim.H2D], util[sim.D2H])
+		}
+		if chromePath != "" {
+			f, err := os.Create(chromePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := trace.WriteChrome(f, events); err != nil {
+				return err
+			}
+			fmt.Printf("wrote Chrome trace to %s\n", chromePath)
+		}
+	}
+	if dotPath != "" {
+		if err := os.WriteFile(dotPath, []byte(g.DOT()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote dependency graph to %s\n", dotPath)
+	}
+	if planPath != "" {
+		f, err := os.Create(planPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.Plan.Encode(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote plan JSON to %s\n", planPath)
+	}
+	return nil
+}

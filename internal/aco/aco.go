@@ -1,0 +1,207 @@
+// Package aco is a from-scratch mixed-integer ant-colony optimizer — the
+// stand-in for the closed-source MIDACO solver the paper uses for its
+// two-tier ILP problem (§III-H; MIDACO itself is an extended ant-colony
+// method, Schlüter et al.). The algorithm follows ACO-R adapted to integer
+// domains: a ranked solution archive induces per-dimension Gaussian
+// mixture kernels from which ants sample; samples are rounded and clamped
+// to bounds, infeasible samples are penalized.
+//
+// The block partitioner in internal/solve uses an exact DP by default and
+// cross-checks this solver in tests (ablation A5 in DESIGN.md).
+package aco
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Problem is a bounded integer minimization problem.
+type Problem struct {
+	// Lower and Upper are inclusive per-dimension bounds.
+	Lower, Upper []int
+	// Objective returns the value to minimize. It is only called on
+	// points within bounds.
+	Objective func(x []int) float64
+	// Feasible optionally rejects points (hard constraints). Infeasible
+	// points are retried a few times, then penalized.
+	Feasible func(x []int) bool
+}
+
+func (p Problem) validate() error {
+	if len(p.Lower) == 0 || len(p.Lower) != len(p.Upper) {
+		return errors.New("aco: bounds must be non-empty and congruent")
+	}
+	for i := range p.Lower {
+		if p.Lower[i] > p.Upper[i] {
+			return fmt.Errorf("aco: dimension %d: lower %d > upper %d", i, p.Lower[i], p.Upper[i])
+		}
+	}
+	if p.Objective == nil {
+		return errors.New("aco: nil objective")
+	}
+	return nil
+}
+
+// Options tunes the colony.
+type Options struct {
+	// Ants per iteration (default 24).
+	Ants int
+	// Iterations of the colony (default 200).
+	Iterations int
+	// Archive size k (default 12).
+	Archive int
+	// Q is the rank-weight locality parameter (default 0.3; smaller
+	// exploits the best solutions harder).
+	Q float64
+	// Xi scales sampling spread (default 0.85).
+	Xi float64
+	// Seed for the deterministic RNG.
+	Seed int64
+}
+
+func (o *Options) normalize() {
+	if o.Ants <= 0 {
+		o.Ants = 24
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 200
+	}
+	if o.Archive <= 1 {
+		o.Archive = 12
+	}
+	if o.Q <= 0 {
+		o.Q = 0.3
+	}
+	if o.Xi <= 0 {
+		o.Xi = 0.85
+	}
+}
+
+// Result is the best point found.
+type Result struct {
+	X     []int
+	Value float64
+	// Evals counts objective evaluations.
+	Evals int
+}
+
+type member struct {
+	x []int
+	v float64
+}
+
+// Minimize runs the colony and returns the best feasible point found.
+func Minimize(p Problem, opts Options) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	opts.normalize()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dim := len(p.Lower)
+
+	feasible := p.Feasible
+	if feasible == nil {
+		feasible = func([]int) bool { return true }
+	}
+
+	evals := 0
+	eval := func(x []int) (float64, bool) {
+		evals++
+		if !feasible(x) {
+			return math.Inf(1), false
+		}
+		return p.Objective(x), true
+	}
+
+	randomPoint := func() []int {
+		x := make([]int, dim)
+		for i := range x {
+			span := p.Upper[i] - p.Lower[i] + 1
+			x[i] = p.Lower[i] + rng.Intn(span)
+		}
+		return x
+	}
+
+	// Seed the archive with random points (retrying for feasibility).
+	archive := make([]member, 0, opts.Archive)
+	for len(archive) < opts.Archive {
+		x := randomPoint()
+		v, ok := eval(x)
+		if !ok {
+			v = math.Inf(1)
+		}
+		archive = append(archive, member{x: x, v: v})
+	}
+	sortArchive := func() {
+		sort.SliceStable(archive, func(i, j int) bool { return archive[i].v < archive[j].v })
+	}
+	sortArchive()
+
+	// Rank weights (ACO-R): w_j ~ exp(-(j)^2 / (2 q^2 k^2)).
+	k := float64(opts.Archive)
+	weights := make([]float64, opts.Archive)
+	var wsum float64
+	for j := range weights {
+		z := float64(j) / (opts.Q * k)
+		weights[j] = math.Exp(-z * z / 2)
+		wsum += weights[j]
+	}
+	pickKernel := func() int {
+		r := rng.Float64() * wsum
+		for j, w := range weights {
+			if r -= w; r <= 0 {
+				return j
+			}
+		}
+		return opts.Archive - 1
+	}
+
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+
+	for it := 0; it < opts.Iterations; it++ {
+		for a := 0; a < opts.Ants; a++ {
+			j := pickKernel()
+			x := make([]int, dim)
+			for i := 0; i < dim; i++ {
+				// Spread: mean absolute distance of the archive to the
+				// chosen kernel in this dimension.
+				var dist float64
+				for _, m := range archive {
+					dist += math.Abs(float64(m.x[i] - archive[j].x[i]))
+				}
+				sigma := opts.Xi * dist / k
+				if sigma < 0.5 {
+					sigma = 0.5 // keep integer moves possible
+				}
+				v := float64(archive[j].x[i]) + rng.NormFloat64()*sigma
+				x[i] = clamp(int(math.Round(v)), p.Lower[i], p.Upper[i])
+			}
+			v, ok := eval(x)
+			if !ok {
+				continue
+			}
+			worst := &archive[opts.Archive-1]
+			if v < worst.v {
+				worst.x = x
+				worst.v = v
+				sortArchive()
+			}
+		}
+	}
+	best := archive[0]
+	if math.IsInf(best.v, 1) {
+		return Result{Evals: evals}, errors.New("aco: no feasible point found")
+	}
+	return Result{X: append([]int(nil), best.x...), Value: best.v, Evals: evals}, nil
+}

@@ -1,0 +1,166 @@
+package aco
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinimizeQuadratic(t *testing.T) {
+	// min (x-7)^2 + (y+3)^2 over [-20, 20]^2 -> (7, -3).
+	p := Problem{
+		Lower: []int{-20, -20},
+		Upper: []int{20, 20},
+		Objective: func(x []int) float64 {
+			dx, dy := float64(x[0]-7), float64(x[1]+3)
+			return dx*dx + dy*dy
+		},
+	}
+	r, err := Minimize(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if r.X[0] != 7 || r.X[1] != -3 {
+		t.Errorf("argmin = %v, want [7 -3] (value %v)", r.X, r.Value)
+	}
+	if r.Value != 0 {
+		t.Errorf("value = %v, want 0", r.Value)
+	}
+	if r.Evals <= 0 {
+		t.Error("no evaluations counted")
+	}
+}
+
+func TestMinimizeWithConstraint(t *testing.T) {
+	// min -(x+y) s.t. x+y <= 10, x,y in [0, 20] -> value -10.
+	p := Problem{
+		Lower:     []int{0, 0},
+		Upper:     []int{20, 20},
+		Objective: func(x []int) float64 { return -float64(x[0] + x[1]) },
+		Feasible:  func(x []int) bool { return x[0]+x[1] <= 10 },
+	}
+	r, err := Minimize(p, Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if r.Value != -10 {
+		t.Errorf("value = %v, want -10 (x=%v)", r.Value, r.X)
+	}
+	if r.X[0]+r.X[1] > 10 {
+		t.Errorf("infeasible solution %v", r.X)
+	}
+}
+
+func TestMinimizeMatchesBruteForce(t *testing.T) {
+	// A bumpy 1-D objective over a small domain: ACO must find the global
+	// optimum that exhaustive search identifies.
+	obj := func(x []int) float64 {
+		v := float64(x[0])
+		return math.Sin(v)*10 + math.Abs(v-3)
+	}
+	best := math.Inf(1)
+	for x := -15; x <= 15; x++ {
+		if v := obj([]int{x}); v < best {
+			best = v
+		}
+	}
+	r, err := Minimize(Problem{
+		Lower: []int{-15}, Upper: []int{15}, Objective: obj,
+	}, Options{Seed: 3, Iterations: 400})
+	if err != nil {
+		t.Fatalf("Minimize: %v", err)
+	}
+	if math.Abs(r.Value-best) > 1e-12 {
+		t.Errorf("value = %v, brute force found %v", r.Value, best)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	p := Problem{
+		Lower: []int{-50, -50, -50},
+		Upper: []int{50, 50, 50},
+		Objective: func(x []int) float64 {
+			s := 0.0
+			for i, v := range x {
+				d := float64(v - 5*i)
+				s += d * d
+			}
+			return s
+		},
+	}
+	a, err := Minimize(p, Options{Seed: 42, Iterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Minimize(p, Options{Seed: 42, Iterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("same seed, different results: %v vs %v", a.X, b.X)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	obj := func(x []int) float64 { return 0 }
+	cases := []Problem{
+		{},
+		{Lower: []int{0}, Upper: []int{1, 2}, Objective: obj},
+		{Lower: []int{5}, Upper: []int{1}, Objective: obj},
+		{Lower: []int{0}, Upper: []int{1}},
+	}
+	for i, p := range cases {
+		if _, err := Minimize(p, Options{}); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestNoFeasiblePoint(t *testing.T) {
+	p := Problem{
+		Lower:     []int{0},
+		Upper:     []int{3},
+		Objective: func(x []int) float64 { return 0 },
+		Feasible:  func(x []int) bool { return false },
+	}
+	if _, err := Minimize(p, Options{Seed: 1, Iterations: 5}); err == nil {
+		t.Error("fully infeasible problem should error")
+	}
+}
+
+func TestSingletonDomain(t *testing.T) {
+	p := Problem{
+		Lower:     []int{4},
+		Upper:     []int{4},
+		Objective: func(x []int) float64 { return float64(x[0]) },
+	}
+	r, err := Minimize(p, Options{Seed: 1, Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X[0] != 4 {
+		t.Errorf("singleton domain returned %v", r.X)
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	// Objective pushes toward the boundary; result must stay in bounds.
+	p := Problem{
+		Lower:     []int{-3, -3},
+		Upper:     []int{3, 3},
+		Objective: func(x []int) float64 { return -float64(x[0]*x[0] + x[1]*x[1]) },
+	}
+	r, err := Minimize(p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r.X {
+		if v < p.Lower[i] || v > p.Upper[i] {
+			t.Errorf("dimension %d out of bounds: %d", i, v)
+		}
+	}
+	if r.Value != -18 {
+		t.Errorf("value = %v, want -18 (corner)", r.Value)
+	}
+}

@@ -1,0 +1,181 @@
+// Package comm models the collective-communication substrate of the
+// multi-node evaluation (§III-G, Fig. 3 stage 4): ring and hierarchical
+// all-reduce cost, communication backends (NCCL vs the MPI backend the
+// paper fell back to at >1,000 GPUs), and the phased gradient exchange —
+// the layer-grouping scheme of Shi et al. the paper adopts for blocks.
+package comm
+
+import (
+	"fmt"
+
+	"karma/internal/hw"
+	"karma/internal/unit"
+)
+
+// Backend describes a communication library's performance envelope.
+type Backend struct {
+	Name string
+	// Latency per collective step.
+	Latency unit.Seconds
+	// BWEfficiency is the achieved fraction of link bandwidth.
+	BWEfficiency float64
+	// MaxReliableGPUs is the scale above which the backend is considered
+	// unstable (0 = unlimited). The paper reports NCCL instability beyond
+	// ~1,000 GPUs (§III-H) and switches to MPI.
+	MaxReliableGPUs int
+}
+
+// NCCL returns the NCCL-like backend: low latency, high efficiency,
+// unstable at extreme scale.
+func NCCL() Backend {
+	return Backend{Name: "nccl", Latency: 5e-6, BWEfficiency: 0.90, MaxReliableGPUs: 1024}
+}
+
+// MPI returns the PyTorch MPI-backend envelope used for the large runs.
+func MPI() Backend {
+	return Backend{Name: "mpi", Latency: 15e-6, BWEfficiency: 0.80}
+}
+
+// Reliable reports whether the backend is usable at the given scale.
+func (b Backend) Reliable(gpus int) bool {
+	return b.MaxReliableGPUs == 0 || gpus <= b.MaxReliableGPUs
+}
+
+// Pick returns NCCL when reliable at the scale, MPI otherwise — the
+// paper's operational rule.
+func Pick(gpus int) Backend {
+	if n := NCCL(); n.Reliable(gpus) {
+		return n
+	}
+	return MPI()
+}
+
+// RingAllReduce returns the ring all-reduce time for n bytes among p
+// endpoints over per-endpoint bandwidth bw: 2(p-1) steps each moving n/p
+// bytes.
+func RingAllReduce(n unit.Bytes, p int, bw unit.BytesPerSec, b Backend) unit.Seconds {
+	if p <= 1 || n == 0 {
+		return 0
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("comm: negative size %d", n))
+	}
+	eff := unit.BytesPerSec(float64(bw) * b.BWEfficiency)
+	steps := 2 * (p - 1)
+	chunk := unit.Bytes(float64(n) / float64(p))
+	per := unit.TransferTime(chunk, eff, b.Latency)
+	return unit.Seconds(float64(steps)) * per
+}
+
+// HierarchicalAllReduce composes the collective over a cluster topology:
+// intra-node reduce over NVLink, inter-node ring over the network, then
+// intra-node broadcast — the standard multi-rail scheme on ABCI-like
+// machines. gpus is the total participating device count.
+func HierarchicalAllReduce(n unit.Bytes, c hw.Cluster, gpus int, b Backend) unit.Seconds {
+	if gpus <= 1 || n == 0 {
+		return 0
+	}
+	perNode := c.Node.Devices
+	if gpus < perNode {
+		perNode = gpus
+	}
+	nodes := (gpus + c.Node.Devices - 1) / c.Node.Devices
+	var t unit.Seconds
+	if perNode > 1 {
+		// Intra-node reduce + broadcast: (perNode-1)/perNode of the
+		// payload each way over NVLink.
+		frac := unit.Bytes(float64(n) * float64(perNode-1) / float64(perNode))
+		eff := unit.BytesPerSec(float64(c.Node.IntraBW) * b.BWEfficiency)
+		t += 2 * unit.TransferTime(frac, eff, b.Latency)
+	}
+	if nodes > 1 {
+		t += RingAllReduce(n, nodes, c.NetBW, b)
+	}
+	return t
+}
+
+// Group is one phase of the phased gradient exchange: consecutive blocks
+// whose gradients are merged into a single collective.
+type Group struct {
+	// Blocks are indices (in completion order) merged into this phase.
+	Blocks []int
+	Bytes  unit.Bytes
+	Time   unit.Seconds
+}
+
+// PhasedGroups merges per-block gradient payloads (in backward completion
+// order) into exchange phases following the Shi et al. grouping rule the
+// paper adopts (§III-G): merging amortizes per-collective latency, but a
+// group must stay small enough that communication still overlaps the
+// remaining backward work. Blocks merge while a group's payload is below
+// the latency-bandwidth product threshold of the collective.
+func PhasedGroups(sizes []unit.Bytes, c hw.Cluster, gpus int, b Backend) []Group {
+	if len(sizes) == 0 {
+		return nil
+	}
+	// Threshold: the payload at which the bandwidth term matches the
+	// aggregated latency term of a ring step — below it, merging is free.
+	nodes := (gpus + c.Node.Devices - 1) / c.Node.Devices
+	steps := 2 * (nodes - 1)
+	if steps <= 0 {
+		steps = 2
+	}
+	eff := unit.BytesPerSec(float64(c.NetBW) * b.BWEfficiency)
+	threshold := unit.Bytes(float64(steps) * float64(b.Latency) * float64(eff))
+
+	var out []Group
+	cur := Group{}
+	flush := func() {
+		if len(cur.Blocks) == 0 {
+			return
+		}
+		cur.Time = HierarchicalAllReduce(cur.Bytes, c, gpus, b)
+		out = append(out, cur)
+		cur = Group{}
+	}
+	for i, s := range sizes {
+		if s < 0 {
+			panic(fmt.Sprintf("comm: negative block size %d", s))
+		}
+		cur.Blocks = append(cur.Blocks, i)
+		cur.Bytes += s
+		if cur.Bytes >= threshold {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// BulkTime returns the single-shot (non-phased) exchange time for the
+// summed payload — the baseline the phased scheme is compared against
+// (ablation A3).
+func BulkTime(sizes []unit.Bytes, c hw.Cluster, gpus int, b Backend) unit.Seconds {
+	var n unit.Bytes
+	for _, s := range sizes {
+		n += s
+	}
+	return HierarchicalAllReduce(n, c, gpus, b)
+}
+
+// ReduceScatter returns the time to reduce n bytes and leave each of the
+// p endpoints with its n/p shard: (p-1) ring steps of n/p bytes — half an
+// all-reduce. ZeRO-style sharded optimizers build on this primitive.
+func ReduceScatter(n unit.Bytes, p int, bw unit.BytesPerSec, b Backend) unit.Seconds {
+	if p <= 1 || n == 0 {
+		return 0
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("comm: negative size %d", n))
+	}
+	eff := unit.BytesPerSec(float64(bw) * b.BWEfficiency)
+	chunk := unit.Bytes(float64(n) / float64(p))
+	per := unit.TransferTime(chunk, eff, b.Latency)
+	return unit.Seconds(float64(p-1)) * per
+}
+
+// AllGather returns the time for each endpoint to collect all p shards of
+// n total bytes: (p-1) ring steps of n/p bytes — the other half.
+func AllGather(n unit.Bytes, p int, bw unit.BytesPerSec, b Backend) unit.Seconds {
+	return ReduceScatter(n, p, bw, b) // identical cost structure
+}

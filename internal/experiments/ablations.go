@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"karma/internal/baseline"
+	"karma/internal/dist"
+	"karma/internal/hw"
+	"karma/internal/karma"
+	"karma/internal/model"
+	"karma/internal/profiler"
+)
+
+// AblationResult is one design-choice study (DESIGN.md A1-A6).
+type AblationResult struct {
+	ID       string
+	Question string
+	Metric   string
+	Value    float64
+}
+
+// Ablations runs all six studies on small fixed workloads.
+func Ablations(node hw.Node, cl hw.Cluster) ([]AblationResult, error) {
+	var out []AblationResult
+
+	prof := func(batch int) (*profiler.Profile, error) {
+		return profiler.New(model.ResNet50(), node, profiler.Options{Batch: batch})
+	}
+
+	// A1: capacity-based vs eager swap schedule (recompute disabled).
+	p256, err := prof(256)
+	if err != nil {
+		return nil, err
+	}
+	k, err := baseline.Run(baseline.KARMA, p256)
+	if err != nil {
+		return nil, err
+	}
+	v, err := baseline.Run(baseline.VDNNPP, p256)
+	if err != nil {
+		return nil, err
+	}
+	if k.Feasible && v.Feasible {
+		out = append(out, AblationResult{
+			ID: "A1", Question: "capacity-based vs eager swap schedule",
+			Metric: "x speedup", Value: k.Throughput / v.Throughput,
+		})
+	}
+
+	// A2: recompute interleave on/off.
+	p512, err := prof(512)
+	if err != nil {
+		return nil, err
+	}
+	on, err := baseline.Run(baseline.KARMARecompute, p512)
+	if err != nil {
+		return nil, err
+	}
+	off, err := baseline.Run(baseline.KARMA, p512)
+	if err != nil {
+		return nil, err
+	}
+	if on.Feasible && off.Feasible {
+		out = append(out, AblationResult{
+			ID: "A2", Question: "recompute interleave on vs off",
+			Metric: "x speedup", Value: on.Throughput / off.Throughput,
+		})
+	}
+
+	// A3: phased vs bulk gradient exchange (Megatron-2.5B hybrid).
+	cfg := model.MegatronConfigs()[2]
+	phased, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, true)
+	if err != nil {
+		return nil, err
+	}
+	bulk, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, false)
+	if err != nil {
+		return nil, err
+	}
+	if phased.Feasible && bulk.Feasible {
+		out = append(out, AblationResult{
+			ID: "A3", Question: "phased vs bulk gradient exchange",
+			Metric: "x speedup", Value: float64(bulk.IterTime) / float64(phased.IterTime),
+		})
+	}
+
+	// A4: CPU-side vs move-back-to-GPU weight update.
+	g := model.Transformer(cfg)
+	host, err := dist.KARMADataParallel(g, cl, 256, 4, openWTSamples, dist.KARMAOptions{})
+	if err != nil {
+		return nil, err
+	}
+	dev, err := dist.KARMADataParallel(g, cl, 256, 4, openWTSamples, dist.KARMAOptions{UpdateOnDevice: true})
+	if err != nil {
+		return nil, err
+	}
+	if host.Feasible && dev.Feasible {
+		out = append(out, AblationResult{
+			ID: "A4", Question: "GPU-side update overhead vs CPU-side",
+			Metric: "x slowdown", Value: float64(dev.IterTime) / float64(host.IterTime),
+		})
+	}
+
+	// A5: Opt-1 solver backends.
+	p384, err := prof(384)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := planThroughput(p384, karma.SolverBalanced)
+	if err != nil {
+		return nil, err
+	}
+	sa, err := planThroughput(p384, karma.SolverACO)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		ID: "A5", Question: "balanced/hill-climb vs ant-colony Opt-1",
+		Metric: "aco/balanced throughput ratio", Value: sa / sb,
+	})
+
+	// A6: blocking granularity.
+	coarse, err := planThroughputMax(p384, 4)
+	if err != nil {
+		return nil, err
+	}
+	fine, err := planThroughputMax(p384, 32)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		ID: "A6", Question: "fine (k<=32) vs coarse (k<=4) blocking",
+		Metric: "x speedup", Value: fine / coarse,
+	})
+	return out, nil
+}
+
+func planThroughput(p *profiler.Profile, s karma.Solver) (float64, error) {
+	sched, err := karma.Plan(p, karma.Options{Solver: s, Seed: 7})
+	if err != nil {
+		return 0, err
+	}
+	rep, err := karma.Simulate(sched)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Throughput, nil
+}
+
+func planThroughputMax(p *profiler.Profile, maxBlocks int) (float64, error) {
+	sched, err := karma.Plan(p, karma.Options{MaxBlocks: maxBlocks})
+	if err != nil {
+		return 0, err
+	}
+	rep, err := karma.Simulate(sched)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Throughput, nil
+}
+
+// AblationTable renders the studies.
+func AblationTable(rs []AblationResult) *Table {
+	t := &Table{
+		ID:      "ablations",
+		Title:   "design-choice ablations (DESIGN.md A1-A6)",
+		Headers: []string{"id", "question", "metric", "value"},
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, []string{
+			r.ID, r.Question, r.Metric, fmt.Sprintf("%.3f", r.Value),
+		})
+	}
+	return t
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"karma/internal/nn"
+)
+
+// EquivalenceResult is the §IV-D reproduction: instead of re-running
+// ImageNet/OpenWebText to convergence (the paper's accuracy and
+// perplexity spot checks), the numeric substrate proves the stronger
+// statement directly — out-of-core execution and the distributed
+// CPU-update pipeline produce bitwise-identical weights.
+type EquivalenceResult struct {
+	Scenario string
+	// MaxAbsDiff is the largest absolute parameter difference vs the
+	// in-core reference (0 means bitwise identical).
+	MaxAbsDiff float64
+	// SwappedBytes is the far-memory traffic of the OOC run.
+	SwappedBytes int64
+	// FinalLoss of the run.
+	FinalLoss float32
+}
+
+func equivModel(seed uint64) *nn.Sequential {
+	r := nn.NewRNG(seed)
+	return nn.NewSequential(
+		nn.NewDense("fc1", 24, 48, r),
+		nn.NewReLU("relu1"),
+		nn.NewDense("fc2", 48, 48, r),
+		nn.NewReLU("relu2"),
+		nn.NewDense("fc3", 48, 6, r),
+	)
+}
+
+func equivBatch(step int) (*nn.Tensor, []int) {
+	r := nn.NewRNG(uint64(31 + step))
+	x := nn.NewTensor(8, 24)
+	labels := make([]int, 8)
+	for b := 0; b < 8; b++ {
+		var sum float32
+		for f := 0; f < 24; f++ {
+			v := r.Normalish()
+			x.Data[b*24+f] = v
+			sum += v
+		}
+		l := int(sum)
+		if l < 0 {
+			l = -l
+		}
+		labels[b] = l % 6
+	}
+	return x, labels
+}
+
+func trainWithPolicies(policies []nn.Policy, steps int) (*nn.Sequential, int64, float32, error) {
+	m := equivModel(9)
+	arena := nn.NewArena(1 << 30)
+	e, err := nn.NewExec(m, arena, policies)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	opt := nn.NewSGD(0.05, 0.9)
+	var loss float32
+	for s := 0; s < steps; s++ {
+		x, labels := equivBatch(s)
+		loss, err = e.Step(x, labels, opt)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return m, arena.Moved(), loss, nil
+}
+
+func maxDiff(a, b *nn.Sequential) float64 {
+	var m float64
+	ap, bp := a.Params(), b.Params()
+	for i := range ap {
+		for j := range ap[i].Data {
+			d := float64(ap[i].Data[j] - bp[i].Data[j])
+			if d < 0 {
+				d = -d
+			}
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// Equivalence runs the §IV-D scenarios and reports the deviations.
+func Equivalence() ([]EquivalenceResult, error) {
+	const steps = 25
+	ref, _, refLoss, err := trainWithPolicies(make([]nn.Policy, 5), steps)
+	if err != nil {
+		return nil, err
+	}
+	out := []EquivalenceResult{{
+		Scenario: "in-core reference", FinalLoss: refLoss,
+	}}
+	scenarios := []struct {
+		name     string
+		policies []nn.Policy
+	}{
+		{"out-of-core (swap all)", []nn.Policy{nn.Swap, nn.Swap, nn.Swap, nn.Swap, nn.Keep}},
+		{"recompute interleave", []nn.Policy{nn.Keep, nn.Recompute, nn.Swap, nn.Recompute, nn.Keep}},
+	}
+	for _, sc := range scenarios {
+		m, moved, loss, err := trainWithPolicies(sc.policies, steps)
+		if err != nil {
+			return nil, fmt.Errorf("equivalence %s: %w", sc.name, err)
+		}
+		out = append(out, EquivalenceResult{
+			Scenario:     sc.name,
+			MaxAbsDiff:   maxDiff(ref, m),
+			SwappedBytes: moved,
+			FinalLoss:    loss,
+		})
+	}
+
+	// Distributed: phased exchange + host-side update vs the ordered
+	// sequential reference.
+	const workers = 4
+	batchFn := func(step, worker int) (*nn.Tensor, []int) {
+		return equivBatch(step*workers + worker)
+	}
+	master := equivModel(9)
+	replicas := make([]*nn.Sequential, workers)
+	for w := range replicas {
+		replicas[w] = equivModel(uint64(100 + w))
+	}
+	losses, err := nn.TrainDataParallel(master, replicas, steps, batchFn, nn.ParallelConfig{
+		Workers: workers, ArenaBytes: 1 << 30,
+		Policies: []nn.Policy{nn.Swap, nn.Swap, nn.Swap, nn.Swap, nn.Keep},
+		LR:       0.05, Momentum: 0.9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	seq, err := sequentialReference(workers, steps, batchFn)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, EquivalenceResult{
+		Scenario:   "data-parallel KARMA pipeline (4 workers)",
+		MaxAbsDiff: maxDiff(seq, master),
+		FinalLoss:  losses[len(losses)-1],
+	})
+	return out, nil
+}
+
+// sequentialReference reproduces the distributed semantics on one thread:
+// per-worker gradients computed in worker order, averaged, applied on the
+// host optimizer.
+func sequentialReference(workers, steps int, batch func(step, worker int) (*nn.Tensor, []int)) (*nn.Sequential, error) {
+	ref := equivModel(9)
+	shadow := equivModel(10)
+	opt := nn.NewSGD(0.05, 0.9)
+	for step := 0; step < steps; step++ {
+		var perWorker [][]*nn.Tensor
+		for w := 0; w < workers; w++ {
+			shadow.CloneWeightsFrom(ref)
+			e, err := nn.NewExec(shadow, nn.NewArena(1<<30), make([]nn.Policy, len(shadow.Layers)))
+			if err != nil {
+				return nil, err
+			}
+			x, labels := batch(step, w)
+			if _, err := e.ForwardBackward(x, labels); err != nil {
+				return nil, err
+			}
+			gs := shadow.Grads()
+			cl := make([]*nn.Tensor, len(gs))
+			for i, g := range gs {
+				cl[i] = g.Clone()
+			}
+			perWorker = append(perWorker, cl)
+		}
+		inv := 1 / float32(workers)
+		avg := make([]*nn.Tensor, len(perWorker[0]))
+		for gi := range avg {
+			sum := perWorker[0][gi].Clone()
+			for w := 1; w < workers; w++ {
+				for j, v := range perWorker[w][gi].Data {
+					sum.Data[j] += v
+				}
+			}
+			for j := range sum.Data {
+				sum.Data[j] *= inv
+			}
+			avg[gi] = sum
+		}
+		opt.Step(ref.Params(), avg)
+	}
+	return ref, nil
+}
+
+// EquivalenceTable renders the results.
+func EquivalenceTable(rs []EquivalenceResult) *Table {
+	t := &Table{
+		ID:      "equivalence",
+		Title:   "accuracy equivalence (§IV-D substitution): parameter deviation vs in-core",
+		Headers: []string{"scenario", "max |Δparam|", "swap traffic", "final loss"},
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, []string{
+			r.Scenario,
+			fmt.Sprintf("%g", r.MaxAbsDiff),
+			fmt.Sprintf("%d B", r.SwappedBytes),
+			fmt.Sprintf("%.4f", r.FinalLoss),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"0 deviation = bitwise identical: out-of-core execution does not change the math (paper §IV-D)")
+	return t
+}

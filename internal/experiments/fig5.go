@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"karma/internal/baseline"
+	"karma/internal/hw"
+)
+
+// Fig5Point is one batch size of one panel: throughput per method.
+type Fig5Point struct {
+	Batch   int
+	Results map[baseline.Method]*baseline.Result
+}
+
+// Fig5Panel is one model's sweep.
+type Fig5Panel struct {
+	Workload Workload
+	Points   []Fig5Point
+}
+
+// Figure5Panel runs all Fig. 5 methods over one workload's batch grid.
+func Figure5Panel(w Workload, node hw.Node) (*Fig5Panel, error) {
+	panel := &Fig5Panel{Workload: w}
+	for _, b := range w.Batches {
+		p, err := ProfileWorkload(w, node, b)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s/%d: %w", w.Model, b, err)
+		}
+		pt := Fig5Point{Batch: b, Results: map[baseline.Method]*baseline.Result{}}
+		for _, m := range baseline.Methods() {
+			r, err := baseline.Run(m, p)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s/%d/%s: %w", w.Model, b, m, err)
+			}
+			pt.Results[m] = r
+		}
+		panel.Points = append(panel.Points, pt)
+	}
+	return panel, nil
+}
+
+// Figure5 runs every panel.
+func Figure5(node hw.Node) ([]*Fig5Panel, error) {
+	var out []*Fig5Panel
+	for _, w := range Fig5Workloads() {
+		p, err := Figure5Panel(w, node)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Table renders a panel as samples/s per method (the figure's y-axis),
+// with "-" for infeasible points.
+func (p *Fig5Panel) Table() *Table {
+	t := &Table{
+		ID:      "fig5-" + p.Workload.Model,
+		Title:   fmt.Sprintf("training performance, %s (samples/s vs batch size)", p.Workload.Model),
+		Headers: []string{"batch"},
+	}
+	for _, m := range baseline.Methods() {
+		t.Headers = append(t.Headers, string(m))
+	}
+	for _, pt := range p.Points {
+		row := []string{fmt.Sprintf("%d", pt.Batch)}
+		for _, m := range baseline.Methods() {
+			r := pt.Results[m]
+			if r == nil || !r.Feasible {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.1f", r.Throughput))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"only the first batch size fits in device memory (in-core column)",
+		"hardware substituted by the event simulator; see DESIGN.md")
+	return t
+}
+
+// AverageSpeedup reproduces the §IV headline: the mean speedup of KARMA
+// w/recompute over the best state-of-the-art out-of-core and recompute
+// method (vDNN++, SuperNeurons or Checkmate) across all out-of-core grid
+// points. The paper reports 1.52x.
+func AverageSpeedup(panels []*Fig5Panel) float64 {
+	var sum float64
+	var n int
+	for _, p := range panels {
+		for _, pt := range p.Points {
+			karma := pt.Results[baseline.KARMARecompute]
+			if karma == nil || !karma.Feasible {
+				continue
+			}
+			var best float64
+			for _, m := range []baseline.Method{baseline.VDNNPP, baseline.SuperNeurons, baseline.Checkmate} {
+				if r := pt.Results[m]; r != nil && r.Feasible && r.Throughput > best {
+					best = r.Throughput
+				}
+			}
+			if best <= 0 {
+				continue
+			}
+			if ic := pt.Results[baseline.InCore]; ic != nil && ic.Feasible {
+				continue // in-core points are not out-of-core comparisons
+			}
+			sum += karma.Throughput / best
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"karma/internal/baseline"
+	"karma/internal/hw"
+)
+
+// Fig6Entry is one backward-phase block of one method: its execution time
+// normalized to its stall-free time (1.0 = no stall; spikes are stalls).
+type Fig6Entry struct {
+	Block      int
+	Normalized float64
+}
+
+// Fig6Series is one method's backward-phase profile.
+type Fig6Series struct {
+	Method  baseline.Method
+	Entries []Fig6Entry
+	// TotalStall is the summed compute-stream stall in the backward
+	// phase.
+	TotalStallSec float64
+}
+
+// Figure6 reproduces the ResNet-200 stall profile: the out-of-core run at
+// batch 12 for SuperNeurons, vDNN++, KARMA and KARMA w/recompute.
+// (The paper stacks it on an in-core batch-4 run; normalization against
+// each op's own stall-free duration captures the same signal — the
+// height above 1.0 is the stall.)
+func Figure6(node hw.Node) ([]Fig6Series, error) {
+	w := Workload{Model: "resnet200", Batches: []int{4, 12}}
+	p, err := ProfileWorkload(w, node, 12)
+	if err != nil {
+		return nil, err
+	}
+	methods := []baseline.Method{
+		baseline.SuperNeurons, baseline.VDNNPP, baseline.KARMA, baseline.KARMARecompute,
+	}
+	var out []Fig6Series
+	for _, m := range methods {
+		r, err := baseline.Run(m, p)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Feasible {
+			return nil, fmt.Errorf("fig6: %s infeasible: %s", m, r.Reason)
+		}
+		s := Fig6Series{Method: m}
+		for _, tr := range r.BwdTrace {
+			norm := 1.0
+			if tr.Duration > 0 {
+				norm = float64(tr.Duration+tr.Stall) / float64(tr.Duration)
+			} else if tr.Stall > 0 {
+				norm = 2 // zero-length op that still stalled
+			}
+			s.Entries = append(s.Entries, Fig6Entry{Block: tr.Block, Normalized: norm})
+			s.TotalStallSec += float64(tr.Stall)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Table renders the Fig. 6 series: one row per method with its stall
+// statistics (the figure's qualitative content).
+func Fig6Table(series []Fig6Series) *Table {
+	t := &Table{
+		ID:    "fig6",
+		Title: "normalized backward-phase time, ResNet-200 out-of-core (batch 12)",
+		Headers: []string{
+			"method", "blocks", "total stall (s)", "max spike (x)", "spikes >1.5x",
+		},
+	}
+	for _, s := range series {
+		maxSpike, spikes := 1.0, 0
+		for _, e := range s.Entries {
+			if e.Normalized > maxSpike {
+				maxSpike = e.Normalized
+			}
+			if e.Normalized > 1.5 {
+				spikes++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			string(s.Method),
+			fmt.Sprintf("%d", len(s.Entries)),
+			fmt.Sprintf("%.4f", s.TotalStallSec),
+			fmt.Sprintf("%.2f", maxSpike),
+			fmt.Sprintf("%d", spikes),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"height above 1.0x is stall time waiting on the swap pipeline (paper's orange bars)")
+	return t
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"karma/internal/dist"
+	"karma/internal/hw"
+	"karma/internal/model"
+)
+
+// openWTSamples is the OpenWebText sample count of Table III.
+const openWTSamples = 7_200_000
+
+// Fig8Row is one GPU count of one Fig. 8 panel.
+type Fig8Row struct {
+	GPUs    int
+	Results map[string]*dist.Result // keyed by method name
+}
+
+// Fig8Panel is one model's scaling sweep.
+type Fig8Panel struct {
+	Model   string
+	Methods []string
+	Rows    []Fig8Row
+}
+
+// Figure8Megatron reproduces the left/middle panels: the MP+DP hybrid,
+// the hybrid with the optimized (phased) gradient exchange, and
+// data-parallel KARMA at GPU parity. cfgIdx selects the Table IV
+// configuration (2 = 2.5B, 4 = 8.3B); the per-replica batch and MP factor
+// follow Table IV.
+func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int) (*Fig8Panel, error) {
+	cfgs := model.MegatronConfigs()
+	if cfgIdx < 0 || cfgIdx >= len(cfgs) {
+		return nil, fmt.Errorf("fig8: bad config index %d", cfgIdx)
+	}
+	cfg := cfgs[cfgIdx]
+	mp := 1 << cfgIdx // Table IV: MP = 1,2,4,8,16
+	const perReplicaBatch = 4
+	g := model.Transformer(cfg)
+	panel := &Fig8Panel{
+		Model:   cfg.Name,
+		Methods: []string{"mp+dp", "mp+dp-opt", "karma-dp"},
+	}
+	for _, gpus := range gpusList {
+		row := Fig8Row{GPUs: gpus, Results: map[string]*dist.Result{}}
+		plain, err := dist.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, false)
+		if err != nil {
+			return nil, err
+		}
+		row.Results["mp+dp"] = plain
+		opt, err := dist.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, true)
+		if err != nil {
+			return nil, err
+		}
+		row.Results["mp+dp-opt"] = opt
+		karma, err := dist.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, dist.KARMAOptions{})
+		if err != nil {
+			return nil, err
+		}
+		row.Results["karma-dp"] = karma
+		panel.Rows = append(panel.Rows, row)
+	}
+	return panel, nil
+}
+
+// Figure8Turing reproduces the right panel: ZeRO (hybrid reference),
+// data-parallel KARMA, and KARMA on top of ZeRO for the 17B Turing-NLG.
+func Figure8Turing(cl hw.Cluster, gpusList []int) (*Fig8Panel, error) {
+	cfg := model.TuringNLG()
+	const mp, perReplicaBatch = 16, 2
+	g := model.Transformer(cfg)
+	panel := &Fig8Panel{
+		Model:   cfg.Name,
+		Methods: []string{"zero", "karma-dp", "zero+karma"},
+	}
+	for _, gpus := range gpusList {
+		row := Fig8Row{GPUs: gpus, Results: map[string]*dist.Result{}}
+		zero, err := dist.ZeRO(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples)
+		if err != nil {
+			return nil, err
+		}
+		row.Results["zero"] = zero
+		karma, err := dist.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, dist.KARMAOptions{})
+		if err != nil {
+			return nil, err
+		}
+		row.Results["karma-dp"] = karma
+		combo, err := dist.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, dist.KARMAOptions{ZeROShard: true})
+		if err != nil {
+			return nil, err
+		}
+		row.Results["zero+karma"] = combo
+		panel.Rows = append(panel.Rows, row)
+	}
+	return panel, nil
+}
+
+// Table renders a panel as time-per-epoch hours (the figure's y-axis).
+func (p *Fig8Panel) Table() *Table {
+	t := &Table{
+		ID:      "fig8-" + p.Model,
+		Title:   fmt.Sprintf("time per epoch (hours), %s", p.Model),
+		Headers: append([]string{"gpus"}, p.Methods...),
+	}
+	for _, row := range p.Rows {
+		cells := []string{fmt.Sprintf("%d", row.GPUs)}
+		for _, m := range p.Methods {
+			r := row.Results[m]
+			if r == nil || !r.Feasible {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.1f", float64(r.EpochTime)/3600))
+			}
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	t.Notes = append(t.Notes,
+		"KARMA's global mini-batch is the MP factor times larger at parity (paper Fig. 8 note)")
+	return t
+}

@@ -1,0 +1,97 @@
+package hw
+
+import (
+	"testing"
+
+	"karma/internal/unit"
+)
+
+func TestV100Preset(t *testing.T) {
+	d := V100()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.MemCapacity != 16*unit.GiB {
+		t.Errorf("V100 capacity = %v, want 16 GiB (Table II)", d.MemCapacity)
+	}
+	if d.UsableMem() >= d.MemCapacity || d.UsableMem() <= 0 {
+		t.Errorf("UsableMem = %v out of range", d.UsableMem())
+	}
+	if got := d.SustainedFLOPS(); got <= 0 || got >= d.PeakFLOPS {
+		t.Errorf("SustainedFLOPS = %v, want in (0, peak)", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []Device{
+		{Name: "no-mem", PeakFLOPS: 1, Efficiency: 0.5, MemBW: 1},
+		{Name: "reserved>cap", MemCapacity: 10, Reserved: 10, PeakFLOPS: 1, Efficiency: 0.5, MemBW: 1},
+		{Name: "no-flops", MemCapacity: 10, Efficiency: 0.5, MemBW: 1},
+		{Name: "eff>1", MemCapacity: 10, PeakFLOPS: 1, Efficiency: 1.5, MemBW: 1},
+		{Name: "no-bw", MemCapacity: 10, PeakFLOPS: 1, Efficiency: 0.5},
+	}
+	for _, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", d.Name)
+		}
+	}
+}
+
+func TestSwapThroughputIsMin(t *testing.T) {
+	n := ABCINode()
+	// Eq. (4): the PCIe link is the bottleneck on an ABCI node.
+	if got := SwapThroughput(n); got != n.Link.BWPerDirection {
+		t.Errorf("SwapThroughput = %v, want link bw %v", got, n.Link.BWPerDirection)
+	}
+	// A slower host memory should become the bottleneck.
+	n.Host.MemBW = 1 * unit.GBps
+	if got := SwapThroughput(n); got != 1*unit.GBps {
+		t.Errorf("SwapThroughput = %v, want 1 GB/s", got)
+	}
+}
+
+func TestABCICluster(t *testing.T) {
+	c := ABCI()
+	if got := c.TotalDevices(); got != 4352 {
+		t.Errorf("ABCI devices = %d, want 4352 (Table II)", got)
+	}
+	if c.Node.Devices != 4 {
+		t.Errorf("devices per node = %d, want 4", c.Node.Devices)
+	}
+	if c.NetBW != 12.5*unit.GBps {
+		t.Errorf("net bw = %v, want 12.5 GB/s", c.NetBW)
+	}
+}
+
+func TestWithDevices(t *testing.T) {
+	c := ABCI()
+	for _, want := range []int{128, 512, 2048} {
+		r := c.WithDevices(want)
+		if got := r.TotalDevices(); got != want {
+			t.Errorf("WithDevices(%d) = %d devices", want, got)
+		}
+	}
+	// Rounds up to whole nodes.
+	r := c.WithDevices(5)
+	if r.Nodes != 2 {
+		t.Errorf("WithDevices(5) nodes = %d, want 2", r.Nodes)
+	}
+}
+
+func TestHostSustained(t *testing.T) {
+	h := ABCIHost()
+	if h.SustainedFLOPS() <= 0 || h.SustainedFLOPS() >= h.PeakFLOPS {
+		t.Errorf("host sustained = %v out of range", h.SustainedFLOPS())
+	}
+	// The paper's premise: CPU update is much slower than GPU compute.
+	if float64(h.SustainedFLOPS()) >= float64(V100().SustainedFLOPS()) {
+		t.Error("host must be slower than device")
+	}
+}
+
+func TestPCIeMatchesTableII(t *testing.T) {
+	l := PCIeGen3x16()
+	if l.BWPerDirection != 16*unit.GBps {
+		t.Errorf("PCIe bw = %v, want 16 GB/s", l.BWPerDirection)
+	}
+}

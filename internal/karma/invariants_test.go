@@ -1,0 +1,124 @@
+package karma
+
+import (
+	"bytes"
+	"testing"
+
+	"karma/internal/hw"
+	"karma/internal/model"
+	"karma/internal/plan"
+	"karma/internal/profiler"
+)
+
+// TestPlanMemoryBalanced: every generated plan must allocate exactly as
+// much device memory as it frees over one iteration — a leak (or
+// over-free) would corrupt multi-iteration pipelines.
+func TestPlanMemoryBalanced(t *testing.T) {
+	node := hw.ABCINode()
+	cases := []struct {
+		model string
+		batch int
+	}{
+		{"resnet50", 128}, {"resnet50", 384}, {"resnet50", 768},
+		{"vgg16", 96}, {"resnet200", 12}, {"wrn-28-10", 768},
+		{"smallcnn", 64},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.model, func(t *testing.T) {
+			g, err := model.Build(c.model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := profiler.New(g, node, profiler.Options{Batch: c.batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, disable := range []bool{false, true} {
+				s, err := Plan(p, Options{DisableRecompute: disable})
+				if err != nil {
+					t.Fatalf("Plan(disable=%v): %v", disable, err)
+				}
+				pl, err := BuildPlan(s)
+				if err != nil {
+					t.Fatalf("BuildPlan: %v", err)
+				}
+				if d := pl.MemoryDelta(); d != 0 {
+					t.Errorf("disable=%v: plan leaks %v", disable, d)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanRoundTripsThroughJSON: a planned schedule survives
+// serialization and still simulates to the same makespan.
+func TestPlanRoundTripsThroughJSON(t *testing.T) {
+	g := model.ResNet50()
+	p, err := profiler.New(g, hw.ABCINode(), profiler.Options{Batch: 384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Plan(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := BuildPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tl1, err := pl.Simulate(s.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := pl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := plan.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tl2, err := pl2.Simulate(s.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl1.Makespan != tl2.Makespan {
+		t.Errorf("makespan changed through JSON: %v vs %v", tl1.Makespan, tl2.Makespan)
+	}
+}
+
+// TestMoreGPUsMoreBatchesStillBalanced: the policy mix varies wildly
+// across batch sizes; the balance invariant must hold at every point of
+// the Fig. 5 grid for ResNet-50.
+func TestEveryBatchBalanced(t *testing.T) {
+	g := model.ResNet50()
+	node := hw.ABCINode()
+	for _, batch := range []int{128, 256, 384, 512, 640, 768} {
+		p, err := profiler.New(g, node, profiler.Options{Batch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Plan(p, Options{})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		pl, err := BuildPlan(s)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if d := pl.MemoryDelta(); d != 0 {
+			t.Errorf("batch %d: leak %v", batch, d)
+		}
+		// Policy sanity: resident suffix is Keep, prefix is not.
+		for i, b := range s.Blocks {
+			if i >= s.Resident && b.Policy != Keep {
+				t.Errorf("batch %d block %d: resident but %v", batch, i, b.Policy)
+			}
+			if i < s.Resident && b.Policy == Keep {
+				t.Errorf("batch %d block %d: prefix but keep", batch, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package karma is the core library: it turns a profiled model into an
+// out-of-core execution schedule using the paper's capacity-based layer
+// swapping interleaved with redundant recompute (§III), and simulates the
+// schedule to produce throughput and stall reports.
+//
+// The pipeline mirrors Fig. 1:
+//
+//	profile (internal/profiler)            — steps 1-2
+//	→ partition search (Opt-1, §III-F1)    — step 3
+//	→ recompute interleave (Opt-2)         — step 4
+//	→ schedule generation (Algorithm 1)    — step 5
+//	→ simulation (internal/sim)            — evaluation
+package karma
+
+import (
+	"fmt"
+
+	"karma/internal/profiler"
+	"karma/internal/unit"
+)
+
+// Policy is the per-block memory strategy.
+type Policy int
+
+// Block policies.
+const (
+	// Keep leaves the block's activations resident in near memory
+	// (the capacity-based resident suffix of §III-E2).
+	Keep Policy = iota
+	// Swap moves the block's activations to far memory after the forward
+	// pass and prefetches them back during backward.
+	Swap
+	// Recompute drops the block's activations after the forward pass and
+	// redundantly recomputes them during backward (§III-F).
+	Recompute
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Keep:
+		return "keep"
+	case Swap:
+		return "swap"
+	case Recompute:
+		return "recompute"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Block is one planner block: a contiguous range of profiled segments
+// under a single policy.
+type Block struct {
+	// Range is the half-open [start, end) span of profiler blocks.
+	Range [2]int
+	// Cost is the merged cost over the range.
+	Cost profiler.Block
+	// Policy chosen by the optimizer.
+	Policy Policy
+	// Ckpt marks this block's output boundary as a resident checkpoint:
+	// the following recompute run replays from it instead of extending
+	// backwards through this block. This is how adjacent recompute runs
+	// split without a swap separator (the gradient-checkpointing
+	// structure, subsumed by KARMA's search).
+	Ckpt bool
+}
+
+// Payload returns the bytes moved when the block swaps (activations; the
+// planner keeps weights resident — multi-device weight swapping lives in
+// internal/dist).
+func (b Block) Payload() unit.Bytes { return b.Cost.ActBytes }
+
+// Solver selects the Opt-1 search backend.
+type Solver int
+
+// Available solvers.
+const (
+	// SolverBalanced enumerates balanced partitions and refines
+	// boundaries by deterministic hill climbing (default).
+	SolverBalanced Solver = iota
+	// SolverACO uses the ant-colony optimizer (the MIDACO stand-in).
+	SolverACO
+)
+
+// Options configures the planner.
+type Options struct {
+	// MaxBlocks caps the partition size searched (default 32).
+	MaxBlocks int
+	// DisableRecompute turns off the Opt-2 recompute interleave,
+	// yielding the pure capacity-based swapping planner ("KARMA" vs
+	// "KARMA w/recompute" in Fig. 5).
+	DisableRecompute bool
+	// Solver selects the Opt-1 backend.
+	Solver Solver
+	// Seed drives the stochastic solver.
+	Seed int64
+	// Headroom is the fraction of the activation budget reserved for
+	// transient working tensors (default 0.05).
+	Headroom float64
+}
+
+func (o *Options) normalize() {
+	if o.MaxBlocks <= 0 {
+		o.MaxBlocks = 32
+	}
+	if o.Headroom == 0 {
+		o.Headroom = 0.05
+	}
+}
+
+// Schedule is a planned iteration.
+type Schedule struct {
+	Profile *profiler.Profile
+	Opts    Options
+	Blocks  []Block
+	// Resident is the index of the first resident block: blocks
+	// [Resident:] keep their activations in near memory.
+	Resident int
+	// Budget is the device memory available to activations after
+	// reserving weights, gradients, recompute checkpoints, pinned skip
+	// tensors and headroom.
+	Budget unit.Bytes
+}
+
+// NumBlocks returns the partition size.
+func (s *Schedule) NumBlocks() int { return len(s.Blocks) }
+
+// SwappedBytes returns the total payload crossing the link per direction
+// per iteration.
+func (s *Schedule) SwappedBytes() unit.Bytes {
+	var n unit.Bytes
+	for _, b := range s.Blocks {
+		if b.Policy == Swap {
+			n += b.Payload()
+		}
+	}
+	return n
+}
+
+// RecomputedTime returns the redundant compute added per iteration.
+func (s *Schedule) RecomputedTime() unit.Seconds {
+	var t unit.Seconds
+	for _, b := range s.Blocks {
+		if b.Policy == Recompute {
+			t += b.Cost.FwdTime
+		}
+	}
+	return t
+}
+
+// BudgetFor computes the activation budget for a profile: usable device
+// memory minus resident weights+gradients, pinned skip tensors, and
+// headroom. An error is returned when the model's weights alone leave no
+// room (those models need the multi-device path in internal/dist).
+func BudgetFor(p *profiler.Profile, headroom float64) (unit.Bytes, error) {
+	usable := p.Node.Device.UsableMem()
+	var pinned unit.Bytes
+	for _, b := range p.Blocks {
+		pinned += b.PinnedInBytes
+	}
+	reserve := 2*p.TotalWeightBytes + pinned
+	budget := usable - reserve
+	budget -= unit.Bytes(float64(budget) * headroom)
+	if budget <= 0 {
+		return 0, fmt.Errorf("karma: weights (%v x2) and pinned tensors (%v) exceed device memory %v; use the distributed planner",
+			p.TotalWeightBytes, pinned, usable)
+	}
+	return budget, nil
+}

@@ -1,0 +1,148 @@
+package karma
+
+import (
+	"fmt"
+
+	"karma/internal/hw"
+	"karma/internal/plan"
+	"karma/internal/unit"
+)
+
+// BuildPlan lowers a schedule to the stage IR of Algorithm 1.
+//
+// Forward phase (Fig. 2b/c): F_b stages in order; a swapped block's
+// swap-out launches with the next block's forward ("F_{b+1}||Sout_b"); a
+// recomputed block's activations are dropped once the next forward has
+// consumed its boundary.
+//
+// Backward phase: the last blocks are resident, so B starts immediately
+// at the forward→backward transition (the capacity-based strategy's
+// advantage over the eager vDNN schedule, §III-E2). All swap-ins launch
+// at the first backward stage in consumption order; the H2D stream's FIFO
+// plus the simulator's capacity gating yield exactly the "keep swapping
+// in while space allows" behaviour. Recomputes interleave on the compute
+// stream right before their backward (§III-F).
+func BuildPlan(s *Schedule) (*plan.Plan, error) {
+	k := len(s.Blocks)
+	if k == 0 {
+		return nil, fmt.Errorf("karma: empty schedule")
+	}
+	for i, b := range s.Blocks {
+		if b.Policy == Recompute && i == k-1 {
+			return nil, fmt.Errorf("karma: last block cannot be recomputed (it is resident by construction)")
+		}
+		if i >= s.Resident && b.Policy != Keep {
+			return nil, fmt.Errorf("karma: resident block %d has policy %v", i, b.Policy)
+		}
+		if i < s.Resident && b.Policy == Keep {
+			return nil, fmt.Errorf("karma: non-resident block %d has policy keep", i)
+		}
+	}
+
+	p := &plan.Plan{Name: "karma/" + s.Profile.Graph.Name(), NumBlocks: k}
+	swapBW := hw.SwapThroughput(s.Profile.Node)
+	lat := s.Profile.Node.Link.Latency
+	// Swapped blocks move only their heavy-layer activations; the cheap
+	// remainder is rematerialized locally during backward (the
+	// cost-driven version of SuperNeurons' layer-type split).
+	heavyMove := func(b int) unit.Seconds {
+		return unit.TransferTime(s.Blocks[b].Cost.HeavyActBytes, swapBW, lat)
+	}
+
+	// Forward phase.
+	for b := 0; b < k; b++ {
+		st := plan.Stage{}
+		fwd := plan.Op{
+			Kind: plan.Fwd, Block: b,
+			Duration: s.Blocks[b].Cost.FwdTime,
+			Alloc:    s.Blocks[b].Payload(),
+		}
+		// A recomputed predecessor's activations are dropped when this
+		// forward completes; a checkpointed block keeps its boundary
+		// resident for the run that will replay from it.
+		if b > 0 && s.Blocks[b-1].Policy == Recompute {
+			drop := s.Blocks[b-1].Payload()
+			if s.Blocks[b-1].Ckpt {
+				drop -= s.Blocks[b-1].Cost.OutBytes
+			}
+			fwd.Free += drop
+		}
+		st.Ops = append(st.Ops, fwd)
+		if b > 0 && s.Blocks[b-1].Policy == Swap {
+			st.Ops = append(st.Ops, plan.Op{
+				Kind: plan.SwapOut, Block: b - 1,
+				Duration: heavyMove(b - 1),
+				Free:     s.Blocks[b-1].Payload(),
+			})
+		}
+		p.Stages = append(p.Stages, st)
+	}
+
+	// Backward phase. First stage: B_{k-1} plus every swap-in, queued in
+	// consumption order (highest block first).
+	first := plan.Stage{Ops: []plan.Op{{
+		Kind: plan.Bwd, Block: k - 1,
+		Duration: s.Blocks[k-1].Cost.BwdTime,
+		Free:     s.Blocks[k-1].Payload(),
+	}}}
+	for b := k - 2; b >= 0; b-- {
+		if s.Blocks[b].Policy == Swap {
+			first.Ops = append(first.Ops, plan.Op{
+				Kind: plan.SwapIn, Block: b,
+				Duration: heavyMove(b),
+				Alloc:    s.Blocks[b].Cost.HeavyActBytes,
+			})
+		}
+	}
+	p.Stages = append(p.Stages, first)
+
+	for b := k - 2; b >= 0; b-- {
+		if s.Blocks[b].Policy == Recompute && !runContinues(s, b) {
+			// b ends a recompute run: replay the whole run in forward
+			// order from its boundary — a resident checkpoint, a swapped
+			// predecessor's prefetched activations, or the model input —
+			// so one boundary serves all blocks of the run (§III-F).
+			start := b
+			for start > 0 && recomputed(s, start-1) && !s.Blocks[start-1].Ckpt {
+				start--
+			}
+			for rb := start; rb <= b; rb++ {
+				op := plan.Op{
+					Kind: plan.Recompute, Block: rb,
+					Duration: s.Blocks[rb].Cost.FwdTime,
+					Alloc:    s.Blocks[rb].Payload(),
+				}
+				if rb == start && start > 0 && s.Blocks[start-1].Ckpt {
+					// The replay consumes the checkpoint boundary.
+					op.Free = s.Blocks[start-1].Cost.OutBytes
+				}
+				p.Stages = append(p.Stages, plan.Stage{Ops: []plan.Op{op}})
+			}
+		}
+		bwd := plan.Op{
+			Kind: plan.Bwd, Block: b,
+			Duration: s.Blocks[b].Cost.BwdTime,
+			Free:     s.Blocks[b].Payload(),
+		}
+		if s.Blocks[b].Policy == Swap {
+			// Rematerialize the cheap (unswapped) activations in line
+			// with the backward pass.
+			bwd.Duration += s.Blocks[b].Cost.CheapFwdTime
+			bwd.Alloc = s.Blocks[b].Payload() - s.Blocks[b].Cost.HeavyActBytes
+		}
+		p.Stages = append(p.Stages, plan.Stage{Ops: []plan.Op{bwd}})
+	}
+	return p, nil
+}
+
+// recomputed reports whether block i exists and recomputes.
+func recomputed(s *Schedule, i int) bool {
+	return i >= 0 && i < len(s.Blocks) && s.Blocks[i].Policy == Recompute
+}
+
+// runContinues reports whether block i's recompute run extends to block
+// i+1 (i.e. i is not the run's last block): the next block recomputes and
+// does not replay from a checkpoint placed on block i.
+func runContinues(s *Schedule, i int) bool {
+	return recomputed(s, i+1) && !s.Blocks[i].Ckpt
+}

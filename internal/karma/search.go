@@ -1,0 +1,339 @@
+package karma
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"karma/internal/hw"
+	"karma/internal/occupancy"
+	"karma/internal/profiler"
+	"karma/internal/solve"
+	"karma/internal/unit"
+)
+
+// Plan runs the two-tier optimization of Fig. 4 and returns a complete
+// schedule: Opt-1 groups profiled segments into blocks maximizing
+// occupancy under the memory-capacity constraint; Opt-2 flips blocks from
+// swapping to recomputation where that reduces pipeline stalls
+// (constraint 10.1).
+func Plan(p *profiler.Profile, opts Options) (*Schedule, error) {
+	opts.normalize()
+	budget, err := BudgetFor(p, opts.Headroom)
+	if err != nil {
+		return nil, err
+	}
+	n := len(p.Blocks)
+	if n == 0 {
+		return nil, fmt.Errorf("karma: profile has no blocks")
+	}
+
+	weights := make([]float64, n)
+	for i, b := range p.Blocks {
+		// Partition on payload bytes with a floor so zero-activation
+		// segments still carry positional weight.
+		weights[i] = float64(b.ActBytes) + 1
+	}
+	bw := hw.SwapThroughput(p.Node)
+	eval := func(cuts []int) float64 {
+		return float64(estimateCuts(p, cuts, budget, bw))
+	}
+
+	// Opt-1: enumerate balanced partitions over K, then refine.
+	maxK := opts.MaxBlocks
+	if maxK > n {
+		maxK = n
+	}
+	var bestCuts []int
+	bestV := math.Inf(1)
+	for k := 1; k <= maxK; k++ {
+		cuts, err := solve.BalancedPartition(weights, k)
+		if err != nil {
+			continue
+		}
+		if v := eval(cuts); v < bestV {
+			bestV, bestCuts = v, cuts
+		}
+	}
+	if math.IsInf(bestV, 1) {
+		return nil, fmt.Errorf("karma: no feasible partition: a single segment exceeds the activation budget %v", budget)
+	}
+	switch opts.Solver {
+	case SolverBalanced:
+		bestCuts = solve.HillClimb(bestCuts, n, eval, 6)
+	case SolverACO:
+		if cuts, err := solve.ACOBoundaries(n, len(bestCuts)+1, eval, opts.Seed); err == nil && eval(cuts) < eval(bestCuts) {
+			bestCuts = cuts
+		}
+	default:
+		return nil, fmt.Errorf("karma: unknown solver %d", int(opts.Solver))
+	}
+
+	// Opt-2: jointly search the residency depth and the recompute
+	// interleave over a ladder of blocking granularities. Keeping the
+	// maximal resident suffix is not always optimal — shrinking it frees
+	// budget for recompute checkpoints, trading swap traffic for
+	// redundant compute (constraint 10.1) — and recompute-heavy policies
+	// prefer different granularities than swap-heavy ones, so the final
+	// selection simulates candidates across both dimensions.
+	s, t, err := bestPolicy(p, bestCuts, budget, opts)
+	for _, k := range []int{maxK, maxK * 3 / 4, maxK / 2, maxK / 4, 8, 6, 4, 3, 2} {
+		if k < 2 || k > n || k == len(bestCuts)+1 {
+			continue
+		}
+		cuts, cerr := solve.BalancedPartition(weights, k)
+		if cerr != nil {
+			continue
+		}
+		if s2, t2, err2 := bestPolicy(p, cuts, budget, opts); err2 == nil && (err != nil || t2 < t) {
+			s, t, err = s2, t2, err2
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// bestPolicy enumerates resident-suffix depths; for each depth it applies
+// the greedy constraint-10.1 recompute marking to the non-resident
+// prefix, then picks the schedule with the shortest simulated iteration.
+func bestPolicy(p *profiler.Profile, cuts []int, budget unit.Bytes, opts Options) (*Schedule, unit.Seconds, error) {
+	base := scheduleFromCuts(p, cuts, budget, opts)
+	k := len(base.Blocks)
+	payloads := make([]unit.Bytes, k)
+	for i, b := range base.Blocks {
+		payloads[i] = b.Payload()
+	}
+	maxResident := base.Resident
+
+	var best *Schedule
+	bestTime := unit.Seconds(math.Inf(1))
+	var firstErr error
+	try := func(cand *Schedule) {
+		rep, err := Simulate(cand)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		if rep.IterTime < bestTime {
+			bestTime, best = rep.IterTime, cand
+		}
+	}
+	swapBW := hw.SwapThroughput(p.Node)
+	for r := maxResident; r <= k; r++ {
+		var tail unit.Bytes
+		for i := r; i < k; i++ {
+			tail += payloads[i]
+		}
+		if tail > budget {
+			continue
+		}
+		// Candidate (a): capacity-based swapping with the greedy
+		// constraint-10.1 recompute interleave.
+		cand := scheduleFromCuts(p, cuts, budget, opts)
+		cand.Resident = r
+		for i := range cand.Blocks {
+			if i < r {
+				cand.Blocks[i].Policy = Swap
+			} else {
+				cand.Blocks[i].Policy = Keep
+			}
+		}
+		if !opts.DisableRecompute {
+			markRecompute(cand, budget-tail, swapBW, p.Node.Link.Latency)
+		}
+		try(cand)
+
+		// Candidate (b): checkpointed full recompute of the prefix —
+		// adjacent runs split by resident boundary checkpoints (the
+		// gradient-checkpointing structure, which KARMA's two-tier
+		// optimization subsumes; Fig. 4's search space includes it).
+		if !opts.DisableRecompute && r > 0 && r < k {
+			ck := scheduleFromCuts(p, cuts, budget, opts)
+			ck.Resident = r
+			if checkpointPrefix(ck, r, budget-tail) {
+				try(ck)
+			}
+		}
+	}
+	if best == nil {
+		if firstErr != nil {
+			return nil, 0, firstErr
+		}
+		return nil, 0, fmt.Errorf("karma: no simulable policy for budget %v", budget)
+	}
+	return best, bestTime, nil
+}
+
+// checkpointPrefix marks blocks [0, r) as recompute with greedy run
+// splitting: whenever the running replay working set would exceed half
+// the prefix budget, the previous block gets a checkpoint and a new run
+// starts. It reports whether the construction stayed memory-feasible
+// (checkpoints plus the largest run fit the prefix budget).
+func checkpointPrefix(s *Schedule, r int, prefixBudget unit.Bytes) bool {
+	// No swaps coexist with this candidate's replays, so runs may use
+	// most of the prefix budget (the rest buys checkpoints).
+	runCap := prefixBudget - prefixBudget/4
+	// A checkpoint must land on a block that physically stores its
+	// boundary tensor (ActBytes >= OutBytes); in-place segments alias
+	// their predecessor's buffer and cannot anchor a replay.
+	canAnchor := func(i int) bool {
+		return i > 0 && s.Blocks[i].Cost.ActBytes >= s.Blocks[i].Cost.OutBytes &&
+			s.Blocks[i].Cost.OutBytes > 0
+	}
+	var run unit.Bytes
+	for i := 0; i < r; i++ {
+		s.Blocks[i].Policy = Recompute
+		if run+s.Blocks[i].Payload() > runCap && i > 0 {
+			for j := i - 1; j > 0; j-- {
+				if canAnchor(j) {
+					s.Blocks[j].Ckpt = true
+					break
+				}
+			}
+			run = 0
+		}
+		run += s.Blocks[i].Payload()
+	}
+	for i := r; i < len(s.Blocks); i++ {
+		s.Blocks[i].Policy = Keep
+	}
+	var ckpt unit.Bytes
+	for _, b := range s.Blocks {
+		if b.Ckpt {
+			ckpt += b.Cost.OutBytes
+		}
+	}
+	return ckpt+maxRunBytes(s.Blocks) <= prefixBudget
+}
+
+// markRecompute greedily flips swapped blocks to full recompute in order
+// of the time saved (the heavy-payload transfer avoided minus the extra
+// replay compute beyond the cheap part a partial swap already pays),
+// subject to the memory side condition of constraint 10.1: a recompute
+// run replays wholesale, so no run's working set may exceed half the
+// budget left beside the resident tail. Run boundaries need no extra
+// reserve: each run replays from its predecessor's activations, which are
+// either resident or arrive on the swap-in stream (the compiler emits
+// that dependency).
+func markRecompute(s *Schedule, prefixBudget unit.Bytes, swapBW unit.BytesPerSec, lat unit.Seconds) {
+	type cand struct {
+		idx     int
+		benefit unit.Seconds
+	}
+	var cands []cand
+	for i, b := range s.Blocks {
+		if b.Policy != Swap || i == 0 || i == len(s.Blocks)-1 {
+			continue
+		}
+		move := unit.TransferTime(b.Cost.HeavyActBytes, swapBW, lat)
+		extraReplay := b.Cost.FwdTime - b.Cost.CheapFwdTime
+		if benefit := move - extraReplay; benefit > 0 {
+			cands = append(cands, cand{idx: i, benefit: benefit})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].benefit != cands[b].benefit {
+			return cands[a].benefit > cands[b].benefit
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	runCap := prefixBudget / 2
+	for _, c := range cands {
+		s.Blocks[c.idx].Policy = Recompute
+		if maxRunBytes(s.Blocks) > runCap {
+			s.Blocks[c.idx].Policy = Swap
+		}
+	}
+}
+
+// maxRunBytes returns the largest recompute run's total activation
+// payload; checkpointed blocks end their run.
+func maxRunBytes(blocks []Block) unit.Bytes {
+	var max, cur unit.Bytes
+	for _, b := range blocks {
+		if b.Policy == Recompute {
+			cur += b.Payload()
+			if cur > max {
+				max = cur
+			}
+			if b.Ckpt {
+				cur = 0
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return max
+}
+
+// estimateCuts is the fast analytic objective for Opt-1: the estimated
+// iteration makespan for a candidate partition, assuming every
+// non-resident block swaps (recompute refinement happens later).
+// Infeasible partitions return +Inf.
+func estimateCuts(p *profiler.Profile, cuts []int, budget unit.Bytes, bw unit.BytesPerSec) unit.Seconds {
+	rs := solve.Ranges(cuts, len(p.Blocks))
+	blocks := make([]profiler.Block, len(rs))
+	payloads := make([]unit.Bytes, len(rs))
+	for i, r := range rs {
+		blocks[i] = p.MergeBlocks(r[0], r[1])
+		payloads[i] = blocks[i].ActBytes
+		if payloads[i] > budget {
+			return unit.Seconds(math.Inf(1))
+		}
+	}
+	r := occupancy.ResidentSuffix(payloads, budget)
+
+	// Forward phase: compute serializes; swap-outs of the non-resident
+	// prefix (heavy payloads only) overlap on the D2H stream.
+	var fwd, sout unit.Seconds
+	for i, b := range blocks {
+		fwd += b.FwdTime
+		if i < r {
+			sout += unit.TransferTime(b.HeavyActBytes, bw, 0)
+		}
+	}
+	fwdPhase := fwd
+	if sout > fwdPhase {
+		fwdPhase = sout
+	}
+
+	// Backward phase under the capacity-based policy (Eqs. 3-8):
+	// resident tail processes stall-free while the swapped prefix streams
+	// in FIFO, each swapped block adding its cheap local recompute.
+	seq := make([]occupancy.Block, 0, len(blocks))
+	for i := len(blocks) - 1; i >= 0; i-- {
+		ob := occupancy.Block{Proc: blocks[i].BwdTime}
+		if i < r {
+			ob.Proc += blocks[i].CheapFwdTime
+			ob.Bytes = blocks[i].HeavyActBytes + 1 // +1: keep transfer ordering strict
+		}
+		seq = append(seq, ob)
+	}
+	est := occupancy.Backward(seq, bw)
+	return fwdPhase + est.Total
+}
+
+// scheduleFromCuts materializes a schedule: merged blocks, resident
+// suffix, and Swap policy for the non-resident prefix.
+func scheduleFromCuts(p *profiler.Profile, cuts []int, budget unit.Bytes, opts Options) *Schedule {
+	rs := solve.Ranges(cuts, len(p.Blocks))
+	blocks := make([]Block, len(rs))
+	payloads := make([]unit.Bytes, len(rs))
+	for i, r := range rs {
+		blocks[i] = Block{Range: [2]int{r[0], r[1]}, Cost: p.MergeBlocks(r[0], r[1])}
+		payloads[i] = blocks[i].Payload()
+	}
+	resident := occupancy.ResidentSuffix(payloads, budget)
+	for i := range blocks {
+		if i < resident {
+			blocks[i].Policy = Swap
+		} else {
+			blocks[i].Policy = Keep
+		}
+	}
+	return &Schedule{Profile: p, Opts: opts, Blocks: blocks, Resident: resident, Budget: budget}
+}

@@ -1,0 +1,61 @@
+package layer
+
+import (
+	"fmt"
+
+	"karma/internal/tensor"
+)
+
+// Custom is a user-defined layer for operators outside the built-in
+// taxonomy — the extension point §III-C promises ("our performance model
+// is generic: it allows adding new layers, if required"). The caller
+// provides the shape rule and cost functions; everything downstream
+// (profiler, planner, simulator) works unchanged.
+type Custom struct {
+	LayerName string
+	// Infer computes the output shape; required.
+	Infer func(in []tensor.Shape) (tensor.Shape, error)
+	// FLOPs returns forward operations per sample; required.
+	FLOPs func(in []tensor.Shape, out tensor.Shape) int64
+	// Backward is the backward/forward work ratio (default 1.0).
+	Backward float64
+	// Params returns the trainable parameter count (default 0).
+	Params func(in []tensor.Shape) int64
+}
+
+// Name implements Layer.
+func (l *Custom) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Custom) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if l.Infer == nil {
+		return nil, fmt.Errorf("layer %s: custom layer without an Infer rule", l.LayerName)
+	}
+	return l.Infer(in)
+}
+
+// FwdFLOPs implements Layer.
+func (l *Custom) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	if l.FLOPs == nil {
+		panic(fmt.Sprintf("layer %s: custom layer without a FLOPs rule", l.LayerName))
+	}
+	return l.FLOPs(in, out)
+}
+
+// BwdFactor implements Layer.
+func (l *Custom) BwdFactor() float64 {
+	if l.Backward <= 0 {
+		return 1.0
+	}
+	return l.Backward
+}
+
+// ParamCount implements Layer.
+func (l *Custom) ParamCount(in []tensor.Shape) int64 {
+	if l.Params == nil {
+		return 0
+	}
+	return l.Params(in)
+}
+
+var _ Layer = (*Custom)(nil)

@@ -1,0 +1,705 @@
+// Package layer defines the layer taxonomy and the analytic compute/memory
+// cost model of paper §III-C. Each layer reports, per sample:
+//
+//   - its output shape given input shape(s) (shape inference),
+//   - forward FLOPs using the operation counts of §III-C,
+//   - a backward-to-forward work factor,
+//   - its trainable parameter count.
+//
+// The planner uses these as the compute proxy ("the aggregate number of
+// arithmetic operations for all layers in the block") and the profiler
+// turns shapes into byte footprints.
+package layer
+
+import (
+	"fmt"
+
+	"karma/internal/tensor"
+)
+
+// Layer is the interface all concrete layers implement.
+//
+// All FLOP counts are per sample; the cost model scales them linearly with
+// the mini-batch size, which the paper's formulas also do (the only
+// sub-linear term, batch-norm's 3·|B|, is negligible and folded in).
+type Layer interface {
+	// Name returns the human-readable layer name (unique within a model).
+	Name() string
+	// InferShape returns the per-sample output shape for the given
+	// per-sample input shapes, or an error when arity or extents are
+	// incompatible.
+	InferShape(in []tensor.Shape) (tensor.Shape, error)
+	// FwdFLOPs returns forward-pass operations per sample, given the
+	// already-inferred input and output shapes.
+	FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64
+	// BwdFactor returns the backward/forward work ratio. Layers with
+	// trainable weights need two products in backward (grad-input and
+	// grad-weight) and use 2.0; element-wise layers use 1.0.
+	BwdFactor() float64
+	// ParamCount returns the number of trainable parameters.
+	ParamCount(in []tensor.Shape) int64
+}
+
+// arity checks the expected number of inputs.
+func arity(name string, in []tensor.Shape, want int) error {
+	if len(in) != want {
+		return fmt.Errorf("layer %s: got %d inputs, want %d", name, len(in), want)
+	}
+	return nil
+}
+
+// convOut computes one spatial output extent.
+func convOut(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+// ---------------------------------------------------------------------------
+// Input
+// ---------------------------------------------------------------------------
+
+// Input is the source pseudo-layer carrying the per-sample input shape.
+type Input struct {
+	LayerName string
+	Shape     tensor.Shape
+}
+
+// Name implements Layer.
+func (l *Input) Name() string { return l.LayerName }
+
+// InferShape implements Layer; the input layer takes no inputs.
+func (l *Input) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 0); err != nil {
+		return nil, err
+	}
+	return l.Shape.Clone(), nil
+}
+
+// FwdFLOPs implements Layer; producing the input is free.
+func (l *Input) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 { return 0 }
+
+// BwdFactor implements Layer.
+func (l *Input) BwdFactor() float64 { return 0 }
+
+// ParamCount implements Layer.
+func (l *Input) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Conv2D
+// ---------------------------------------------------------------------------
+
+// Conv2D is a 2-D convolution over CHW inputs.
+// §III-C.1: operations = |Y|·K·K·C_in  (one fused multiply-add per tap).
+type Conv2D struct {
+	LayerName      string
+	OutChannels    int
+	K, Stride, Pad int
+	// Bias adds C_out parameters when true (ResNet convs have no bias).
+	Bias bool
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Conv2D) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if s.Rank() != 3 {
+		return nil, fmt.Errorf("layer %s: conv2d wants CHW input, got %v", l.LayerName, s)
+	}
+	h := convOut(s[1], l.K, l.Stride, l.Pad)
+	w := convOut(s[2], l.K, l.Stride, l.Pad)
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("layer %s: conv2d output collapses to %dx%d", l.LayerName, h, w)
+	}
+	return tensor.CHW(l.OutChannels, h, w), nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *Conv2D) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	cin := int64(in[0][0])
+	return out.Elems() * int64(l.K) * int64(l.K) * cin
+}
+
+// BwdFactor implements Layer: grad-input plus grad-weight.
+func (l *Conv2D) BwdFactor() float64 { return 2.0 }
+
+// ParamCount implements Layer.
+func (l *Conv2D) ParamCount(in []tensor.Shape) int64 {
+	cin := int64(in[0][0])
+	n := int64(l.K) * int64(l.K) * cin * int64(l.OutChannels)
+	if l.Bias {
+		n += int64(l.OutChannels)
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Deconv2D (transposed convolution, U-Net expansive path)
+// ---------------------------------------------------------------------------
+
+// Deconv2D is a stride-S transposed convolution that upsamples by S.
+type Deconv2D struct {
+	LayerName   string
+	OutChannels int
+	K, Stride   int
+}
+
+// Name implements Layer.
+func (l *Deconv2D) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Deconv2D) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if s.Rank() != 3 {
+		return nil, fmt.Errorf("layer %s: deconv2d wants CHW input, got %v", l.LayerName, s)
+	}
+	return tensor.CHW(l.OutChannels, s[1]*l.Stride, s[2]*l.Stride), nil
+}
+
+// FwdFLOPs implements Layer: same tap count as the matching convolution.
+func (l *Deconv2D) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	cin := int64(in[0][0])
+	return out.Elems() * int64(l.K) * int64(l.K) * cin / int64(l.Stride*l.Stride)
+}
+
+// BwdFactor implements Layer.
+func (l *Deconv2D) BwdFactor() float64 { return 2.0 }
+
+// ParamCount implements Layer.
+func (l *Deconv2D) ParamCount(in []tensor.Shape) int64 {
+	cin := int64(in[0][0])
+	return int64(l.K) * int64(l.K) * cin * int64(l.OutChannels)
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise activations
+// ---------------------------------------------------------------------------
+
+// ReLU applies y = max(0, x). §III-C.2: |Y| comparison operations.
+type ReLU struct{ LayerName string }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *ReLU) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	return in[0].Clone(), nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *ReLU) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 { return out.Elems() }
+
+// BwdFactor implements Layer.
+func (l *ReLU) BwdFactor() float64 { return 1.0 }
+
+// ParamCount implements Layer.
+func (l *ReLU) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// GELU applies the Gaussian error linear unit (Transformer FFNs).
+// The tanh approximation costs roughly 8 ops per element.
+type GELU struct{ LayerName string }
+
+// Name implements Layer.
+func (l *GELU) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *GELU) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	return in[0].Clone(), nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *GELU) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 { return 8 * out.Elems() }
+
+// BwdFactor implements Layer.
+func (l *GELU) BwdFactor() float64 { return 1.0 }
+
+// ParamCount implements Layer.
+func (l *GELU) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// Dropout zeroes a fraction of activations during training.
+type Dropout struct {
+	LayerName string
+	P         float64
+}
+
+// Name implements Layer.
+func (l *Dropout) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Dropout) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	return in[0].Clone(), nil
+}
+
+// FwdFLOPs implements Layer: one mask multiply per element.
+func (l *Dropout) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 { return out.Elems() }
+
+// BwdFactor implements Layer.
+func (l *Dropout) BwdFactor() float64 { return 1.0 }
+
+// ParamCount implements Layer.
+func (l *Dropout) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------------
+
+// PoolKind selects the pooling reduction.
+type PoolKind int
+
+// Pooling reductions.
+const (
+	MaxPool PoolKind = iota
+	AvgPool
+)
+
+// Pool2D reduces spatial extent. §III-C.3: |Y|·K·K·c operations with the
+// multiplier c adjusted to the pooling type.
+type Pool2D struct {
+	LayerName string
+	Kind      PoolKind
+	K, Stride int
+}
+
+// Name implements Layer.
+func (l *Pool2D) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Pool2D) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if s.Rank() != 3 {
+		return nil, fmt.Errorf("layer %s: pool2d wants CHW input, got %v", l.LayerName, s)
+	}
+	h := convOut(s[1], l.K, l.Stride, 0)
+	w := convOut(s[2], l.K, l.Stride, 0)
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("layer %s: pool2d output collapses to %dx%d", l.LayerName, h, w)
+	}
+	return tensor.CHW(s[0], h, w), nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *Pool2D) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	c := int64(1) // max: one comparison per tap
+	if l.Kind == AvgPool {
+		c = 1 // avg: one add per tap (final divide amortizes to ~0)
+	}
+	return out.Elems() * int64(l.K) * int64(l.K) * c
+}
+
+// BwdFactor implements Layer.
+func (l *Pool2D) BwdFactor() float64 { return 1.0 }
+
+// ParamCount implements Layer.
+func (l *Pool2D) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// GlobalAvgPool collapses H and W to 1.
+type GlobalAvgPool struct{ LayerName string }
+
+// Name implements Layer.
+func (l *GlobalAvgPool) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *GlobalAvgPool) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if s.Rank() != 3 {
+		return nil, fmt.Errorf("layer %s: global pool wants CHW input, got %v", l.LayerName, s)
+	}
+	return tensor.Vec(s[0]), nil
+}
+
+// FwdFLOPs implements Layer: one add per input element.
+func (l *GlobalAvgPool) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	return in[0].Elems()
+}
+
+// BwdFactor implements Layer.
+func (l *GlobalAvgPool) BwdFactor() float64 { return 1.0 }
+
+// ParamCount implements Layer.
+func (l *GlobalAvgPool) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Normalization
+// ---------------------------------------------------------------------------
+
+// BatchNorm normalizes per channel across the batch.
+// §III-C.4: 3·|B| + 4·|X| + 2·|Y| ≈ 6·|X| per sample.
+type BatchNorm struct{ LayerName string }
+
+// Name implements Layer.
+func (l *BatchNorm) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *BatchNorm) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	return in[0].Clone(), nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *BatchNorm) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	return 6 * out.Elems()
+}
+
+// BwdFactor implements Layer.
+func (l *BatchNorm) BwdFactor() float64 { return 1.5 }
+
+// ParamCount implements Layer: scale and shift per channel.
+func (l *BatchNorm) ParamCount(in []tensor.Shape) int64 { return 2 * int64(in[0][0]) }
+
+// LayerNorm normalizes over the feature dimension (Transformers).
+type LayerNorm struct{ LayerName string }
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *LayerNorm) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	return in[0].Clone(), nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *LayerNorm) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	return 8 * out.Elems()
+}
+
+// BwdFactor implements Layer.
+func (l *LayerNorm) BwdFactor() float64 { return 1.5 }
+
+// ParamCount implements Layer: gain and bias over the last dimension.
+func (l *LayerNorm) ParamCount(in []tensor.Shape) int64 {
+	s := in[0]
+	return 2 * int64(s[s.Rank()-1])
+}
+
+// ---------------------------------------------------------------------------
+// Dense / classifier heads
+// ---------------------------------------------------------------------------
+
+// Flatten reshapes any input to a vector.
+type Flatten struct{ LayerName string }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Flatten) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	return tensor.Vec(int(in[0].Elems())), nil
+}
+
+// FwdFLOPs implements Layer: a reshape moves no data in practice.
+func (l *Flatten) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 { return 0 }
+
+// BwdFactor implements Layer.
+func (l *Flatten) BwdFactor() float64 { return 0 }
+
+// ParamCount implements Layer.
+func (l *Flatten) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// Dense is a fully-connected layer.
+// §III-C.7: operations = |W| = |X|·|Y|.
+type Dense struct {
+	LayerName   string
+	OutFeatures int
+}
+
+// Name implements Layer.
+func (l *Dense) Name() string { return l.LayerName }
+
+// InferShape implements Layer. A rank-2 input {seq, features} keeps its
+// sequence dimension (Transformer position-wise application).
+func (l *Dense) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	switch s := in[0]; s.Rank() {
+	case 1:
+		return tensor.Vec(l.OutFeatures), nil
+	case 2:
+		return tensor.Shape{s[0], l.OutFeatures}, nil
+	default:
+		return nil, fmt.Errorf("layer %s: dense wants rank-1/2 input, got %v", l.LayerName, s)
+	}
+}
+
+// FwdFLOPs implements Layer.
+func (l *Dense) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	s := in[0]
+	feat := int64(s[s.Rank()-1])
+	return out.Elems() * feat
+}
+
+// BwdFactor implements Layer.
+func (l *Dense) BwdFactor() float64 { return 2.0 }
+
+// ParamCount implements Layer.
+func (l *Dense) ParamCount(in []tensor.Shape) int64 {
+	s := in[0]
+	feat := int64(s[s.Rank()-1])
+	return feat*int64(l.OutFeatures) + int64(l.OutFeatures)
+}
+
+// Softmax normalizes to a probability distribution.
+// §III-C.8: 2·|X| operations.
+type Softmax struct{ LayerName string }
+
+// Name implements Layer.
+func (l *Softmax) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Softmax) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	return in[0].Clone(), nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *Softmax) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	return 2 * out.Elems()
+}
+
+// BwdFactor implements Layer.
+func (l *Softmax) BwdFactor() float64 { return 1.0 }
+
+// ParamCount implements Layer.
+func (l *Softmax) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Merge layers (residuals, skip connections)
+// ---------------------------------------------------------------------------
+
+// Add sums its inputs element-wise (residual connections).
+type Add struct{ LayerName string }
+
+// Name implements Layer.
+func (l *Add) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Add) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("layer %s: add wants >=2 inputs, got %d", l.LayerName, len(in))
+	}
+	for _, s := range in[1:] {
+		if !s.Equal(in[0]) {
+			return nil, fmt.Errorf("layer %s: add shape mismatch %v vs %v", l.LayerName, in[0], s)
+		}
+	}
+	return in[0].Clone(), nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *Add) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	return int64(len(in)-1) * out.Elems()
+}
+
+// BwdFactor implements Layer.
+func (l *Add) BwdFactor() float64 { return 1.0 }
+
+// ParamCount implements Layer.
+func (l *Add) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// Concat concatenates along the channel dimension (U-Net skip connections).
+type Concat struct{ LayerName string }
+
+// Name implements Layer.
+func (l *Concat) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Concat) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("layer %s: concat wants >=2 inputs, got %d", l.LayerName, len(in))
+	}
+	c := 0
+	for _, s := range in {
+		if s.Rank() != 3 {
+			return nil, fmt.Errorf("layer %s: concat wants CHW inputs, got %v", l.LayerName, s)
+		}
+		if s[1] != in[0][1] || s[2] != in[0][2] {
+			return nil, fmt.Errorf("layer %s: concat spatial mismatch %v vs %v", l.LayerName, in[0], s)
+		}
+		c += s[0]
+	}
+	return tensor.CHW(c, in[0][1], in[0][2]), nil
+}
+
+// FwdFLOPs implements Layer: a pure copy, counted as one op per element.
+func (l *Concat) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 { return out.Elems() }
+
+// BwdFactor implements Layer.
+func (l *Concat) BwdFactor() float64 { return 1.0 }
+
+// ParamCount implements Layer.
+func (l *Concat) ParamCount(in []tensor.Shape) int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Sequence layers
+// ---------------------------------------------------------------------------
+
+// Embedding maps token ids to vectors. Input shape is {seq} (ids); output
+// is {seq, dim}.
+type Embedding struct {
+	LayerName string
+	Vocab     int
+	Dim       int
+}
+
+// Name implements Layer.
+func (l *Embedding) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *Embedding) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if s.Rank() != 1 {
+		return nil, fmt.Errorf("layer %s: embedding wants {seq} input, got %v", l.LayerName, s)
+	}
+	return tensor.Shape{s[0], l.Dim}, nil
+}
+
+// FwdFLOPs implements Layer: a gather, one op per output element.
+func (l *Embedding) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 { return out.Elems() }
+
+// BwdFactor implements Layer.
+func (l *Embedding) BwdFactor() float64 { return 1.0 }
+
+// ParamCount implements Layer.
+func (l *Embedding) ParamCount(in []tensor.Shape) int64 {
+	return int64(l.Vocab) * int64(l.Dim)
+}
+
+// LSTM is a recurrent layer over a {seq, features} input.
+// §III-C.5: the gate combination costs 20·|Y|; the dominating cost is the
+// four gate products 4·(in+hidden)·hidden per step.
+type LSTM struct {
+	LayerName string
+	Hidden    int
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *LSTM) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if s.Rank() != 2 {
+		return nil, fmt.Errorf("layer %s: lstm wants {seq,features} input, got %v", l.LayerName, s)
+	}
+	return tensor.Shape{s[0], l.Hidden}, nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *LSTM) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	seq := int64(in[0][0])
+	inF := int64(in[0][1])
+	h := int64(l.Hidden)
+	perStep := 4*(inF+h)*h + 20*h
+	return seq * perStep
+}
+
+// BwdFactor implements Layer.
+func (l *LSTM) BwdFactor() float64 { return 2.0 }
+
+// ParamCount implements Layer.
+func (l *LSTM) ParamCount(in []tensor.Shape) int64 {
+	inF := int64(in[0][1])
+	h := int64(l.Hidden)
+	return 4 * ((inF+h)*h + h)
+}
+
+// SelfAttention is multi-head scaled dot-product attention over a
+// {seq, dim} input (§III-C.6). Cost uses the standard decomposition:
+// QKV and output projections 4·S·d² plus score/value products 2·S²·d.
+type SelfAttention struct {
+	LayerName string
+	Heads     int
+}
+
+// Name implements Layer.
+func (l *SelfAttention) Name() string { return l.LayerName }
+
+// InferShape implements Layer.
+func (l *SelfAttention) InferShape(in []tensor.Shape) (tensor.Shape, error) {
+	if err := arity(l.LayerName, in, 1); err != nil {
+		return nil, err
+	}
+	s := in[0]
+	if s.Rank() != 2 {
+		return nil, fmt.Errorf("layer %s: attention wants {seq,dim} input, got %v", l.LayerName, s)
+	}
+	if l.Heads <= 0 || s[1]%l.Heads != 0 {
+		return nil, fmt.Errorf("layer %s: dim %d not divisible by %d heads", l.LayerName, s[1], l.Heads)
+	}
+	return s.Clone(), nil
+}
+
+// FwdFLOPs implements Layer.
+func (l *SelfAttention) FwdFLOPs(in []tensor.Shape, out tensor.Shape) int64 {
+	seq := int64(in[0][0])
+	d := int64(in[0][1])
+	return 4*seq*d*d + 2*seq*seq*d
+}
+
+// BwdFactor implements Layer.
+func (l *SelfAttention) BwdFactor() float64 { return 2.0 }
+
+// ParamCount implements Layer: W_q, W_k, W_v, W_o plus biases.
+func (l *SelfAttention) ParamCount(in []tensor.Shape) int64 {
+	d := int64(in[0][1])
+	return 4*d*d + 4*d
+}
+
+// Compile-time interface checks.
+var (
+	_ Layer = (*Input)(nil)
+	_ Layer = (*Conv2D)(nil)
+	_ Layer = (*Deconv2D)(nil)
+	_ Layer = (*ReLU)(nil)
+	_ Layer = (*GELU)(nil)
+	_ Layer = (*Dropout)(nil)
+	_ Layer = (*Pool2D)(nil)
+	_ Layer = (*GlobalAvgPool)(nil)
+	_ Layer = (*BatchNorm)(nil)
+	_ Layer = (*LayerNorm)(nil)
+	_ Layer = (*Flatten)(nil)
+	_ Layer = (*Dense)(nil)
+	_ Layer = (*Softmax)(nil)
+	_ Layer = (*Add)(nil)
+	_ Layer = (*Concat)(nil)
+	_ Layer = (*Embedding)(nil)
+	_ Layer = (*LSTM)(nil)
+	_ Layer = (*SelfAttention)(nil)
+)

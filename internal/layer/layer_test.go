@@ -1,0 +1,464 @@
+package layer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"karma/internal/tensor"
+)
+
+func mustInfer(t *testing.T, l Layer, in ...tensor.Shape) tensor.Shape {
+	t.Helper()
+	out, err := l.InferShape(in)
+	if err != nil {
+		t.Fatalf("%s: InferShape: %v", l.Name(), err)
+	}
+	return out
+}
+
+func TestInput(t *testing.T) {
+	l := &Input{LayerName: "in", Shape: tensor.CHW(3, 224, 224)}
+	out := mustInfer(t, l)
+	if !out.Equal(tensor.CHW(3, 224, 224)) {
+		t.Errorf("out = %v", out)
+	}
+	if l.FwdFLOPs(nil, out) != 0 || l.ParamCount(nil) != 0 {
+		t.Error("input layer must be free")
+	}
+	if _, err := l.InferShape([]tensor.Shape{tensor.Vec(1)}); err == nil {
+		t.Error("input with an input should error")
+	}
+}
+
+func TestConv2DShape(t *testing.T) {
+	// ResNet stem: 7x7/2 conv with pad 3 on 224x224 -> 112x112.
+	l := &Conv2D{LayerName: "conv1", OutChannels: 64, K: 7, Stride: 2, Pad: 3}
+	out := mustInfer(t, l, tensor.CHW(3, 224, 224))
+	if !out.Equal(tensor.CHW(64, 112, 112)) {
+		t.Errorf("out = %v, want 64x112x112", out)
+	}
+}
+
+func TestConv2DFLOPs(t *testing.T) {
+	// Paper §III-C.1: |Y|·K·K·C_in.
+	l := &Conv2D{LayerName: "c", OutChannels: 64, K: 3, Stride: 1, Pad: 1}
+	in := tensor.CHW(32, 8, 8)
+	out := mustInfer(t, l, in)
+	want := int64(64*8*8) * 3 * 3 * 32
+	if got := l.FwdFLOPs([]tensor.Shape{in}, out); got != want {
+		t.Errorf("FwdFLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestConv2DParams(t *testing.T) {
+	l := &Conv2D{LayerName: "c", OutChannels: 64, K: 3}
+	in := []tensor.Shape{tensor.CHW(32, 8, 8)}
+	if got := l.ParamCount(in); got != 3*3*32*64 {
+		t.Errorf("params = %d", got)
+	}
+	l.Bias = true
+	if got := l.ParamCount(in); got != 3*3*32*64+64 {
+		t.Errorf("params with bias = %d", got)
+	}
+}
+
+func TestConv2DErrors(t *testing.T) {
+	l := &Conv2D{LayerName: "c", OutChannels: 8, K: 7, Stride: 1, Pad: 0}
+	if _, err := l.InferShape([]tensor.Shape{tensor.Vec(10)}); err == nil {
+		t.Error("non-CHW input should error")
+	}
+	if _, err := l.InferShape([]tensor.Shape{tensor.CHW(3, 4, 4)}); err == nil {
+		t.Error("kernel larger than input should error")
+	}
+	if _, err := l.InferShape(nil); err == nil {
+		t.Error("missing input should error")
+	}
+}
+
+func TestDeconv2D(t *testing.T) {
+	l := &Deconv2D{LayerName: "up", OutChannels: 64, K: 2, Stride: 2}
+	out := mustInfer(t, l, tensor.CHW(128, 28, 28))
+	if !out.Equal(tensor.CHW(64, 56, 56)) {
+		t.Errorf("out = %v, want 64x56x56", out)
+	}
+	if l.ParamCount([]tensor.Shape{tensor.CHW(128, 28, 28)}) != 2*2*128*64 {
+		t.Error("deconv params wrong")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	l := &ReLU{LayerName: "r"}
+	in := tensor.CHW(64, 56, 56)
+	out := mustInfer(t, l, in)
+	// §III-C.2: |Y| comparisons.
+	if got := l.FwdFLOPs([]tensor.Shape{in}, out); got != in.Elems() {
+		t.Errorf("relu FLOPs = %d, want %d", got, in.Elems())
+	}
+}
+
+func TestPool2D(t *testing.T) {
+	l := &Pool2D{LayerName: "p", Kind: MaxPool, K: 2, Stride: 2}
+	out := mustInfer(t, l, tensor.CHW(64, 56, 56))
+	if !out.Equal(tensor.CHW(64, 28, 28)) {
+		t.Errorf("out = %v", out)
+	}
+	want := int64(64*28*28) * 2 * 2
+	if got := l.FwdFLOPs([]tensor.Shape{tensor.CHW(64, 56, 56)}, out); got != want {
+		t.Errorf("pool FLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	l := &GlobalAvgPool{LayerName: "gap"}
+	out := mustInfer(t, l, tensor.CHW(2048, 7, 7))
+	if !out.Equal(tensor.Vec(2048)) {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	l := &BatchNorm{LayerName: "bn"}
+	in := tensor.CHW(64, 56, 56)
+	out := mustInfer(t, l, in)
+	// ~6 ops per element (§III-C.4).
+	if got := l.FwdFLOPs([]tensor.Shape{in}, out); got != 6*in.Elems() {
+		t.Errorf("bn FLOPs = %d", got)
+	}
+	if got := l.ParamCount([]tensor.Shape{in}); got != 128 {
+		t.Errorf("bn params = %d, want 128", got)
+	}
+}
+
+func TestLayerNorm(t *testing.T) {
+	l := &LayerNorm{LayerName: "ln"}
+	in := tensor.Shape{1024, 3072}
+	out := mustInfer(t, l, in)
+	if !out.Equal(in) {
+		t.Errorf("out = %v", out)
+	}
+	if got := l.ParamCount([]tensor.Shape{in}); got != 2*3072 {
+		t.Errorf("ln params = %d", got)
+	}
+}
+
+func TestDense(t *testing.T) {
+	l := &Dense{LayerName: "fc", OutFeatures: 1000}
+	in := tensor.Vec(2048)
+	out := mustInfer(t, l, in)
+	if !out.Equal(tensor.Vec(1000)) {
+		t.Errorf("out = %v", out)
+	}
+	// §III-C.7: |X|·|Y| operations.
+	if got := l.FwdFLOPs([]tensor.Shape{in}, out); got != 2048*1000 {
+		t.Errorf("dense FLOPs = %d", got)
+	}
+	if got := l.ParamCount([]tensor.Shape{in}); got != 2048*1000+1000 {
+		t.Errorf("dense params = %d", got)
+	}
+}
+
+func TestDensePositionWise(t *testing.T) {
+	l := &Dense{LayerName: "ffn", OutFeatures: 4096}
+	in := tensor.Shape{1024, 1024}
+	out := mustInfer(t, l, in)
+	if !out.Equal(tensor.Shape{1024, 4096}) {
+		t.Errorf("out = %v", out)
+	}
+	if got := l.FwdFLOPs([]tensor.Shape{in}, out); got != int64(1024)*4096*1024 {
+		t.Errorf("position-wise dense FLOPs = %d", got)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	l := &Softmax{LayerName: "sm"}
+	in := tensor.Vec(1000)
+	out := mustInfer(t, l, in)
+	// §III-C.8: 2·|X|.
+	if got := l.FwdFLOPs([]tensor.Shape{in}, out); got != 2000 {
+		t.Errorf("softmax FLOPs = %d", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	l := &Add{LayerName: "add"}
+	s := tensor.CHW(256, 56, 56)
+	out := mustInfer(t, l, s, s)
+	if !out.Equal(s) {
+		t.Errorf("out = %v", out)
+	}
+	if _, err := l.InferShape([]tensor.Shape{s}); err == nil {
+		t.Error("single-input add should error")
+	}
+	if _, err := l.InferShape([]tensor.Shape{s, tensor.CHW(1, 2, 3)}); err == nil {
+		t.Error("mismatched add should error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	l := &Concat{LayerName: "cat"}
+	a := tensor.CHW(64, 56, 56)
+	b := tensor.CHW(128, 56, 56)
+	out := mustInfer(t, l, a, b)
+	if !out.Equal(tensor.CHW(192, 56, 56)) {
+		t.Errorf("out = %v", out)
+	}
+	if _, err := l.InferShape([]tensor.Shape{a, tensor.CHW(64, 28, 28)}); err == nil {
+		t.Error("spatial mismatch should error")
+	}
+}
+
+func TestEmbedding(t *testing.T) {
+	l := &Embedding{LayerName: "emb", Vocab: 50257, Dim: 3072}
+	out := mustInfer(t, l, tensor.Vec(1024))
+	if !out.Equal(tensor.Shape{1024, 3072}) {
+		t.Errorf("out = %v", out)
+	}
+	if got := l.ParamCount([]tensor.Shape{tensor.Vec(1024)}); got != 50257*3072 {
+		t.Errorf("embedding params = %d", got)
+	}
+}
+
+func TestLSTM(t *testing.T) {
+	l := &LSTM{LayerName: "lstm", Hidden: 512}
+	in := tensor.Shape{100, 256}
+	out := mustInfer(t, l, in)
+	if !out.Equal(tensor.Shape{100, 512}) {
+		t.Errorf("out = %v", out)
+	}
+	// §III-C.5: per-step 4·(in+h)·h gate products + 20·h combination.
+	want := int64(100) * (4*(256+512)*512 + 20*512)
+	if got := l.FwdFLOPs([]tensor.Shape{in}, out); got != want {
+		t.Errorf("lstm FLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestSelfAttention(t *testing.T) {
+	l := &SelfAttention{LayerName: "attn", Heads: 16}
+	in := tensor.Shape{1024, 1536}
+	out := mustInfer(t, l, in)
+	if !out.Equal(in) {
+		t.Errorf("out = %v", out)
+	}
+	want := 4*int64(1024)*1536*1536 + 2*int64(1024)*1024*1536
+	if got := l.FwdFLOPs([]tensor.Shape{in}, out); got != want {
+		t.Errorf("attention FLOPs = %d, want %d", got, want)
+	}
+	if _, err := l.InferShape([]tensor.Shape{{1024, 1537}}); err == nil {
+		t.Error("non-divisible heads should error")
+	}
+}
+
+func TestBwdFactors(t *testing.T) {
+	in3 := []tensor.Shape{tensor.CHW(8, 8, 8)}
+	weighted := []Layer{
+		&Conv2D{LayerName: "c", OutChannels: 8, K: 3, Pad: 1, Stride: 1},
+		&Dense{LayerName: "d", OutFeatures: 10},
+		&SelfAttention{LayerName: "a", Heads: 2},
+		&LSTM{LayerName: "l", Hidden: 8},
+	}
+	for _, l := range weighted {
+		if l.BwdFactor() != 2.0 {
+			t.Errorf("%s: BwdFactor = %v, want 2.0", l.Name(), l.BwdFactor())
+		}
+	}
+	free := []Layer{&ReLU{LayerName: "r"}, &Softmax{LayerName: "s"}, &Add{LayerName: "+"}}
+	for _, l := range free {
+		if l.BwdFactor() != 1.0 {
+			t.Errorf("%s: BwdFactor = %v, want 1.0", l.Name(), l.BwdFactor())
+		}
+	}
+	_ = in3
+}
+
+// Property: conv output spatial extent never exceeds the padded input.
+func TestConvOutputBounded(t *testing.T) {
+	f := func(hw, k, st, pad uint8) bool {
+		h := int(hw)%64 + 8
+		kk := int(k)%5 + 1
+		s := int(st)%3 + 1
+		p := int(pad) % 3
+		l := &Conv2D{LayerName: "c", OutChannels: 4, K: kk, Stride: s, Pad: p}
+		out, err := l.InferShape([]tensor.Shape{tensor.CHW(3, h, h)})
+		if err != nil {
+			return true // collapse rejected is fine
+		}
+		return out[1] <= h+2*p && out[2] <= h+2*p && out[1] > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FLOPs are non-negative for every layer on valid shapes.
+func TestFLOPsNonNegative(t *testing.T) {
+	f := func(c, h uint8) bool {
+		in := tensor.CHW(int(c)%32+1, int(h)%32+8, int(h)%32+8)
+		layers := []Layer{
+			&Conv2D{LayerName: "c", OutChannels: 8, K: 3, Stride: 1, Pad: 1},
+			&ReLU{LayerName: "r"},
+			&BatchNorm{LayerName: "b"},
+			&Pool2D{LayerName: "p", K: 2, Stride: 2},
+		}
+		for _, l := range layers {
+			out, err := l.InferShape([]tensor.Shape{in})
+			if err != nil {
+				continue
+			}
+			if l.FwdFLOPs([]tensor.Shape{in}, out) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCustomLayer(t *testing.T) {
+	// The §III-C extension point: a user-defined operator participates in
+	// shape inference and costing like any built-in.
+	l := &Custom{
+		LayerName: "fft",
+		Infer: func(in []tensor.Shape) (tensor.Shape, error) {
+			return in[0].Clone(), nil
+		},
+		FLOPs: func(in []tensor.Shape, out tensor.Shape) int64 {
+			return 5 * out.Elems() // ~n log n stand-in
+		},
+		Backward: 2.0,
+		Params:   func(in []tensor.Shape) int64 { return 7 },
+	}
+	in := tensor.Vec(128)
+	out := mustInfer(t, l, in)
+	if !out.Equal(in) {
+		t.Errorf("out = %v", out)
+	}
+	if got := l.FwdFLOPs([]tensor.Shape{in}, out); got != 640 {
+		t.Errorf("FLOPs = %d", got)
+	}
+	if l.BwdFactor() != 2.0 || l.ParamCount([]tensor.Shape{in}) != 7 {
+		t.Error("custom cost hooks not honored")
+	}
+}
+
+func TestCustomLayerDefaults(t *testing.T) {
+	l := &Custom{
+		LayerName: "id",
+		Infer:     func(in []tensor.Shape) (tensor.Shape, error) { return in[0].Clone(), nil },
+		FLOPs:     func(in []tensor.Shape, out tensor.Shape) int64 { return 0 },
+	}
+	if l.BwdFactor() != 1.0 {
+		t.Error("default backward factor should be 1.0")
+	}
+	if l.ParamCount(nil) != 0 {
+		t.Error("default params should be 0")
+	}
+}
+
+func TestCustomLayerMissingRules(t *testing.T) {
+	l := &Custom{LayerName: "bad"}
+	if _, err := l.InferShape([]tensor.Shape{tensor.Vec(1)}); err == nil {
+		t.Error("missing Infer should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("missing FLOPs should panic")
+		}
+	}()
+	l.FwdFLOPs(nil, tensor.Vec(1))
+}
+
+// TestAllLayersContract exercises every layer type against the Layer
+// contract: non-empty name, successful inference on a valid input,
+// non-negative FLOPs and params, a backward factor in [0, 2], and an
+// arity error on wrong input counts.
+func TestAllLayersContract(t *testing.T) {
+	img := tensor.CHW(4, 16, 16)
+	seq := tensor.Shape{32, 64}
+	ids := tensor.Vec(32)
+	vec := tensor.Vec(64)
+	cases := []struct {
+		l  Layer
+		in []tensor.Shape
+	}{
+		{&Conv2D{LayerName: "conv", OutChannels: 8, K: 3, Stride: 1, Pad: 1}, []tensor.Shape{img}},
+		{&Deconv2D{LayerName: "deconv", OutChannels: 2, K: 2, Stride: 2}, []tensor.Shape{img}},
+		{&ReLU{LayerName: "relu"}, []tensor.Shape{img}},
+		{&GELU{LayerName: "gelu"}, []tensor.Shape{seq}},
+		{&Dropout{LayerName: "drop", P: 0.1}, []tensor.Shape{img}},
+		{&Pool2D{LayerName: "max", Kind: MaxPool, K: 2, Stride: 2}, []tensor.Shape{img}},
+		{&Pool2D{LayerName: "avg", Kind: AvgPool, K: 2, Stride: 2}, []tensor.Shape{img}},
+		{&GlobalAvgPool{LayerName: "gap"}, []tensor.Shape{img}},
+		{&BatchNorm{LayerName: "bn"}, []tensor.Shape{img}},
+		{&LayerNorm{LayerName: "ln"}, []tensor.Shape{seq}},
+		{&Flatten{LayerName: "flat"}, []tensor.Shape{img}},
+		{&Dense{LayerName: "fc", OutFeatures: 10}, []tensor.Shape{vec}},
+		{&Softmax{LayerName: "sm"}, []tensor.Shape{vec}},
+		{&Add{LayerName: "add"}, []tensor.Shape{img, img}},
+		{&Concat{LayerName: "cat"}, []tensor.Shape{img, img}},
+		{&Embedding{LayerName: "emb", Vocab: 100, Dim: 16}, []tensor.Shape{ids}},
+		{&LSTM{LayerName: "lstm", Hidden: 32}, []tensor.Shape{seq}},
+		{&SelfAttention{LayerName: "attn", Heads: 4}, []tensor.Shape{seq}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.l.Name(), func(t *testing.T) {
+			if c.l.Name() == "" {
+				t.Fatal("empty name")
+			}
+			out, err := c.l.InferShape(c.in)
+			if err != nil {
+				t.Fatalf("InferShape: %v", err)
+			}
+			if out.Elems() <= 0 {
+				t.Error("empty output shape")
+			}
+			if f := c.l.FwdFLOPs(c.in, out); f < 0 {
+				t.Errorf("negative FLOPs %d", f)
+			}
+			if bf := c.l.BwdFactor(); bf < 0 || bf > 2 {
+				t.Errorf("backward factor %v out of [0,2]", bf)
+			}
+			if p := c.l.ParamCount(c.in); p < 0 {
+				t.Errorf("negative params %d", p)
+			}
+			// Wrong arity: pass three inputs to single-input layers and
+			// zero inputs to everyone.
+			if _, err := c.l.InferShape(nil); err == nil {
+				t.Error("zero inputs should error")
+			}
+			if _, err := c.l.InferShape([]tensor.Shape{img, img, img, img, img}); err == nil {
+				switch c.l.(type) {
+				case *Add, *Concat:
+					// variadic merges accept many inputs
+				default:
+					t.Error("excess inputs should error")
+				}
+			}
+		})
+	}
+}
+
+// TestDropoutGELUFlattenSpecifics covers the light layers' cost claims.
+func TestDropoutGELUFlattenSpecifics(t *testing.T) {
+	in := tensor.Shape{10, 10}
+	d := &Dropout{LayerName: "d", P: 0.5}
+	out := mustInfer(t, d, in)
+	if d.FwdFLOPs([]tensor.Shape{in}, out) != 100 {
+		t.Error("dropout should cost one mask multiply per element")
+	}
+	g := &GELU{LayerName: "g"}
+	out = mustInfer(t, g, in)
+	if g.FwdFLOPs([]tensor.Shape{in}, out) != 800 {
+		t.Error("gelu should cost ~8 ops per element")
+	}
+	f := &Flatten{LayerName: "f"}
+	out = mustInfer(t, f, tensor.CHW(2, 3, 4))
+	if !out.Equal(tensor.Vec(24)) {
+		t.Errorf("flatten out = %v", out)
+	}
+	if f.FwdFLOPs(nil, out) != 0 || f.BwdFactor() != 0 {
+		t.Error("flatten should be free")
+	}
+}

@@ -1,0 +1,116 @@
+package nn
+
+import "fmt"
+
+// Arena is the two-tier memory model: a bounded near memory (the
+// simulated device) backed by unbounded far memory (the host). Evicting a
+// tensor physically moves its buffer to the far store and leaves the
+// tensor data-less, so any computation touching a non-resident buffer
+// fails loudly — the executor must schedule every access, exactly like a
+// real out-of-core runtime.
+type Arena struct {
+	capacity int64
+	used     int64
+	far      map[*Tensor][]float32
+	held     map[*Tensor]bool
+	// moved counts bytes transferred in either direction (swap traffic).
+	moved int64
+}
+
+// NewArena builds an arena with the given near-memory capacity in bytes.
+func NewArena(capacity int64) *Arena {
+	if capacity <= 0 {
+		panic("nn: non-positive arena capacity")
+	}
+	return &Arena{capacity: capacity, far: map[*Tensor][]float32{}, held: map[*Tensor]bool{}}
+}
+
+// Used returns resident bytes; Capacity the limit; Moved the cumulative
+// swap traffic.
+func (a *Arena) Used() int64     { return a.used }
+func (a *Arena) Capacity() int64 { return a.capacity }
+func (a *Arena) Moved() int64    { return a.moved }
+
+// Hold registers a resident tensor, charging its bytes against capacity.
+func (a *Arena) Hold(t *Tensor) error {
+	if a.held[t] {
+		return nil
+	}
+	if t.Data == nil {
+		return fmt.Errorf("nn: holding a non-resident tensor")
+	}
+	if a.used+t.Bytes() > a.capacity {
+		return fmt.Errorf("nn: near memory exhausted: %d + %d > %d", a.used, t.Bytes(), a.capacity)
+	}
+	a.used += t.Bytes()
+	a.held[t] = true
+	return nil
+}
+
+// Evict moves a held tensor's buffer to far memory (swap-out).
+func (a *Arena) Evict(t *Tensor) {
+	if !a.held[t] {
+		panic("nn: evicting a tensor the arena does not hold")
+	}
+	a.far[t] = t.Data
+	a.moved += t.Bytes()
+	a.used -= int64(len(t.Data)) * 4
+	t.Data = nil
+	delete(a.held, t)
+}
+
+// Drop discards a held tensor's buffer without preserving it (the
+// recompute policy: the values will be rematerialized by replay).
+func (a *Arena) Drop(t *Tensor) {
+	if !a.held[t] {
+		panic("nn: dropping a tensor the arena does not hold")
+	}
+	a.used -= t.Bytes()
+	t.Data = nil
+	delete(a.held, t)
+}
+
+// Fetch restores an evicted tensor (swap-in), charging capacity again.
+func (a *Arena) Fetch(t *Tensor) error {
+	data, ok := a.far[t]
+	if !ok {
+		return fmt.Errorf("nn: fetching a tensor that is not in far memory")
+	}
+	if a.used+int64(len(data))*4 > a.capacity {
+		return fmt.Errorf("nn: near memory exhausted on fetch: %d + %d > %d",
+			a.used, int64(len(data))*4, a.capacity)
+	}
+	t.Data = data
+	delete(a.far, t)
+	a.moved += t.Bytes()
+	a.used += t.Bytes()
+	a.held[t] = true
+	return nil
+}
+
+// Release forgets a held tensor (its backward consumer is done). The
+// buffer stays usable; it simply no longer counts against near memory.
+func (a *Arena) Release(t *Tensor) {
+	if !a.held[t] {
+		return
+	}
+	a.used -= t.Bytes()
+	delete(a.held, t)
+}
+
+// Resident reports whether the arena holds the tensor.
+func (a *Arena) Resident(t *Tensor) bool { return a.held[t] }
+
+// InFar reports whether the tensor's buffer lives in far memory.
+func (a *Arena) InFar(t *Tensor) bool {
+	_, ok := a.far[t]
+	return ok
+}
+
+// Reset clears all bookkeeping between steps (buffers referenced by
+// tensors are untouched).
+func (a *Arena) Reset() {
+	a.used = 0
+	a.far = map[*Tensor][]float32{}
+	a.held = map[*Tensor]bool{}
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint/restart support. The paper's large-scale runs could not hold
+// the scheduler long enough for full epochs; they "split the epoch into
+// separate runs at which we checkpoint/restart the model state" (§IV-C).
+// This file provides the exact-state serialization that makes the split
+// bit-transparent: weights AND optimizer momentum round-trip, so a
+// train/checkpoint/restore/train sequence equals uninterrupted training.
+
+const ckptMagic = uint32(0x4b41524d) // "KARM"
+
+// SaveCheckpoint serializes the model parameters and the optimizer's
+// momentum state.
+func SaveCheckpoint(w io.Writer, m *Sequential, opt *SGD) error {
+	params := m.Params()
+	if err := binary.Write(w, binary.LittleEndian, ckptMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(p.Data))); err != nil {
+			return err
+		}
+		if err := writeFloats(w, p.Data); err != nil {
+			return err
+		}
+		vel := opt.velocity(p)
+		if err := writeFloats(w, vel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint restores parameters and momentum saved by
+// SaveCheckpoint into a model of the same architecture.
+func LoadCheckpoint(r io.Reader, m *Sequential, opt *SGD) error {
+	var magic, count uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("nn: checkpoint header: %w", err)
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("nn: not a checkpoint (magic %#x)", magic)
+	}
+	params := m.Params()
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d tensors, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if int(n) != len(p.Data) {
+			return fmt.Errorf("nn: tensor size %d, checkpoint has %d", len(p.Data), n)
+		}
+		if err := readFloats(r, p.Data); err != nil {
+			return err
+		}
+		vel := opt.velocity(p)
+		if err := readFloats(r, vel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// velocity returns (allocating if needed) the momentum buffer of p.
+func (s *SGD) velocity(p *Tensor) []float32 {
+	v, ok := s.vel[p]
+	if !ok {
+		v = make([]float32, len(p.Data))
+		s.vel[p] = v
+	}
+	return v
+}
+
+func writeFloats(w io.Writer, data []float32) error {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, data []float32) error {
+	buf := make([]byte, 4*len(data))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointRestartBitwise reproduces §IV-C's mitigation exactly:
+// training split by a checkpoint/restart must equal uninterrupted
+// training bit for bit (weights AND momentum round-trip).
+func TestCheckpointRestartBitwise(t *testing.T) {
+	const total, splitAt = 30, 12
+	run := func(m *Sequential, opt *SGD, from, to int) {
+		arena := NewArena(bigArena)
+		e, err := NewExec(m, arena, allKeep(len(m.Layers)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := NewRNG(77)
+		// Re-derive the stream deterministically per step index.
+		_ = data
+		for s := from; s < to; s++ {
+			r := NewRNG(uint64(800 + s))
+			x, labels := synth(r, 8, 16, 4)
+			if _, err := e.Step(x, labels, opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Uninterrupted reference.
+	ref := mlp(1)
+	refOpt := NewSGD(0.05, 0.9)
+	run(ref, refOpt, 0, total)
+
+	// Split run: train, checkpoint, restore into a FRESH model+optimizer,
+	// continue.
+	a := mlp(1)
+	aOpt := NewSGD(0.05, 0.9)
+	run(a, aOpt, 0, splitAt)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, a, aOpt); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	b := mlp(99) // different init: restore must overwrite everything
+	bOpt := NewSGD(0.05, 0.9)
+	if err := LoadCheckpoint(&buf, b, bOpt); err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	run(b, bOpt, splitAt, total)
+
+	rp, bp := ref.Params(), b.Params()
+	for i := range rp {
+		if !rp[i].Equal(bp[i]) {
+			t.Fatalf("parameter %d differs after checkpoint/restart", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	m := mlp(1)
+	opt := NewSGD(0.1, 0)
+	if err := LoadCheckpoint(strings.NewReader("nope"), m, opt); err == nil {
+		t.Error("garbage header should fail")
+	}
+	// Wrong architecture: fewer tensors.
+	var buf bytes.Buffer
+	small := NewSequential(NewDense("d", 2, 2, NewRNG(1)))
+	if err := SaveCheckpoint(&buf, small, NewSGD(0.1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(&buf, m, opt); err == nil {
+		t.Error("architecture mismatch should fail")
+	}
+	// Truncated stream.
+	var buf2 bytes.Buffer
+	if err := SaveCheckpoint(&buf2, m, opt); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf2.Bytes()[:buf2.Len()/2])
+	if err := LoadCheckpoint(trunc, mlp(1), NewSGD(0.1, 0)); err == nil {
+		t.Error("truncated checkpoint should fail")
+	}
+}
+
+func TestElasticTrainSurvivesFailures(t *testing.T) {
+	const workers, steps = 4, 20
+	master := mlp(5)
+	replicas := make([]*Sequential, workers)
+	for w := range replicas {
+		replicas[w] = mlp(uint64(60 + w))
+	}
+	batchFn := func(step, worker int) (*Tensor, []int) {
+		r := NewRNG(uint64(9000 + worker)) // fixed per-worker batch: memorization
+		return synth(r, 8, 16, 4)
+	}
+	res, err := ElasticTrain(master, replicas, steps, batchFn, ParallelConfig{
+		Workers: workers, ArenaBytes: bigArena,
+		Policies: allKeep(len(master.Layers)),
+		LR:       0.05, Momentum: 0.9,
+	}, FailureSchedule{5: 1, 12: 2})
+	if err != nil {
+		t.Fatalf("ElasticTrain: %v", err)
+	}
+	if len(res.WorkersAtStep) != steps {
+		t.Fatalf("steps recorded = %d", len(res.WorkersAtStep))
+	}
+	if res.WorkersAtStep[0] != 4 || res.WorkersAtStep[6] != 3 || res.WorkersAtStep[steps-1] != 1 {
+		t.Errorf("pool sizes wrong: %v", res.WorkersAtStep)
+	}
+	// Training still learns through the failures.
+	if res.Losses[len(res.Losses)-1] >= res.Losses[0] {
+		t.Errorf("elastic training did not learn: %v -> %v",
+			res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+}
+
+func TestElasticTrainPoolExhaustion(t *testing.T) {
+	master := mlp(5)
+	replicas := []*Sequential{mlp(6)}
+	batchFn := func(step, worker int) (*Tensor, []int) {
+		r := NewRNG(1)
+		return synth(r, 4, 16, 4)
+	}
+	_, err := ElasticTrain(master, replicas, 5, batchFn, ParallelConfig{
+		Workers: 1, ArenaBytes: bigArena,
+		Policies: allKeep(len(master.Layers)),
+		LR:       0.05,
+	}, FailureSchedule{2: 1})
+	if err == nil {
+		t.Error("empty pool should fail")
+	}
+}
+
+func TestElasticNoFailuresMatchesSequentialReference(t *testing.T) {
+	// With no failures, elastic training is exactly the ordered
+	// data-parallel semantics.
+	const workers, steps = 3, 8
+	batchFn := func(step, worker int) (*Tensor, []int) {
+		r := NewRNG(uint64(4000 + step*workers + worker))
+		return synth(r, 4, 16, 4)
+	}
+	master := mlp(1)
+	replicas := []*Sequential{mlp(2), mlp(3), mlp(4)}
+	if _, err := ElasticTrain(master, replicas, steps, batchFn, ParallelConfig{
+		Workers: workers, ArenaBytes: bigArena,
+		Policies: allKeep(5), LR: 0.05, Momentum: 0.9,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// TrainDataParallel with identical inputs must agree bitwise.
+	master2 := mlp(1)
+	replicas2 := []*Sequential{mlp(12), mlp(13), mlp(14)}
+	if _, err := TrainDataParallel(master2, replicas2, steps, batchFn, ParallelConfig{
+		Workers: workers, ArenaBytes: bigArena,
+		Policies: allKeep(5), LR: 0.05, Momentum: 0.9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, b := master.Params(), master2.Params()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("parameter %d: elastic(no failures) != data-parallel", i)
+		}
+	}
+}

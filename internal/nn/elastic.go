@@ -1,0 +1,91 @@
+package nn
+
+import "fmt"
+
+// Elastic data parallelism. The paper argues (§II-B, Table I) that
+// out-of-core data parallelism is the fault-tolerant option: when a
+// worker dies, the pool can shrink and training continues — no model
+// shard is lost because every worker holds the whole model (out-of-core).
+// Model-parallel hybrids cannot do this: losing one shard-holder loses
+// the model.
+//
+// ElasticTrain implements that behaviour on the real substrate: a
+// failure schedule removes workers at given steps; remaining workers
+// re-partition the batches and continue from the shared master state.
+
+// FailureSchedule maps a step index to the number of workers that fail
+// at the *start* of that step.
+type FailureSchedule map[int]int
+
+// ElasticResult reports an elastic run.
+type ElasticResult struct {
+	Losses []float32
+	// WorkersAtStep records the live pool size per step.
+	WorkersAtStep []int
+}
+
+// ElasticTrain trains like TrainDataParallel but survives worker
+// failures: at each step the first `alive` workers participate; the
+// gradient average always uses the live count, so the optimizer sees a
+// well-formed (smaller-batch) step rather than corrupt data. Training
+// fails only when the pool empties.
+func ElasticTrain(master *Sequential, replicas []*Sequential, steps int, batch BatchFunc, cfg ParallelConfig, failures FailureSchedule) (*ElasticResult, error) {
+	if cfg.Workers != len(replicas) {
+		return nil, fmt.Errorf("nn: %d replicas for %d workers", len(replicas), cfg.Workers)
+	}
+	alive := cfg.Workers
+	res := &ElasticResult{}
+	opt := NewSGD(cfg.LR, cfg.Momentum)
+
+	for step := 0; step < steps; step++ {
+		if dead := failures[step]; dead > 0 {
+			alive -= dead
+		}
+		if alive <= 0 {
+			return res, fmt.Errorf("nn: worker pool exhausted at step %d", step)
+		}
+		res.WorkersAtStep = append(res.WorkersAtStep, alive)
+
+		// One synchronous step over the live pool (sequentially ordered
+		// reduction — same semantics as TrainDataParallel's coordinator).
+		perWorker := make([][]*Tensor, alive)
+		var meanLoss float32
+		for w := 0; w < alive; w++ {
+			replicas[w].CloneWeightsFrom(master)
+			arena := NewArena(cfg.ArenaBytes)
+			e, err := NewExec(replicas[w], arena, cfg.Policies)
+			if err != nil {
+				return res, err
+			}
+			x, labels := batch(step, w)
+			loss, err := e.ForwardBackward(x, labels)
+			if err != nil {
+				return res, fmt.Errorf("worker %d: %w", w, err)
+			}
+			meanLoss += loss
+			gs := replicas[w].Grads()
+			cl := make([]*Tensor, len(gs))
+			for i, g := range gs {
+				cl[i] = g.Clone()
+			}
+			perWorker[w] = cl
+		}
+		inv := 1 / float32(alive)
+		avg := make([]*Tensor, len(perWorker[0]))
+		for gi := range avg {
+			sum := perWorker[0][gi].Clone()
+			for w := 1; w < alive; w++ {
+				for j, v := range perWorker[w][gi].Data {
+					sum.Data[j] += v
+				}
+			}
+			for j := range sum.Data {
+				sum.Data[j] *= inv
+			}
+			avg[gi] = sum
+		}
+		opt.Step(master.Params(), avg)
+		res.Losses = append(res.Losses, meanLoss*inv)
+	}
+	return res, nil
+}

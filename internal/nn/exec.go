@@ -1,0 +1,160 @@
+package nn
+
+import "fmt"
+
+// Policy is the per-layer out-of-core strategy for the layer's saved
+// input activation (mirroring the planner's block policies).
+type Policy int
+
+// Layer policies.
+const (
+	// Keep leaves the activation resident between forward and backward.
+	Keep Policy = iota
+	// Swap evicts the activation to far memory after the forward pass and
+	// fetches it back for backward.
+	Swap
+	// Recompute drops the activation and rematerializes it during
+	// backward by replaying the forward pass from the nearest restorable
+	// tensor (run-based replay, as in the planner).
+	Recompute
+)
+
+// Exec runs a Sequential model under a memory arena and per-layer
+// policies — the numeric twin of the plan-and-simulate pipeline. An
+// all-Keep policy with a large arena is exactly conventional in-core
+// training; any valid policy mix must produce bitwise-identical results
+// (§IV-D), which the tests assert.
+type Exec struct {
+	Model    *Sequential
+	Arena    *Arena
+	Policies []Policy
+	// OnLayerBackward, when set, fires after each layer's backward pass
+	// with the layer index — the hook the data-parallel trainer uses for
+	// phased gradient exchange.
+	OnLayerBackward func(layer int)
+
+	// chain holds t_0 = input, t_i = output of layer i-1 for the current
+	// step.
+	chain []*Tensor
+}
+
+// NewExec validates and builds an executor.
+func NewExec(m *Sequential, arena *Arena, policies []Policy) (*Exec, error) {
+	if len(policies) != len(m.Layers) {
+		return nil, fmt.Errorf("nn: %d policies for %d layers", len(policies), len(m.Layers))
+	}
+	for i, p := range policies {
+		if p < Keep || p > Recompute {
+			return nil, fmt.Errorf("nn: layer %d: unknown policy %d", i, p)
+		}
+	}
+	if len(policies) > 0 && policies[0] == Recompute {
+		return nil, fmt.Errorf("nn: layer 0 cannot recompute: dropping the step input is unrecoverable")
+	}
+	return &Exec{Model: m, Arena: arena, Policies: policies}, nil
+}
+
+// ForwardBackward runs one forward+backward pass, accumulating parameter
+// gradients. The optimizer step is separate so distributed trainers can
+// interpose the gradient exchange.
+func (e *Exec) ForwardBackward(x *Tensor, labels []int) (float32, error) {
+	m := e.Model
+	e.Arena.Reset()
+	m.ZeroGrads()
+	e.chain = make([]*Tensor, len(m.Layers)+1)
+	e.chain[0] = x
+	if err := e.Arena.Hold(x); err != nil {
+		return 0, err
+	}
+
+	// Forward: layer i consumes t_i, produces t_{i+1}; afterwards t_i is
+	// disposed per the layer's policy.
+	for i, l := range m.Layers {
+		out := l.Forward(e.chain[i])
+		e.chain[i+1] = out
+		if err := e.Arena.Hold(out); err != nil {
+			return 0, err
+		}
+		switch e.Policies[i] {
+		case Swap:
+			e.Arena.Evict(e.chain[i])
+		case Recompute:
+			e.Arena.Drop(e.chain[i])
+		}
+	}
+
+	logits := e.chain[len(m.Layers)]
+	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	e.Arena.Release(logits)
+
+	// Backward: layer i needs t_i (its saved input); restore it per
+	// policy, then free it once consumed.
+	dy := grad
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		if err := e.restore(i); err != nil {
+			return 0, err
+		}
+		dy = m.Layers[i].Backward(dy)
+		e.Arena.Release(e.chain[i])
+		if e.OnLayerBackward != nil {
+			e.OnLayerBackward(i)
+		}
+	}
+	return loss, nil
+}
+
+// restore makes t_i (layer i's saved input) resident.
+func (e *Exec) restore(i int) error {
+	t := e.chain[i]
+	if e.Arena.Resident(t) {
+		return nil
+	}
+	if e.Arena.InFar(t) {
+		return e.Arena.Fetch(t)
+	}
+	if t.Data != nil {
+		// Released but still materialized (e.g. the step input after an
+		// all-Keep forward): re-hold it.
+		return e.Arena.Hold(t)
+	}
+	// Dropped: replay the run. Walk back to the nearest tensor that is
+	// materialized or fetchable — the run's boundary checkpoint, which in
+	// the swap-interleaved schedule may itself arrive from far memory.
+	s := i
+	for s > 0 && e.chain[s].Data == nil && !e.Arena.InFar(e.chain[s]) {
+		s--
+	}
+	base := e.chain[s]
+	if base.Data == nil {
+		if err := e.Arena.Fetch(base); err != nil {
+			return err
+		}
+	} else if !e.Arena.Resident(base) {
+		if err := e.Arena.Hold(base); err != nil {
+			return err
+		}
+	}
+	// Replay layers s..i-1 in forward order, rematerializing the chain.
+	for j := s; j < i; j++ {
+		out := e.Model.Layers[j].Forward(e.chain[j])
+		// Forward allocated a fresh buffer with identical values; graft
+		// it onto the dropped chain tensor so downstream backward sees
+		// the same object the layers saved.
+		e.chain[j+1].Data = out.Data
+		if err := e.Arena.Hold(e.chain[j+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step runs forward+backward and applies the optimizer locally (the
+// conventional single-device training loop).
+func (e *Exec) Step(x *Tensor, labels []int, opt *SGD) (float32, error) {
+	loss, err := e.ForwardBackward(x, labels)
+	if err != nil {
+		return 0, err
+	}
+	opt.Step(e.Model.Params(), e.Model.Grads())
+	return loss, nil
+}

@@ -1,0 +1,333 @@
+package nn
+
+import "fmt"
+
+// Layer is a differentiable layer with real parameters.
+//
+// Forward must store whatever backward needs in saved tensors exposed by
+// Saved(); the out-of-core executor evicts and restores those buffers
+// through the arena, and the recompute path replays Forward to
+// rematerialize them.
+type Layer interface {
+	Name() string
+	// Forward computes the layer output for a batch-major input.
+	Forward(x *Tensor) *Tensor
+	// Backward consumes the upstream gradient, accumulates parameter
+	// gradients, and returns the input gradient.
+	Backward(dy *Tensor) *Tensor
+	// Params returns the trainable tensors; Grads parallels Params.
+	Params() []*Tensor
+	Grads() []*Tensor
+	// Saved returns the activation buffers retained for backward.
+	Saved() []*Tensor
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+// Dense is a fully-connected layer over {batch, in} inputs.
+type Dense struct {
+	name     string
+	In, Out  int
+	W, B     *Tensor
+	GW, GB   *Tensor
+	savedX   *Tensor
+	savedOut *Tensor // kept for shape only; not exposed via Saved
+}
+
+// NewDense builds a dense layer with deterministic initialization.
+func NewDense(name string, in, out int, r *RNG) *Dense {
+	d := &Dense{
+		name: name, In: in, Out: out,
+		W: NewTensor(in, out), B: NewTensor(out),
+		GW: NewTensor(in, out), GB: NewTensor(out),
+	}
+	d.W.FillNormal(r, 1.0/float32(in))
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	batch := x.Shape[0]
+	if x.Len() != batch*d.In {
+		panic(fmt.Sprintf("nn: %s: input %v incompatible with in=%d", d.name, x.Shape, d.In))
+	}
+	d.savedX = x
+	y := NewTensor(batch, d.Out)
+	for b := 0; b < batch; b++ {
+		xi := x.Data[b*d.In : (b+1)*d.In]
+		yi := y.Data[b*d.Out : (b+1)*d.Out]
+		copy(yi, d.B.Data)
+		for i, xv := range xi {
+			if xv == 0 {
+				continue
+			}
+			row := d.W.Data[i*d.Out : (i+1)*d.Out]
+			for j, wv := range row {
+				yi[j] += xv * wv
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy *Tensor) *Tensor {
+	x := d.savedX
+	batch := x.Shape[0]
+	dx := NewTensor(batch, d.In)
+	for b := 0; b < batch; b++ {
+		xi := x.Data[b*d.In : (b+1)*d.In]
+		dyi := dy.Data[b*d.Out : (b+1)*d.Out]
+		dxi := dx.Data[b*d.In : (b+1)*d.In]
+		for j, g := range dyi {
+			d.GB.Data[j] += g
+		}
+		for i, xv := range xi {
+			row := d.W.Data[i*d.Out : (i+1)*d.Out]
+			grow := d.GW.Data[i*d.Out : (i+1)*d.Out]
+			var acc float32
+			for j, g := range dyi {
+				grow[j] += xv * g
+				acc += row[j] * g
+			}
+			dxi[i] = acc
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Tensor { return []*Tensor{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*Tensor { return []*Tensor{d.GW, d.GB} }
+
+// Saved implements Layer.
+func (d *Dense) Saved() []*Tensor { return []*Tensor{d.savedX} }
+
+// ---------------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------------
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	name   string
+	savedX *Tensor
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *Tensor) *Tensor {
+	l.savedX = x
+	y := &Tensor{Shape: append([]int(nil), x.Shape...), Data: make([]float32, len(x.Data))}
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(dy *Tensor) *Tensor {
+	x := l.savedX
+	dx := &Tensor{Shape: append([]int(nil), dy.Shape...), Data: make([]float32, len(dy.Data))}
+	for i, v := range x.Data {
+		if v > 0 {
+			dx.Data[i] = dy.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Tensor { return nil }
+
+// Grads implements Layer.
+func (l *ReLU) Grads() []*Tensor { return nil }
+
+// Saved implements Layer.
+func (l *ReLU) Saved() []*Tensor { return []*Tensor{l.savedX} }
+
+// ---------------------------------------------------------------------------
+// Conv2D (naive direct convolution, NCHW)
+// ---------------------------------------------------------------------------
+
+// Conv2D is a stride-1 padded 2-D convolution over {batch, C, H, W}.
+type Conv2D struct {
+	name              string
+	Cin, Cout, K, Pad int
+	W, B              *Tensor // W: {Cout, Cin, K, K}
+	GW, GB            *Tensor
+	savedX            *Tensor
+}
+
+// NewConv2D builds a convolution layer with deterministic initialization.
+func NewConv2D(name string, cin, cout, k, pad int, r *RNG) *Conv2D {
+	c := &Conv2D{
+		name: name, Cin: cin, Cout: cout, K: k, Pad: pad,
+		W: NewTensor(cout, cin, k, k), B: NewTensor(cout),
+		GW: NewTensor(cout, cin, k, k), GB: NewTensor(cout),
+	}
+	c.W.FillNormal(r, 1.0/float32(cin*k*k))
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+func (c *Conv2D) dims(x *Tensor) (batch, h, w, oh, ow int) {
+	if len(x.Shape) != 4 || x.Shape[1] != c.Cin {
+		panic(fmt.Sprintf("nn: %s: input %v incompatible with cin=%d", c.name, x.Shape, c.Cin))
+	}
+	batch, h, w = x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow = h+2*c.Pad-c.K+1, w+2*c.Pad-c.K+1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s: output collapses", c.name))
+	}
+	return
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Tensor) *Tensor {
+	batch, h, w, oh, ow := c.dims(x)
+	c.savedX = x
+	y := NewTensor(batch, c.Cout, oh, ow)
+	for b := 0; b < batch; b++ {
+		for co := 0; co < c.Cout; co++ {
+			bias := c.B.Data[co]
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					acc := bias
+					for ci := 0; ci < c.Cin; ci++ {
+						for ki := 0; ki < c.K; ki++ {
+							si := i + ki - c.Pad
+							if si < 0 || si >= h {
+								continue
+							}
+							for kj := 0; kj < c.K; kj++ {
+								sj := j + kj - c.Pad
+								if sj < 0 || sj >= w {
+									continue
+								}
+								xv := x.Data[((b*c.Cin+ci)*h+si)*w+sj]
+								wv := c.W.Data[((co*c.Cin+ci)*c.K+ki)*c.K+kj]
+								acc += xv * wv
+							}
+						}
+					}
+					y.Data[((b*c.Cout+co)*oh+i)*ow+j] = acc
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *Tensor) *Tensor {
+	x := c.savedX
+	batch, h, w, oh, ow := c.dims(x)
+	dx := NewTensor(batch, c.Cin, h, w)
+	for b := 0; b < batch; b++ {
+		for co := 0; co < c.Cout; co++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					g := dy.Data[((b*c.Cout+co)*oh+i)*ow+j]
+					if g == 0 {
+						continue
+					}
+					c.GB.Data[co] += g
+					for ci := 0; ci < c.Cin; ci++ {
+						for ki := 0; ki < c.K; ki++ {
+							si := i + ki - c.Pad
+							if si < 0 || si >= h {
+								continue
+							}
+							for kj := 0; kj < c.K; kj++ {
+								sj := j + kj - c.Pad
+								if sj < 0 || sj >= w {
+									continue
+								}
+								xi := ((b*c.Cin+ci)*h+si)*w + sj
+								wi := ((co*c.Cin+ci)*c.K+ki)*c.K + kj
+								c.GW.Data[wi] += x.Data[xi] * g
+								dx.Data[xi] += c.W.Data[wi] * g
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Tensor { return []*Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*Tensor { return []*Tensor{c.GW, c.GB} }
+
+// Saved implements Layer.
+func (c *Conv2D) Saved() []*Tensor { return []*Tensor{c.savedX} }
+
+// ---------------------------------------------------------------------------
+// Flatten
+// ---------------------------------------------------------------------------
+
+// Flatten reshapes {batch, ...} to {batch, features}.
+type Flatten struct {
+	name  string
+	shape []int
+}
+
+// NewFlatten builds a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// Forward implements Layer. The output buffer is a copy: chain tensors
+// must not alias, or the arena's eviction accounting would tear buffers
+// out from under other tensors.
+func (l *Flatten) Forward(x *Tensor) *Tensor {
+	l.shape = append([]int(nil), x.Shape...)
+	out := NewTensor(x.Shape[0], x.Len()/x.Shape[0])
+	copy(out.Data, x.Data)
+	return out
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(dy *Tensor) *Tensor {
+	out := &Tensor{Shape: append([]int(nil), l.shape...), Data: make([]float32, len(dy.Data))}
+	copy(out.Data, dy.Data)
+	return out
+}
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Tensor { return nil }
+
+// Grads implements Layer.
+func (l *Flatten) Grads() []*Tensor { return nil }
+
+// Saved implements Layer.
+func (l *Flatten) Saved() []*Tensor { return nil }
+
+// Compile-time interface checks.
+var (
+	_ Layer = (*Dense)(nil)
+	_ Layer = (*ReLU)(nil)
+	_ Layer = (*Conv2D)(nil)
+	_ Layer = (*Flatten)(nil)
+)

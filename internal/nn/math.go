@@ -1,0 +1,10 @@
+package nn
+
+import "math"
+
+// exp64 and log64 delegate to the standard library. They are isolated
+// here so the numeric substrate has a single seam for transcendental
+// functions (the only operations whose bit patterns could vary if the
+// platform's libm differed; Go's math is pure Go and deterministic).
+func exp64(x float64) float64 { return math.Exp(x) }
+func log64(x float64) float64 { return math.Log(x) }

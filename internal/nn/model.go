@@ -1,0 +1,138 @@
+package nn
+
+import "fmt"
+
+// Sequential is a linear chain of layers — the executor's model form.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a model from layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Params returns all trainable tensors in layer order.
+func (m *Sequential) Params() []*Tensor {
+	var out []*Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient tensors in layer order.
+func (m *Sequential) Grads() []*Tensor {
+	var out []*Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all gradient accumulators.
+func (m *Sequential) ZeroGrads() {
+	for _, g := range m.Grads() {
+		for i := range g.Data {
+			g.Data[i] = 0
+		}
+	}
+}
+
+// CloneWeightsFrom copies parameter values from another model of the same
+// architecture.
+func (m *Sequential) CloneWeightsFrom(o *Sequential) {
+	mp, op := m.Params(), o.Params()
+	if len(mp) != len(op) {
+		panic("nn: architecture mismatch")
+	}
+	for i := range mp {
+		if len(mp[i].Data) != len(op[i].Data) {
+			panic("nn: parameter shape mismatch")
+		}
+		copy(mp[i].Data, op[i].Data)
+	}
+}
+
+// SoftmaxCrossEntropy computes the mean loss over the batch and the
+// logits gradient for integer class labels.
+func SoftmaxCrossEntropy(logits *Tensor, labels []int) (float32, *Tensor) {
+	batch := logits.Shape[0]
+	classes := logits.Len() / batch
+	if len(labels) != batch {
+		panic(fmt.Sprintf("nn: %d labels for batch %d", len(labels), batch))
+	}
+	grad := NewTensor(logits.Shape...)
+	var loss float32
+	inv := 1 / float32(batch)
+	for b := 0; b < batch; b++ {
+		row := logits.Data[b*classes : (b+1)*classes]
+		grow := grad.Data[b*classes : (b+1)*classes]
+		// Stable softmax.
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float32
+		for j, v := range row {
+			e := exp32(v - max)
+			grow[j] = e
+			sum += e
+		}
+		y := labels[b]
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: label %d out of %d classes", y, classes))
+		}
+		p := grow[y] / sum
+		loss += -log32(p) * inv
+		for j := range grow {
+			grow[j] = (grow[j]/sum - oneHot(j, y)) * inv
+		}
+	}
+	return loss, grad
+}
+
+func oneHot(j, y int) float32 {
+	if j == y {
+		return 1
+	}
+	return 0
+}
+
+// exp32 and log32 are float32 wrappers; the math package operates in
+// float64, which is fine — determinism matters, not precision.
+func exp32(x float32) float32 { return float32(exp64(float64(x))) }
+func log32(x float32) float32 { return float32(log64(float64(x))) }
+
+// SGD is stochastic gradient descent with classical momentum:
+// v ← μ·v + g;  w ← w − lr·v. The same Step runs on the "device" in
+// conventional training and on the host in the KARMA pipeline — the math
+// is identical, which is the point of §IV-D.
+type SGD struct {
+	LR, Momentum float32
+	vel          map[*Tensor][]float32
+}
+
+// NewSGD builds an optimizer.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*Tensor][]float32{}}
+}
+
+// Step applies one update to params given grads (parallel slices).
+func (s *SGD) Step(params, grads []*Tensor) {
+	if len(params) != len(grads) {
+		panic("nn: params/grads mismatch")
+	}
+	for i, p := range params {
+		g := grads[i]
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float32, len(p.Data))
+			s.vel[p] = v
+		}
+		for j := range p.Data {
+			v[j] = s.Momentum*v[j] + g.Data[j]
+			p.Data[j] -= s.LR * v[j]
+		}
+	}
+}

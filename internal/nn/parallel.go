@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ParallelConfig configures the in-process data-parallel trainer — the
+// numeric counterpart of the paper's multi-GPU pipeline (Fig. 3): workers
+// run out-of-core forward/backward, stream per-layer gradients to the
+// host as each layer's backward completes (the phased exchange), and the
+// host performs the weight update and redistributes parameters before the
+// next iteration.
+type ParallelConfig struct {
+	Workers int
+	// ArenaBytes is the per-worker near-memory capacity.
+	ArenaBytes int64
+	// Policies are the per-layer out-of-core policies each worker uses.
+	Policies []Policy
+	LR       float32
+	Momentum float32
+}
+
+// BatchFunc supplies the shard for (step, worker): the input tensor and
+// its labels. It must be deterministic.
+type BatchFunc func(step, worker int) (*Tensor, []int)
+
+// gradMsg is one phase of the gradient exchange: one layer's gradients
+// from one worker.
+type gradMsg struct {
+	worker int
+	layer  int
+	grads  []*Tensor
+}
+
+// TrainDataParallel trains the master model for the given number of
+// steps. Replicas must share the master's architecture; their weights are
+// overwritten. It returns the per-step mean losses (averaged over
+// workers).
+//
+// Determinism: gradients are reduced in worker-index order per layer, and
+// the host applies layer updates in a fixed order, so the result is
+// bit-reproducible and equal to a sequential reference performing the
+// same reductions (see tests).
+func TrainDataParallel(master *Sequential, replicas []*Sequential, steps int, batch BatchFunc, cfg ParallelConfig) ([]float32, error) {
+	if cfg.Workers != len(replicas) {
+		return nil, fmt.Errorf("nn: %d replicas for %d workers", len(replicas), cfg.Workers)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("nn: need at least one worker")
+	}
+	layers := len(master.Layers)
+	if len(cfg.Policies) != layers {
+		return nil, fmt.Errorf("nn: %d policies for %d layers", len(cfg.Policies), layers)
+	}
+
+	execs := make([]*Exec, cfg.Workers)
+	for w := range replicas {
+		arena := NewArena(cfg.ArenaBytes)
+		e, err := NewExec(replicas[w], arena, cfg.Policies)
+		if err != nil {
+			return nil, err
+		}
+		execs[w] = e
+	}
+	opt := NewSGD(cfg.LR, cfg.Momentum)
+	losses := make([]float32, 0, steps)
+
+	for step := 0; step < steps; step++ {
+		// Broadcast master weights (the swap-in of updated blocks for the
+		// next iteration, Fig. 3 stage 1).
+		for _, r := range replicas {
+			r.CloneWeightsFrom(master)
+		}
+
+		msgs := make(chan gradMsg, cfg.Workers*layers)
+		errs := make(chan error, cfg.Workers)
+		workerLoss := make([]float32, cfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				x, labels := batch(step, w)
+				e := execs[w]
+				e.OnLayerBackward = func(layer int) {
+					// Phase the exchange: ship this layer's gradients the
+					// moment its backward completes (Fig. 3 stage 4).
+					l := e.Model.Layers[layer]
+					gs := l.Grads()
+					sent := make([]*Tensor, len(gs))
+					for i, g := range gs {
+						sent[i] = g.Clone()
+					}
+					msgs <- gradMsg{worker: w, layer: layer, grads: sent}
+				}
+				loss, err := e.ForwardBackward(x, labels)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				workerLoss[w] = loss
+			}(w)
+		}
+		go func() {
+			wg.Wait()
+			close(msgs)
+			close(errs)
+		}()
+
+		// Host side: collect phases, reduce each layer in worker order,
+		// update master parameters per layer as soon as the layer is
+		// complete (Fig. 3 stage 5).
+		pending := make(map[int][][]*Tensor, layers) // layer -> per-worker grads
+		updated := make([]bool, layers)
+		inv := 1 / float32(cfg.Workers)
+		for msg := range msgs {
+			bucket := pending[msg.layer]
+			if bucket == nil {
+				bucket = make([][]*Tensor, cfg.Workers)
+			}
+			bucket[msg.worker] = msg.grads
+			pending[msg.layer] = bucket
+			full := true
+			for _, g := range bucket {
+				if g == nil {
+					full = false
+					break
+				}
+			}
+			if !full || updated[msg.layer] {
+				continue
+			}
+			updated[msg.layer] = true
+			l := master.Layers[msg.layer]
+			params := l.Params()
+			if len(params) == 0 {
+				continue
+			}
+			avg := make([]*Tensor, len(params))
+			for gi := range params {
+				sum := bucket[0][gi].Clone()
+				for w := 1; w < cfg.Workers; w++ {
+					for j, v := range bucket[w][gi].Data {
+						sum.Data[j] += v
+					}
+				}
+				for j := range sum.Data {
+					sum.Data[j] *= inv
+				}
+				avg[gi] = sum
+			}
+			opt.Step(params, avg)
+		}
+		if err, ok := <-errs; ok && err != nil {
+			return nil, err
+		}
+		// Reduce losses in worker order for bit-reproducibility.
+		var meanLoss float32
+		for _, l := range workerLoss {
+			meanLoss += l
+		}
+		losses = append(losses, meanLoss*inv)
+
+		for i := range updated {
+			if !updated[i] && len(master.Layers[i].Params()) > 0 {
+				return nil, fmt.Errorf("nn: layer %d missing gradient phases", i)
+			}
+		}
+	}
+	return losses, nil
+}

@@ -1,0 +1,74 @@
+package nn
+
+import "fmt"
+
+// MaxPool2D is a 2x2/stride-2 max pooling layer over {batch, C, H, W}.
+type MaxPool2D struct {
+	name   string
+	savedX *Tensor
+	argmax []int // flat input index selected per output element
+}
+
+// NewMaxPool2D builds the pooling layer.
+func NewMaxPool2D(name string) *MaxPool2D { return &MaxPool2D{name: name} }
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *MaxPool2D) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: %s: want NCHW input, got %v", l.name, x.Shape))
+	}
+	batch, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("nn: %s: odd spatial extent %dx%d", l.name, h, w))
+	}
+	l.savedX = x
+	oh, ow := h/2, w/2
+	y := NewTensor(batch, c, oh, ow)
+	l.argmax = make([]int, y.Len())
+	for b := 0; b < batch; b++ {
+		for ci := 0; ci < c; ci++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					best := -1
+					var bv float32
+					for di := 0; di < 2; di++ {
+						for dj := 0; dj < 2; dj++ {
+							idx := ((b*c+ci)*h+2*i+di)*w + 2*j + dj
+							if best < 0 || x.Data[idx] > bv {
+								best, bv = idx, x.Data[idx]
+							}
+						}
+					}
+					oi := ((b*c+ci)*oh+i)*ow + j
+					y.Data[oi] = bv
+					l.argmax[oi] = best
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer: the gradient routes to the argmax inputs.
+func (l *MaxPool2D) Backward(dy *Tensor) *Tensor {
+	x := l.savedX
+	dx := NewTensor(x.Shape...)
+	for oi, g := range dy.Data {
+		dx.Data[l.argmax[oi]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *MaxPool2D) Params() []*Tensor { return nil }
+
+// Grads implements Layer.
+func (l *MaxPool2D) Grads() []*Tensor { return nil }
+
+// Saved implements Layer.
+func (l *MaxPool2D) Saved() []*Tensor { return []*Tensor{l.savedX} }
+
+var _ Layer = (*MaxPool2D)(nil)

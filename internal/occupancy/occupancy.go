@@ -1,0 +1,150 @@
+// Package occupancy implements the analytic performance model of paper
+// §III-E: device occupancy as a function of buffer availability, swap
+// throughput and per-block processing time (Eqs. (1)–(8)). The planner
+// uses it as a fast screening objective; the event simulator (sim) is the
+// ground truth the model is validated against in tests.
+package occupancy
+
+import (
+	"math"
+
+	"karma/internal/unit"
+)
+
+// FromBusyIdle is Eq. (1): occupancy = busy / (busy + idle).
+func FromBusyIdle(busy, idle unit.Seconds) float64 {
+	if busy < 0 || idle < 0 {
+		panic("occupancy: negative time")
+	}
+	if busy+idle == 0 {
+		return 1
+	}
+	return float64(busy) / float64(busy+idle)
+}
+
+// Block is one schedulable unit in the analytic model.
+type Block struct {
+	// Proc is the block's processing (compute) time, T_proc(b).
+	Proc unit.Seconds
+	// Bytes is the buffer payload that must be swapped in before the
+	// block can be processed (zero for blocks resident in near memory).
+	Bytes unit.Bytes
+}
+
+// Estimate is the analytic outcome of a phase.
+type Estimate struct {
+	// Total is the phase makespan; Busy the aggregated compute time;
+	// Stall the idle time waiting for swap-ins.
+	Total, Busy, Stall unit.Seconds
+	// Occupancy is Eq. (1) over the phase.
+	Occupancy float64
+	// Theta is the index of the catch-up step of Eq. (7): the first block
+	// at which processing overtakes the swap-in pipeline and the device
+	// begins to stall. -1 when the device never stalls (the Eq. (7)
+	// inequality never holds and occupancy is 1).
+	Theta int
+	// Arrive is the swap-in completion time per block (0 for resident).
+	Arrive []unit.Seconds
+}
+
+// Backward evaluates the capacity-based strategy of §III-E2 over one
+// processing phase: blocks are processed in order; blocks with
+// Bytes == 0 are already resident (the capacity-based strategy keeps the
+// tail of the model in near memory); the others stream in FIFO at the
+// swap throughput bw (Eq. (4)), overlapped with processing.
+//
+// Before the catch-up step θ the device runs at full occupancy (the
+// second branch of Eq. (8)); afterwards availability follows Eq. (3) and
+// stalls appear whenever a block's buffer arrives later than the previous
+// block finishes.
+func Backward(blocks []Block, bw unit.BytesPerSec) Estimate {
+	est := Estimate{Theta: -1, Arrive: make([]unit.Seconds, len(blocks))}
+	if len(blocks) == 0 {
+		est.Occupancy = 1
+		return est
+	}
+	// FIFO swap pipeline: arrival time of each non-resident block.
+	var transferred unit.Seconds
+	for i, b := range blocks {
+		if b.Bytes > 0 {
+			transferred += unit.TransferTime(b.Bytes, bw, 0)
+			est.Arrive[i] = transferred
+		}
+	}
+	var t unit.Seconds // current time (end of previous block's processing)
+	for i, b := range blocks {
+		start := t
+		if est.Arrive[i] > start {
+			if est.Theta < 0 {
+				est.Theta = i
+			}
+			est.Stall += est.Arrive[i] - start
+			start = est.Arrive[i]
+		}
+		t = start + b.Proc
+		est.Busy += b.Proc
+	}
+	est.Total = t
+	est.Occupancy = FromBusyIdle(est.Busy, est.Stall)
+	return est
+}
+
+// Eq3Available reproduces Eq. (3)'s buffer-availability recurrence for a
+// step trace: avail_j = max(avail_{j-1} - (swappedIn_{j-1} -
+// processed_{j-1}), 0), with avail_0 = capacity.
+func Eq3Available(capacity unit.Bytes, swappedIn, processed []unit.Bytes) []unit.Bytes {
+	if len(swappedIn) != len(processed) {
+		panic("occupancy: trace length mismatch")
+	}
+	out := make([]unit.Bytes, len(swappedIn)+1)
+	out[0] = capacity
+	for j := 1; j < len(out); j++ {
+		v := out[j-1] - (swappedIn[j-1] - processed[j-1])
+		if v < 0 {
+			v = 0
+		}
+		out[j] = v
+	}
+	return out
+}
+
+// Eq5SwappedIn is Eq. (5): the buffers swapped in during one block's
+// processing window, bounded by the available buffers.
+func Eq5SwappedIn(bw unit.BytesPerSec, proc unit.Seconds, avail unit.Bytes) unit.Bytes {
+	in := unit.Bytes(float64(bw) * float64(proc))
+	if in > avail {
+		return avail
+	}
+	return in
+}
+
+// ResidentSuffix returns how many trailing blocks (by processing order of
+// the *forward* pass) fit in the given budget — the capacity-based rule
+// of §III-E2: "we can know when to stop the swap-out". payload[i] is
+// block i's near-memory footprint; the function returns the smallest
+// index r such that blocks r..len-1 fit, i.e. blocks [r:] stay resident.
+func ResidentSuffix(payload []unit.Bytes, budget unit.Bytes) int {
+	var sum unit.Bytes
+	for i := len(payload) - 1; i >= 0; i-- {
+		sum += payload[i]
+		if sum > budget {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// PerfectOverlap reports whether the Eq. (7) inequality never holds — the
+// whole phase runs at 100% occupancy because processing never catches up
+// with the transfer pipeline.
+func PerfectOverlap(blocks []Block, bw unit.BytesPerSec) bool {
+	return Backward(blocks, bw).Theta < 0
+}
+
+// Speedup returns a/b as a ratio, tolerating zero denominators.
+func Speedup(a, b unit.Seconds) float64 {
+	if b <= 0 {
+		return math.Inf(1)
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,262 @@
+package occupancy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"karma/internal/sim"
+	"karma/internal/unit"
+)
+
+func TestFromBusyIdle(t *testing.T) {
+	if got := FromBusyIdle(1, 1); got != 0.5 {
+		t.Errorf("occupancy = %v, want 0.5", got)
+	}
+	if got := FromBusyIdle(0, 0); got != 1 {
+		t.Errorf("empty phase occupancy = %v, want 1", got)
+	}
+	if got := FromBusyIdle(3, 0); got != 1 {
+		t.Errorf("no-idle occupancy = %v, want 1", got)
+	}
+}
+
+func TestFromBusyIdleNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	FromBusyIdle(-1, 0)
+}
+
+func TestBackwardAllResident(t *testing.T) {
+	blocks := []Block{{Proc: 1}, {Proc: 2}, {Proc: 3}}
+	est := Backward(blocks, 1)
+	if est.Occupancy != 1 || est.Stall != 0 {
+		t.Errorf("all-resident should be stall-free: %+v", est)
+	}
+	if est.Total != 6 {
+		t.Errorf("total = %v, want 6", est.Total)
+	}
+	if est.Theta != -1 {
+		t.Errorf("theta = %d, want -1 (Eq. 7 never holds)", est.Theta)
+	}
+}
+
+func TestBackwardFastLink(t *testing.T) {
+	// Transfers are 10x faster than compute: no stalls, Eq. (8)'s 100%
+	// branch holds for the whole phase.
+	blocks := []Block{
+		{Proc: 1, Bytes: 0}, // resident head gives the pipeline a head start
+		{Proc: 1, Bytes: 10},
+		{Proc: 1, Bytes: 10},
+	}
+	est := Backward(blocks, 100) // 0.1s per block transfer
+	if est.Stall != 0 || est.Occupancy != 1 {
+		t.Errorf("fast link should not stall: %+v", est)
+	}
+	if !PerfectOverlap(blocks, 100) {
+		t.Error("PerfectOverlap should hold")
+	}
+}
+
+func TestBackwardSlowLinkStalls(t *testing.T) {
+	// Each transfer takes 10s vs 1s compute: the device is swap-bound.
+	blocks := []Block{
+		{Proc: 1, Bytes: 10},
+		{Proc: 1, Bytes: 10},
+		{Proc: 1, Bytes: 10},
+	}
+	est := Backward(blocks, 1)
+	if est.Stall <= 0 {
+		t.Fatalf("slow link must stall: %+v", est)
+	}
+	if est.Theta != 0 {
+		t.Errorf("theta = %d, want 0 (stalls from the first block)", est.Theta)
+	}
+	// Swap-bound: total approaches total transfer time (30s) + last proc.
+	if est.Total != 31 {
+		t.Errorf("total = %v, want 31", est.Total)
+	}
+	if est.Occupancy >= 0.5 {
+		t.Errorf("occupancy = %v, should be low", est.Occupancy)
+	}
+}
+
+func TestBackwardResidentPrefixHidesTransfers(t *testing.T) {
+	// Two resident blocks (2s compute) hide one 2s transfer completely.
+	blocks := []Block{
+		{Proc: 1},
+		{Proc: 1},
+		{Proc: 1, Bytes: 2},
+	}
+	est := Backward(blocks, 1)
+	if est.Stall != 0 {
+		t.Errorf("stall = %v, want 0 (transfer hidden)", est.Stall)
+	}
+	if est.Total != 3 {
+		t.Errorf("total = %v, want 3", est.Total)
+	}
+}
+
+func TestBackwardMatchesSimulator(t *testing.T) {
+	// The analytic model must agree with the event simulator on a
+	// swap-and-process pipeline (validation of Eqs. (3)-(8)).
+	blocks := []Block{
+		{Proc: 2},
+		{Proc: 1, Bytes: 30},
+		{Proc: 2, Bytes: 10},
+		{Proc: 1, Bytes: 20},
+	}
+	const bw = 10 // -> transfers: 3s, 1s, 2s
+	est := Backward(blocks, bw)
+
+	var ops []sim.Op
+	prevSwap := -1
+	for _, b := range blocks {
+		if b.Bytes == 0 {
+			continue
+		}
+		deps := []int(nil)
+		if prevSwap >= 0 {
+			deps = []int{prevSwap}
+		}
+		ops = append(ops, sim.Op{
+			Label: "in", Stream: sim.H2D,
+			Duration: unit.TransferTime(b.Bytes, bw, 0), Deps: deps,
+		})
+		prevSwap = len(ops) - 1
+	}
+	// Compute chain: each block deps on its swap (if any).
+	swapIdx := 0
+	for _, b := range blocks {
+		var deps []int
+		if b.Bytes > 0 {
+			deps = append(deps, swapIdx)
+			swapIdx++
+		}
+		ops = append(ops, sim.Op{Label: "proc", Stream: sim.Compute, Duration: b.Proc, Deps: deps})
+	}
+	tl, err := sim.Run(ops, 1<<40)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if math.Abs(float64(tl.Makespan-est.Total)) > 1e-9 {
+		t.Errorf("analytic total %v != simulated %v", est.Total, tl.Makespan)
+	}
+}
+
+func TestEq3Available(t *testing.T) {
+	in := []unit.Bytes{5, 5, 0}
+	proc := []unit.Bytes{2, 0, 4}
+	got := Eq3Available(10, in, proc)
+	want := []unit.Bytes{10, 7, 2, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("avail[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Floor at zero.
+	got = Eq3Available(1, []unit.Bytes{10}, []unit.Bytes{0})
+	if got[1] != 0 {
+		t.Errorf("avail floors at 0, got %v", got[1])
+	}
+}
+
+func TestEq3MismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Eq3Available(1, []unit.Bytes{1}, nil)
+}
+
+func TestEq5SwappedIn(t *testing.T) {
+	if got := Eq5SwappedIn(10, 2, 100); got != 20 {
+		t.Errorf("swapped-in = %v, want 20", got)
+	}
+	// Bounded by availability (the min of Eq. (5)).
+	if got := Eq5SwappedIn(10, 2, 5); got != 5 {
+		t.Errorf("swapped-in = %v, want 5 (availability bound)", got)
+	}
+}
+
+func TestResidentSuffix(t *testing.T) {
+	payload := []unit.Bytes{4, 4, 4, 4}
+	cases := []struct {
+		budget unit.Bytes
+		want   int
+	}{
+		{16, 0}, {12, 1}, {8, 2}, {7, 3}, {4, 3}, {3, 4}, {0, 4},
+	}
+	for _, c := range cases {
+		if got := ResidentSuffix(payload, c.budget); got != c.want {
+			t.Errorf("ResidentSuffix(budget=%d) = %d, want %d", c.budget, got, c.want)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(3, 2); got != 1.5 {
+		t.Errorf("speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("zero denominator should be +Inf")
+	}
+}
+
+// Property: occupancy is in (0, 1] and total = busy + stall for any
+// block configuration.
+func TestBackwardInvariants(t *testing.T) {
+	f := func(procs, bytes []uint8) bool {
+		n := len(procs)
+		if len(bytes) < n {
+			n = len(bytes)
+		}
+		if n == 0 {
+			return true
+		}
+		if n > 12 {
+			n = 12
+		}
+		blocks := make([]Block, n)
+		for i := 0; i < n; i++ {
+			blocks[i] = Block{
+				Proc:  unit.Seconds(procs[i]%5) + 1,
+				Bytes: unit.Bytes(bytes[i] % 40),
+			}
+		}
+		est := Backward(blocks, 7)
+		if est.Occupancy <= 0 || est.Occupancy > 1 {
+			return false
+		}
+		return math.Abs(float64(est.Total-(est.Busy+est.Stall))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more bandwidth never increases total time.
+func TestBackwardMonotoneInBandwidth(t *testing.T) {
+	f := func(bytes []uint8) bool {
+		if len(bytes) == 0 {
+			return true
+		}
+		if len(bytes) > 10 {
+			bytes = bytes[:10]
+		}
+		blocks := make([]Block, len(bytes))
+		for i, b := range bytes {
+			blocks[i] = Block{Proc: 1, Bytes: unit.Bytes(b)}
+		}
+		slow := Backward(blocks, 2)
+		fast := Backward(blocks, 20)
+		return fast.Total <= slow.Total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"karma/internal/unit"
+)
+
+// jsonOp is the wire form of an Op.
+type jsonOp struct {
+	Kind     string     `json:"kind"`
+	Block    int        `json:"block"`
+	Duration float64    `json:"duration_sec"`
+	Alloc    unit.Bytes `json:"alloc_bytes,omitempty"`
+	Free     unit.Bytes `json:"free_bytes,omitempty"`
+}
+
+// jsonPlan is the wire form of a Plan.
+type jsonPlan struct {
+	Name      string     `json:"name"`
+	NumBlocks int        `json:"num_blocks"`
+	Stages    [][]jsonOp `json:"stages"`
+}
+
+// kindNames maps kinds to stable wire names (the paper mnemonics).
+var kindNames = map[Kind]string{
+	Fwd: "F", Bwd: "B", Recompute: "R", SwapOut: "Sout", SwapIn: "Sin",
+	GradExchange: "Ex", UpdateCPU: "Ucpu", UpdateGPU: "Ugpu",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// Encode writes the plan as JSON. Plans are data (DESIGN.md): the same
+// IR drives the simulator, the numeric executor, and external tools.
+func (p *Plan) Encode(w io.Writer) error {
+	jp := jsonPlan{Name: p.Name, NumBlocks: p.NumBlocks}
+	for _, st := range p.Stages {
+		ops := make([]jsonOp, 0, len(st.Ops))
+		for _, op := range st.Ops {
+			name, ok := kindNames[op.Kind]
+			if !ok {
+				return fmt.Errorf("plan: cannot encode kind %d", int(op.Kind))
+			}
+			ops = append(ops, jsonOp{
+				Kind: name, Block: op.Block,
+				Duration: float64(op.Duration),
+				Alloc:    op.Alloc, Free: op.Free,
+			})
+		}
+		jp.Stages = append(jp.Stages, ops)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// Decode reads a plan previously written by Encode and validates it.
+func Decode(r io.Reader) (*Plan, error) {
+	var jp jsonPlan
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	p := &Plan{Name: jp.Name, NumBlocks: jp.NumBlocks}
+	for si, ops := range jp.Stages {
+		st := Stage{}
+		for oi, op := range ops {
+			kind, ok := kindByName[op.Kind]
+			if !ok {
+				return nil, fmt.Errorf("plan: stage %d op %d: unknown kind %q", si, oi, op.Kind)
+			}
+			st.Ops = append(st.Ops, Op{
+				Kind: kind, Block: op.Block,
+				Duration: unit.Seconds(op.Duration),
+				Alloc:    op.Alloc, Free: op.Free,
+			})
+		}
+		p.Stages = append(p.Stages, st)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MemoryDelta returns the net device-memory effect of the whole plan
+// (total allocations minus total frees). A steady-state single-iteration
+// plan must balance to zero; multi-iteration plans balance per iteration.
+func (p *Plan) MemoryDelta() unit.Bytes {
+	var d unit.Bytes
+	for _, st := range p.Stages {
+		for _, op := range st.Ops {
+			d += op.Alloc - op.Free
+		}
+	}
+	return d
+}

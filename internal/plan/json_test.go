@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := figure2c()
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Name != p.Name || got.NumBlocks != p.NumBlocks {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Stages) != len(p.Stages) {
+		t.Fatalf("stages = %d, want %d", len(got.Stages), len(p.Stages))
+	}
+	for si := range p.Stages {
+		if len(got.Stages[si].Ops) != len(p.Stages[si].Ops) {
+			t.Fatalf("stage %d op count mismatch", si)
+		}
+		for oi := range p.Stages[si].Ops {
+			a, b := p.Stages[si].Ops[oi], got.Stages[si].Ops[oi]
+			if a != b {
+				t.Errorf("stage %d op %d: %+v vs %+v", si, oi, a, b)
+			}
+		}
+	}
+	// The notation must survive too.
+	if got.String() != p.String() {
+		t.Errorf("plan string changed:\n%s\n%s", p, got)
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"name":"x","num_blocks":1,"stages":[[{"kind":"Z","block":0}]]}`,
+		// Bwd before Fwd fails Validate.
+		`{"name":"x","num_blocks":1,"stages":[[{"kind":"B","block":0}]]}`,
+		// Block out of range.
+		`{"name":"x","num_blocks":1,"stages":[[{"kind":"F","block":7}]]}`,
+	}
+	for i, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestEncodeUsesPaperMnemonics(t *testing.T) {
+	p := &Plan{Name: "x", NumBlocks: 1, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0}}},
+		{Ops: []Op{{Kind: Bwd, Block: 0}}},
+		{Ops: []Op{{Kind: SwapOut, Block: 0}}},
+		{Ops: []Op{{Kind: GradExchange, Block: 0}}},
+		{Ops: []Op{{Kind: UpdateCPU, Block: 0}}},
+	}}
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"F"`, `"B"`, `"Sout"`, `"Ex"`, `"Ucpu"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %s in encoding", want)
+		}
+	}
+}
+
+func TestMemoryDeltaBalanced(t *testing.T) {
+	p := figure2c()
+	if d := p.MemoryDelta(); d != 0 {
+		t.Errorf("figure2c plan leaks %v", d)
+	}
+	leaky := &Plan{Name: "l", NumBlocks: 1, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Alloc: 10}}},
+	}}
+	if d := leaky.MemoryDelta(); d != 10 {
+		t.Errorf("delta = %v, want 10", d)
+	}
+}

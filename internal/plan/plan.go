@@ -1,0 +1,303 @@
+// Package plan defines the execution-plan IR that KARMA's planner (and
+// every baseline) emits — the "schedule of stages" of paper Algorithm 1 —
+// and compiles it into the op DAG the sim package executes.
+//
+// A plan is a serial sequence of stages; ops inside one stage are
+// independent and launch together (the paper's "||" notation), compute
+// ops serialize stage order (the "→" notation), and asynchronous copies
+// proceed on their own streams. Data dependencies (a backward pass needs
+// its activations swapped in or recomputed; a gradient exchange needs the
+// gradients computed; ...) are derived automatically from op kinds, so a
+// planner only decides ordering and memory policy.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"karma/internal/sim"
+	"karma/internal/unit"
+)
+
+// Kind enumerates schedulable operations.
+type Kind int
+
+// Operation kinds.
+const (
+	Fwd          Kind = iota // forward compute of a block (device)
+	Bwd                      // backward compute of a block (device)
+	Recompute                // redundant forward recompute (device)
+	SwapOut                  // device -> host copy
+	SwapIn                   // host -> device copy
+	GradExchange             // inter-node all-reduce of a block's gradients
+	UpdateCPU                // weight update on the host (§III-G stage 5)
+	UpdateGPU                // weight update on the device
+)
+
+// String returns the paper-style op mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case Fwd:
+		return "F"
+	case Bwd:
+		return "B"
+	case Recompute:
+		return "R"
+	case SwapOut:
+		return "Sout"
+	case SwapIn:
+		return "Sin"
+	case GradExchange:
+		return "Ex"
+	case UpdateCPU:
+		return "Ucpu"
+	case UpdateGPU:
+		return "Ugpu"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// stream maps an op kind to its hardware stream.
+func (k Kind) stream() sim.Stream {
+	switch k {
+	case Fwd, Bwd, Recompute, UpdateGPU:
+		return sim.Compute
+	case SwapOut:
+		return sim.D2H
+	case SwapIn:
+		return sim.H2D
+	case GradExchange:
+		return sim.Network
+	case UpdateCPU:
+		return sim.HostCPU
+	default:
+		panic(fmt.Sprintf("plan: unknown kind %d", int(k)))
+	}
+}
+
+// compute reports whether the kind runs on the device compute stream.
+func (k Kind) compute() bool { return k.stream() == sim.Compute }
+
+// Op is one operation on one block.
+type Op struct {
+	Kind  Kind
+	Block int
+	// Duration of the op once started.
+	Duration unit.Seconds
+	// Alloc is device memory acquired at start; Free is released at end.
+	Alloc, Free unit.Bytes
+}
+
+// Stage is a set of ops launched together.
+type Stage struct {
+	Ops []Op
+}
+
+// Plan is a complete schedule over NumBlocks blocks.
+type Plan struct {
+	Name      string
+	NumBlocks int
+	Stages    []Stage
+}
+
+// String renders the plan in the paper's notation, e.g.
+// "F0 → F1||Sout0 → ... → B1||Sin0 → B0".
+func (p *Plan) String() string {
+	var sb strings.Builder
+	for i, st := range p.Stages {
+		if i > 0 {
+			sb.WriteString(" → ")
+		}
+		for j, op := range st.Ops {
+			if j > 0 {
+				sb.WriteString("||")
+			}
+			fmt.Fprintf(&sb, "%s%d", op.Kind, op.Block)
+		}
+	}
+	return sb.String()
+}
+
+// Validate checks structural sanity: block indices in range, and every
+// consumer op preceded by its producer (Bwd by Fwd, GradExchange by Bwd,
+// UpdateCPU by GradExchange).
+func (p *Plan) Validate() error {
+	type seenKey struct {
+		k Kind
+		b int
+	}
+	seen := map[seenKey]bool{}
+	for si, st := range p.Stages {
+		for oi, op := range st.Ops {
+			if op.Block < 0 || op.Block >= p.NumBlocks {
+				return fmt.Errorf("plan %s: stage %d op %d: block %d out of range [0,%d)",
+					p.Name, si, oi, op.Block, p.NumBlocks)
+			}
+			if op.Duration < 0 || op.Alloc < 0 || op.Free < 0 {
+				return fmt.Errorf("plan %s: stage %d op %d: negative cost", p.Name, si, oi)
+			}
+			switch op.Kind {
+			case Bwd:
+				if !seen[seenKey{Fwd, op.Block}] {
+					return fmt.Errorf("plan %s: B%d before F%d", p.Name, op.Block, op.Block)
+				}
+			case GradExchange:
+				if !seen[seenKey{Bwd, op.Block}] {
+					return fmt.Errorf("plan %s: Ex%d before B%d", p.Name, op.Block, op.Block)
+				}
+			case UpdateCPU, UpdateGPU:
+				if !seen[seenKey{Bwd, op.Block}] {
+					return fmt.Errorf("plan %s: update of block %d before B%d", p.Name, op.Block, op.Block)
+				}
+			}
+			seen[seenKey{op.Kind, op.Block}] = true
+		}
+	}
+	return nil
+}
+
+// Ref locates a plan op inside the compiled op slice.
+type Ref struct {
+	Stage, Index int // position within the plan
+	Sim          int // index into the compiled []sim.Op
+}
+
+// Compiled is the result of lowering a Plan for simulation.
+type Compiled struct {
+	Ops []sim.Op
+	// Refs parallels Ops, mapping each sim op back to its plan position.
+	Refs []Ref
+	// PlanOps parallels Ops with the original plan op.
+	PlanOps []Op
+}
+
+// Compile lowers the plan to simulator ops.
+//
+// Launch dependencies: every op in stage s depends on the last
+// compute-stream op of the nearest earlier stage that has one (stages
+// gate on processing, copies are asynchronous).
+//
+// Data dependencies (auto-derived, keyed by most recent occurrence):
+//
+//	Fwd(b), Bwd(b)  ← latest SwapIn(b), Recompute(b) of the block
+//	SwapOut(b)      ← latest compute op of the block
+//	GradExchange(b) ← latest SwapOut(b) (if any) else Bwd(b)
+//	UpdateCPU(b)    ← latest GradExchange(b) (if any) else SwapOut/Bwd
+//	SwapIn(b)       ← latest UpdateCPU(b) (next-iteration reload)
+func (p *Plan) Compile() (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{}
+	type key struct {
+		k Kind
+		b int
+	}
+	last := map[key]int{} // most recent sim-op index per (kind, block)
+	lastGate := -1        // most recent compute gate across stages
+
+	get := func(k Kind, b int) (int, bool) {
+		i, ok := last[key{k, b}]
+		return i, ok
+	}
+
+	for si, st := range p.Stages {
+		gateThisStage := -1
+		for oi, op := range st.Ops {
+			idx := len(c.Ops)
+			var deps []int
+			if lastGate >= 0 {
+				deps = append(deps, lastGate)
+			}
+			addDep := func(i int) {
+				for _, d := range deps {
+					if d == i {
+						return
+					}
+				}
+				deps = append(deps, i)
+			}
+			switch op.Kind {
+			case Fwd, Bwd:
+				if i, ok := get(SwapIn, op.Block); ok {
+					addDep(i)
+				}
+				if i, ok := get(Recompute, op.Block); ok {
+					addDep(i)
+				}
+			case Recompute:
+				// A recompute replays from its predecessor's boundary
+				// activation; when that predecessor was swapped out, the
+				// replay must wait for its prefetch (§III-F: recompute
+				// interleaved with the swap stream).
+				if op.Block > 0 {
+					if i, ok := get(SwapIn, op.Block-1); ok {
+						addDep(i)
+					}
+				}
+			case SwapOut:
+				for _, k := range []Kind{UpdateGPU, Bwd, Recompute, Fwd} {
+					if i, ok := get(k, op.Block); ok {
+						addDep(i)
+						break
+					}
+				}
+			case GradExchange:
+				if i, ok := get(SwapOut, op.Block); ok {
+					addDep(i)
+				} else if i, ok := get(Bwd, op.Block); ok {
+					addDep(i)
+				}
+			case UpdateCPU:
+				found := false
+				for _, k := range []Kind{GradExchange, UpdateGPU, SwapOut} {
+					if i, ok := get(k, op.Block); ok {
+						addDep(i)
+						found = true
+					}
+				}
+				if !found {
+					if i, ok := get(Bwd, op.Block); ok {
+						addDep(i)
+					}
+				}
+			case SwapIn:
+				if i, ok := get(UpdateCPU, op.Block); ok {
+					addDep(i)
+				}
+			}
+			c.Ops = append(c.Ops, sim.Op{
+				Label:      fmt.Sprintf("%s%d", op.Kind, op.Block),
+				Stream:     op.Kind.stream(),
+				Duration:   op.Duration,
+				Deps:       deps,
+				AllocBytes: op.Alloc,
+				FreeBytes:  op.Free,
+			})
+			c.Refs = append(c.Refs, Ref{Stage: si, Index: oi, Sim: idx})
+			c.PlanOps = append(c.PlanOps, op)
+			last[key{op.Kind, op.Block}] = idx
+			if op.Kind.compute() {
+				gateThisStage = idx
+			}
+		}
+		if gateThisStage >= 0 {
+			lastGate = gateThisStage
+		}
+	}
+	return c, nil
+}
+
+// Simulate compiles and runs the plan against the given capacity.
+func (p *Plan) Simulate(capacity unit.Bytes) (*Compiled, *sim.Timeline, error) {
+	c, err := p.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	tl, err := sim.Run(c.Ops, capacity)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plan %s: %w", p.Name, err)
+	}
+	return c, tl, nil
+}

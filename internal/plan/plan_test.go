@@ -1,0 +1,334 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"karma/internal/sim"
+	"karma/internal/unit"
+)
+
+// figure2c builds the paper's illustrative example (Fig. 2c / §III-F3):
+// six blocks, compute 1s each, swaps 2s, capacity for 4 block buffers;
+// blocks 0 and 2 swap, block 3 and 1 (paper's 4 and 2) recompute.
+// Paper notation (1-indexed): F1 → F2||Sout1 → F3 → F4||Sout3 → F5 → F6 →
+// B6||Sin3 → B5 → F4 → B4||Sin1 → B3 → F2 → B2 → B1.
+func figure2c() *Plan {
+	const act = unit.Bytes(10)
+	// f allocates the block's activations; drop releases a recomputed
+	// predecessor's activations once this forward has consumed them.
+	f := func(b int, drop unit.Bytes) Op {
+		return Op{Kind: Fwd, Block: b, Duration: 1, Alloc: act, Free: drop}
+	}
+	bw := func(b int) Op { return Op{Kind: Bwd, Block: b, Duration: 2, Free: act} }
+	so := func(b int) Op { return Op{Kind: SwapOut, Block: b, Duration: 2, Free: act} }
+	si := func(b int) Op { return Op{Kind: SwapIn, Block: b, Duration: 2, Alloc: act} }
+	rc := func(b int) Op { return Op{Kind: Recompute, Block: b, Duration: 1, Alloc: act} }
+
+	return &Plan{
+		Name:      "fig2c",
+		NumBlocks: 6,
+		Stages: []Stage{
+			{Ops: []Op{f(0, 0)}},
+			{Ops: []Op{f(1, 0), so(0)}},
+			{Ops: []Op{f(2, act)}}, // block 1 recomputes: dropped here
+			{Ops: []Op{f(3, 0), so(2)}},
+			{Ops: []Op{f(4, act)}}, // block 3 recomputes: dropped here
+			{Ops: []Op{f(5, 0)}},
+			{Ops: []Op{bw(5), si(2)}},
+			{Ops: []Op{bw(4)}},
+			{Ops: []Op{rc(3)}},
+			{Ops: []Op{bw(3), si(0)}},
+			{Ops: []Op{bw(2)}},
+			{Ops: []Op{rc(1)}},
+			{Ops: []Op{bw(1)}},
+			{Ops: []Op{bw(0)}},
+		},
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Fwd: "F", Bwd: "B", Recompute: "R", SwapOut: "Sout", SwapIn: "Sin",
+		GradExchange: "Ex", UpdateCPU: "Ucpu", UpdateGPU: "Ugpu",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestKindStreams(t *testing.T) {
+	if Fwd.stream() != sim.Compute || Bwd.stream() != sim.Compute ||
+		Recompute.stream() != sim.Compute || UpdateGPU.stream() != sim.Compute {
+		t.Error("device kinds must run on the compute stream")
+	}
+	if SwapIn.stream() != sim.H2D || SwapOut.stream() != sim.D2H {
+		t.Error("swap kinds on wrong streams")
+	}
+	if GradExchange.stream() != sim.Network || UpdateCPU.stream() != sim.HostCPU {
+		t.Error("distributed kinds on wrong streams")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := &Plan{Name: "x", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0}}},
+		{Ops: []Op{{Kind: Fwd, Block: 1}, {Kind: SwapOut, Block: 0}}},
+	}}
+	if got := p.String(); got != "F0 → F1||Sout0" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := figure2c()
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(good): %v", err)
+	}
+	bad := &Plan{Name: "b", NumBlocks: 1, Stages: []Stage{
+		{Ops: []Op{{Kind: Bwd, Block: 0}}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("Bwd without Fwd should fail")
+	}
+	oob := &Plan{Name: "o", NumBlocks: 1, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 3}}},
+	}}
+	if err := oob.Validate(); err == nil {
+		t.Error("out-of-range block should fail")
+	}
+	neg := &Plan{Name: "n", NumBlocks: 1, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: -1}}},
+	}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative duration should fail")
+	}
+	exEarly := &Plan{Name: "e", NumBlocks: 1, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0}}},
+		{Ops: []Op{{Kind: GradExchange, Block: 0}}},
+	}}
+	if err := exEarly.Validate(); err == nil {
+		t.Error("exchange before backward should fail")
+	}
+}
+
+func TestCompileDeps(t *testing.T) {
+	p := figure2c()
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// Find B2 (backward of block 2) and Sin2: B2 must depend on Sin2.
+	var b2, sin2 = -1, -1
+	for i, op := range c.Ops {
+		switch op.Label {
+		case "B2":
+			b2 = i
+		case "Sin2":
+			sin2 = i
+		}
+	}
+	if b2 < 0 || sin2 < 0 {
+		t.Fatal("missing B2/Sin2")
+	}
+	found := false
+	for _, d := range c.Ops[b2].Deps {
+		if d == sin2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("B2 deps %v must include Sin2 (%d)", c.Ops[b2].Deps, sin2)
+	}
+}
+
+func TestCompileSwapOutDependsOnFwd(t *testing.T) {
+	p := figure2c()
+	c, _ := p.Compile()
+	var f0, sout0 = -1, -1
+	for i, op := range c.Ops {
+		switch op.Label {
+		case "F0":
+			f0 = i
+		case "Sout0":
+			sout0 = i
+		}
+	}
+	found := false
+	for _, d := range c.Ops[sout0].Deps {
+		if d == f0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Sout0 deps %v must include F0 (%d)", c.Ops[sout0].Deps, f0)
+	}
+}
+
+func TestSimulateFigure2c(t *testing.T) {
+	p := figure2c()
+	// Capacity of 4 block buffers (40 bytes).
+	c, tl, err := p.Simulate(40)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if tl.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	// All six forwards and backwards must appear.
+	count := map[Kind]int{}
+	for _, op := range c.PlanOps {
+		count[op.Kind]++
+	}
+	if count[Fwd] != 6 || count[Bwd] != 6 || count[Recompute] != 2 {
+		t.Errorf("op counts = %v", count)
+	}
+	// Compute work: 6 fwd (1s) + 6 bwd (2s) + 2 recompute (1s) = 20s.
+	if tl.Busy[sim.Compute] != 20 {
+		t.Errorf("compute busy = %v, want 20", tl.Busy[sim.Compute])
+	}
+	// Peak memory within capacity.
+	if tl.PeakMem > 40 {
+		t.Errorf("peak = %v exceeds capacity", tl.PeakMem)
+	}
+}
+
+func TestRecomputeReducesMakespanVsSwap(t *testing.T) {
+	// The paper's premise (§III-B): swapping a block takes longer than
+	// computing it. With a 4s swap-in that only partially hides under the
+	// 2s backward of block 1, a 1s recompute beats waiting for the copy —
+	// the core claim of §III-F.
+	const act = unit.Bytes(10)
+	swapPlan := &Plan{Name: "swap", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1, Alloc: act}}},
+		{Ops: []Op{{Kind: Fwd, Block: 1, Duration: 1, Alloc: act}, {Kind: SwapOut, Block: 0, Duration: 4, Free: act}}},
+		{Ops: []Op{{Kind: Bwd, Block: 1, Duration: 2, Free: act}, {Kind: SwapIn, Block: 0, Duration: 4, Alloc: act}}},
+		{Ops: []Op{{Kind: Bwd, Block: 0, Duration: 2, Free: act}}},
+	}}
+	recompPlan := &Plan{Name: "recomp", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1, Alloc: act}}},
+		{Ops: []Op{{Kind: Fwd, Block: 1, Duration: 1, Alloc: act}, {Kind: SwapOut, Block: 0, Duration: 4, Free: act}}},
+		{Ops: []Op{{Kind: Bwd, Block: 1, Duration: 2, Free: act}}},
+		{Ops: []Op{{Kind: Recompute, Block: 0, Duration: 1, Alloc: act}}},
+		{Ops: []Op{{Kind: Bwd, Block: 0, Duration: 2, Free: act}}},
+	}}
+	_, tlSwap, err := swapPlan.Simulate(30)
+	if err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	_, tlRe, err := recompPlan.Simulate(30)
+	if err != nil {
+		t.Fatalf("recompute: %v", err)
+	}
+	if tlRe.Makespan > tlSwap.Makespan {
+		t.Errorf("recompute (%v) slower than swap (%v)", tlRe.Makespan, tlSwap.Makespan)
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	p := &Plan{Name: "bad", NumBlocks: 1, Stages: []Stage{
+		{Ops: []Op{{Kind: Bwd, Block: 0}}},
+	}}
+	if _, err := p.Compile(); err == nil {
+		t.Error("Compile should reject invalid plans")
+	}
+}
+
+func TestMultiNodeKindsCompile(t *testing.T) {
+	p := &Plan{Name: "dist", NumBlocks: 1, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: Bwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: SwapOut, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: GradExchange, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: UpdateCPU, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: SwapIn, Block: 0, Duration: 1}}},
+	}}
+	c, tl, err := p.Simulate(100)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	// The chain Ex <- Sout <- Bwd and Ucpu <- Ex and Sin <- Ucpu must
+	// serialize: makespan is the 6-op critical path.
+	if tl.Makespan != 6 {
+		t.Errorf("makespan = %v, want 6 (fully dependent chain)", tl.Makespan)
+	}
+	// Verify the exchange depends on the swap-out, not just the backward.
+	var ex, sout int
+	for i, op := range c.Ops {
+		if strings.HasPrefix(op.Label, "Ex") {
+			ex = i
+		}
+		if strings.HasPrefix(op.Label, "Sout") {
+			sout = i
+		}
+	}
+	found := false
+	for _, d := range c.Ops[ex].Deps {
+		if d == sout {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("GradExchange must depend on the gradient swap-out")
+	}
+}
+
+// Property: any well-formed single-iteration plan (forward chain with a
+// per-block policy drawn at random, backward in reverse) compiles,
+// simulates without deadlock, respects capacity, and balances memory.
+func TestRandomPlansSimulate(t *testing.T) {
+	f := func(policies []uint8) bool {
+		n := len(policies)
+		if n == 0 {
+			return true
+		}
+		if n > 12 {
+			policies = policies[:12]
+			n = 12
+		}
+		const act = unit.Bytes(8)
+		capacity := unit.Bytes(16 * n) // generous: policy mix must still fit
+		p := &Plan{Name: "rand", NumBlocks: n}
+		// Forward.
+		for b := 0; b < n; b++ {
+			st := Stage{Ops: []Op{{Kind: Fwd, Block: b, Duration: 1, Alloc: act}}}
+			if b > 0 {
+				switch policies[b-1] % 3 {
+				case 1: // swap
+					st.Ops = append(st.Ops, Op{Kind: SwapOut, Block: b - 1, Duration: 2, Free: act})
+				case 2: // recompute: drop when consumed
+					st.Ops[0].Free += act
+				}
+			}
+			p.Stages = append(p.Stages, st)
+		}
+		// Backward: last block's policy forced to keep.
+		first := Stage{Ops: []Op{{Kind: Bwd, Block: n - 1, Duration: 1, Free: act}}}
+		for b := n - 2; b >= 0; b-- {
+			if policies[b]%3 == 1 {
+				first.Ops = append(first.Ops, Op{Kind: SwapIn, Block: b, Duration: 2, Alloc: act})
+			}
+		}
+		p.Stages = append(p.Stages, first)
+		for b := n - 2; b >= 0; b-- {
+			if policies[b]%3 == 2 {
+				p.Stages = append(p.Stages, Stage{Ops: []Op{{Kind: Recompute, Block: b, Duration: 1, Alloc: act}}})
+			}
+			p.Stages = append(p.Stages, Stage{Ops: []Op{{Kind: Bwd, Block: b, Duration: 1, Free: act}}})
+		}
+		if p.MemoryDelta() != 0 {
+			return false
+		}
+		_, tl, err := p.Simulate(capacity)
+		if err != nil {
+			return false
+		}
+		return tl.Makespan > 0 && tl.PeakMem <= capacity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

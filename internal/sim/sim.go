@@ -1,0 +1,285 @@
+// Package sim is a discrete-event simulator for a single accelerator with
+// concurrent hardware streams (compute, H2D copy, D2H copy, host CPU,
+// network) and a finite device-memory pool.
+//
+// It substitutes for the CUDA execution substrate of the paper: plans
+// compiled from KARMA's (or a baseline's) schedule become a DAG of timed
+// ops; the simulator plays them out under the same rules CUDA streams
+// obey — FIFO order per stream, cross-stream dependencies via events, and
+// copy/compute overlap — plus an explicit capacity constraint that makes
+// swap-ins wait for buffers to free, the mechanism behind Eqs. (3)–(8).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"karma/internal/unit"
+)
+
+// Stream identifies a hardware queue. Ops on the same stream execute in
+// submission order; different streams overlap.
+type Stream int
+
+// The simulated hardware streams.
+const (
+	Compute Stream = iota // device math
+	H2D                   // host-to-device copies (swap-in)
+	D2H                   // device-to-host copies (swap-out)
+	HostCPU               // CPU-side compute (weight updates)
+	Network               // collective communication
+	numStreams
+)
+
+// String names the stream.
+func (s Stream) String() string {
+	switch s {
+	case Compute:
+		return "compute"
+	case H2D:
+		return "h2d"
+	case D2H:
+		return "d2h"
+	case HostCPU:
+		return "cpu"
+	case Network:
+		return "net"
+	default:
+		return fmt.Sprintf("stream(%d)", int(s))
+	}
+}
+
+// Op is one scheduled operation.
+type Op struct {
+	// Label is free-form and used in reports ("B4", "SwapIn3", ...).
+	Label string
+	// Stream this op executes on.
+	Stream Stream
+	// Duration of execution once started.
+	Duration unit.Seconds
+	// Deps are indices (into the ops slice) of operations that must have
+	// finished before this op starts.
+	Deps []int
+	// AllocBytes is device memory acquired when the op starts (swap-in
+	// buffers, compute outputs). The op waits until it fits.
+	AllocBytes unit.Bytes
+	// FreeBytes is device memory released when the op ends (swap-out
+	// payloads, consumed activations).
+	FreeBytes unit.Bytes
+}
+
+// OpResult is the simulated execution record of one op.
+type OpResult struct {
+	Start unit.Seconds
+	End   unit.Seconds
+	// Ready is the instant all dependencies had finished; Start - Ready
+	// is the stall attributable to stream occupancy or memory pressure.
+	Ready unit.Seconds
+}
+
+// Stall returns how long the op waited after its inputs were ready.
+func (r OpResult) Stall() unit.Seconds { return r.Start - r.Ready }
+
+// Timeline is the full simulation outcome.
+type Timeline struct {
+	Ops      []OpResult
+	Makespan unit.Seconds
+	PeakMem  unit.Bytes
+	// Busy accumulates execution time per stream.
+	Busy [numStreams]unit.Seconds
+}
+
+// ComputeIdle returns the idle time on the compute stream between its
+// first start and last end — the T_idle of the occupancy definition,
+// Eq. (1).
+func (t *Timeline) ComputeIdle(ops []Op) unit.Seconds {
+	first := unit.Seconds(math.Inf(1))
+	last := unit.Seconds(math.Inf(-1))
+	var busy unit.Seconds
+	for i, o := range ops {
+		if o.Stream != Compute {
+			continue
+		}
+		r := t.Ops[i]
+		if r.Start < first {
+			first = r.Start
+		}
+		if r.End > last {
+			last = r.End
+		}
+		busy += r.End - r.Start
+	}
+	if math.IsInf(float64(first), 1) {
+		return 0
+	}
+	return (last - first) - busy
+}
+
+// Occupancy returns busy/(busy+idle) on the compute stream, Eq. (1).
+func (t *Timeline) Occupancy(ops []Op) float64 {
+	idle := t.ComputeIdle(ops)
+	busy := t.Busy[Compute]
+	if busy+idle <= 0 {
+		return 1
+	}
+	return float64(busy) / float64(busy+idle)
+}
+
+// Run simulates the op DAG against the given device memory capacity.
+// It returns an error for malformed inputs (bad deps, single allocations
+// exceeding capacity) and for deadlocks (no runnable op while work
+// remains, e.g. a schedule whose working set cannot fit).
+func Run(ops []Op, capacity unit.Bytes) (*Timeline, error) {
+	for i, o := range ops {
+		if o.Duration < 0 {
+			return nil, fmt.Errorf("sim: op %d (%s): negative duration", i, o.Label)
+		}
+		if o.AllocBytes < 0 || o.FreeBytes < 0 {
+			return nil, fmt.Errorf("sim: op %d (%s): negative memory delta", i, o.Label)
+		}
+		if o.AllocBytes > capacity {
+			return nil, fmt.Errorf("sim: op %d (%s): allocation %v exceeds capacity %v",
+				i, o.Label, o.AllocBytes, capacity)
+		}
+		if o.Stream < 0 || o.Stream >= numStreams {
+			return nil, fmt.Errorf("sim: op %d (%s): unknown stream %d", i, o.Label, o.Stream)
+		}
+		for _, d := range o.Deps {
+			if d < 0 || d >= len(ops) {
+				return nil, fmt.Errorf("sim: op %d (%s): dep %d out of range", i, o.Label, d)
+			}
+			if d >= i {
+				return nil, fmt.Errorf("sim: op %d (%s): forward dep %d (ops must be topological)", i, o.Label, d)
+			}
+		}
+	}
+
+	tl := &Timeline{Ops: make([]OpResult, len(ops))}
+	done := make([]bool, len(ops))
+	endAt := make([]unit.Seconds, len(ops))
+
+	// Per-stream FIFO: queue of op indices in submission order.
+	var queues [numStreams][]int
+	for i, o := range ops {
+		queues[o.Stream] = append(queues[o.Stream], i)
+	}
+	var qpos [numStreams]int
+	var streamFree [numStreams]unit.Seconds
+
+	var memUsed unit.Bytes
+	// running holds in-flight ops (unsorted; scans are fine at our sizes).
+	running := map[int]bool{}
+	now := unit.Seconds(0)
+	remaining := len(ops)
+
+	depsReady := func(i int) (unit.Seconds, bool) {
+		ready := unit.Seconds(0)
+		for _, d := range ops[i].Deps {
+			if !done[d] {
+				return 0, false
+			}
+			if endAt[d] > ready {
+				ready = endAt[d]
+			}
+		}
+		return ready, true
+	}
+
+	for remaining > 0 {
+		// Complete everything that has finished by `now`.
+		for i := range running {
+			if endAt[i] <= now {
+				delete(running, i)
+				done[i] = true
+				memUsed -= ops[i].FreeBytes
+				if memUsed < 0 {
+					return nil, fmt.Errorf("sim: op %d (%s) frees more memory than allocated", i, ops[i].Label)
+				}
+				remaining--
+			}
+		}
+
+		// Start every op that can run at `now`.
+		progressed := true
+		for progressed {
+			progressed = false
+			for s := Stream(0); s < numStreams; s++ {
+				for qpos[s] < len(queues[s]) {
+					i := queues[s][qpos[s]]
+					ready, ok := depsReady(i)
+					if !ok || ready > now || streamFree[s] > now {
+						break
+					}
+					if memUsed+ops[i].AllocBytes > capacity {
+						break // head-of-line blocks on memory, like a real stream
+					}
+					memUsed += ops[i].AllocBytes
+					if memUsed > tl.PeakMem {
+						tl.PeakMem = memUsed
+					}
+					end := now + ops[i].Duration
+					tl.Ops[i] = OpResult{Start: now, End: end, Ready: ready}
+					endAt[i] = end
+					tl.Busy[s] += ops[i].Duration
+					streamFree[s] = end
+					running[i] = true
+					qpos[s]++
+					progressed = true
+				}
+			}
+			if progressed {
+				// A newly started zero-duration op may complete immediately
+				// and unblock others at the same instant.
+				for i := range running {
+					if endAt[i] <= now {
+						delete(running, i)
+						done[i] = true
+						memUsed -= ops[i].FreeBytes
+						remaining--
+					}
+				}
+			}
+		}
+
+		if remaining == 0 {
+			break
+		}
+
+		// Advance time to the next completion.
+		next := unit.Seconds(math.Inf(1))
+		for i := range running {
+			if endAt[i] < next {
+				next = endAt[i]
+			}
+		}
+		if math.IsInf(float64(next), 1) {
+			return nil, deadlockError(ops, done, memUsed, capacity)
+		}
+		now = next
+		if now > tl.Makespan {
+			tl.Makespan = now
+		}
+	}
+	// Makespan is the latest end.
+	for i := range ops {
+		if endAt[i] > tl.Makespan {
+			tl.Makespan = endAt[i]
+		}
+	}
+	return tl, nil
+}
+
+func deadlockError(ops []Op, done []bool, memUsed, capacity unit.Bytes) error {
+	pending := 0
+	first := ""
+	for i := range ops {
+		if !done[i] {
+			pending++
+			if first == "" {
+				first = ops[i].Label
+			}
+		}
+	}
+	return fmt.Errorf("sim: deadlock with %d ops pending (first %q): working set does not fit (%v used of %v)",
+		pending, first, memUsed, capacity)
+}

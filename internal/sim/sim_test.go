@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"karma/internal/unit"
+)
+
+func mustRun(t *testing.T, ops []Op, cap unit.Bytes) *Timeline {
+	t.Helper()
+	tl, err := Run(ops, cap)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return tl
+}
+
+func TestSerialSameStream(t *testing.T) {
+	ops := []Op{
+		{Label: "a", Stream: Compute, Duration: 1},
+		{Label: "b", Stream: Compute, Duration: 2},
+		{Label: "c", Stream: Compute, Duration: 3},
+	}
+	tl := mustRun(t, ops, 1)
+	if tl.Makespan != 6 {
+		t.Errorf("makespan = %v, want 6 (FIFO serialization)", tl.Makespan)
+	}
+	if tl.Ops[1].Start != 1 || tl.Ops[2].Start != 3 {
+		t.Errorf("starts = %v, %v; want 1, 3", tl.Ops[1].Start, tl.Ops[2].Start)
+	}
+}
+
+func TestParallelStreams(t *testing.T) {
+	ops := []Op{
+		{Label: "compute", Stream: Compute, Duration: 3},
+		{Label: "copy", Stream: H2D, Duration: 2},
+	}
+	tl := mustRun(t, ops, 1)
+	if tl.Makespan != 3 {
+		t.Errorf("makespan = %v, want 3 (streams overlap)", tl.Makespan)
+	}
+	if tl.Ops[1].Start != 0 {
+		t.Errorf("copy should start at 0, got %v", tl.Ops[1].Start)
+	}
+}
+
+func TestDependencyAcrossStreams(t *testing.T) {
+	// Swap-in then compute: compute waits for the copy.
+	ops := []Op{
+		{Label: "in", Stream: H2D, Duration: 2},
+		{Label: "use", Stream: Compute, Duration: 1, Deps: []int{0}},
+	}
+	tl := mustRun(t, ops, 1)
+	if tl.Ops[1].Start != 2 {
+		t.Errorf("compute start = %v, want 2", tl.Ops[1].Start)
+	}
+	if tl.Ops[1].Ready != 2 || tl.Ops[1].Stall() != 0 {
+		t.Errorf("ready/stall wrong: %+v", tl.Ops[1])
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	// Two compute ops; the second's dep finishes immediately but the
+	// stream is busy until t=5 — a 5s stall.
+	ops := []Op{
+		{Label: "dep", Stream: H2D, Duration: 0},
+		{Label: "long", Stream: Compute, Duration: 5},
+		{Label: "stalled", Stream: Compute, Duration: 1, Deps: []int{0}},
+	}
+	tl := mustRun(t, ops, 1)
+	if got := tl.Ops[2].Stall(); got != 5 {
+		t.Errorf("stall = %v, want 5", got)
+	}
+}
+
+func TestMemoryCapacityStalls(t *testing.T) {
+	// Capacity 10: the second swap-in must wait until the first frees.
+	ops := []Op{
+		{Label: "in1", Stream: H2D, Duration: 1, AllocBytes: 8},
+		{Label: "use1", Stream: Compute, Duration: 2, Deps: []int{0}},
+		{Label: "out1", Stream: D2H, Duration: 1, Deps: []int{1}, FreeBytes: 8},
+		{Label: "in2", Stream: H2D, Duration: 1, AllocBytes: 8},
+		{Label: "use2", Stream: Compute, Duration: 2, Deps: []int{3}},
+	}
+	tl := mustRun(t, ops, 10)
+	// in2 can only start once out1 completes at t=4.
+	if tl.Ops[3].Start != 4 {
+		t.Errorf("in2 start = %v, want 4 (memory stall)", tl.Ops[3].Start)
+	}
+	if tl.PeakMem != 8 {
+		t.Errorf("peak mem = %v, want 8", tl.PeakMem)
+	}
+}
+
+func TestMemoryOverlapWhenItFits(t *testing.T) {
+	ops := []Op{
+		{Label: "in1", Stream: H2D, Duration: 1, AllocBytes: 4},
+		{Label: "in2", Stream: H2D, Duration: 1, AllocBytes: 4},
+	}
+	tl := mustRun(t, ops, 10)
+	if tl.Ops[1].Start != 1 {
+		t.Errorf("in2 start = %v, want 1 (FIFO on same stream)", tl.Ops[1].Start)
+	}
+	if tl.PeakMem != 8 {
+		t.Errorf("peak = %v, want 8", tl.PeakMem)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Two 8-byte allocations under capacity 10 with no frees: the second
+	// can never start, and nothing is running.
+	ops := []Op{
+		{Label: "in1", Stream: H2D, Duration: 1, AllocBytes: 8},
+		{Label: "in2", Stream: H2D, Duration: 1, AllocBytes: 8},
+	}
+	_, err := Run(ops, 10)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+	}{
+		{"negative duration", []Op{{Stream: Compute, Duration: -1}}},
+		{"negative alloc", []Op{{Stream: Compute, AllocBytes: -1}}},
+		{"alloc exceeds capacity", []Op{{Stream: Compute, AllocBytes: 100}}},
+		{"bad stream", []Op{{Stream: Stream(99)}}},
+		{"dep out of range", []Op{{Stream: Compute, Deps: []int{5}}}},
+		{"forward dep", []Op{{Stream: Compute, Deps: []int{0}}}},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.ops, 10); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestOverFreeDetected(t *testing.T) {
+	ops := []Op{{Label: "bad", Stream: Compute, Duration: 1, FreeBytes: 5}}
+	if _, err := Run(ops, 10); err == nil {
+		t.Error("freeing unallocated memory should error")
+	}
+}
+
+func TestZeroDurationChains(t *testing.T) {
+	// Zero-duration ops must complete and unblock dependents at the same
+	// instant without deadlocking.
+	ops := []Op{
+		{Label: "a", Stream: Compute, Duration: 0},
+		{Label: "b", Stream: H2D, Duration: 0, Deps: []int{0}},
+		{Label: "c", Stream: Compute, Duration: 1, Deps: []int{1}},
+	}
+	tl := mustRun(t, ops, 1)
+	if tl.Makespan != 1 {
+		t.Errorf("makespan = %v, want 1", tl.Makespan)
+	}
+}
+
+func TestOccupancyAndIdle(t *testing.T) {
+	// compute(1) ... gap waiting for copy(3) ... compute(1):
+	// busy 2, idle 2 within the compute window -> occupancy 0.5.
+	ops := []Op{
+		{Label: "c1", Stream: Compute, Duration: 1},
+		{Label: "copy", Stream: H2D, Duration: 3},
+		{Label: "c2", Stream: Compute, Duration: 1, Deps: []int{1}},
+	}
+	tl := mustRun(t, ops, 1)
+	if idle := tl.ComputeIdle(ops); idle != 2 {
+		t.Errorf("idle = %v, want 2", idle)
+	}
+	if occ := tl.Occupancy(ops); math.Abs(occ-0.5) > 1e-12 {
+		t.Errorf("occupancy = %v, want 0.5", occ)
+	}
+}
+
+func TestOccupancyNoComputeOps(t *testing.T) {
+	ops := []Op{{Label: "copy", Stream: H2D, Duration: 1}}
+	tl := mustRun(t, ops, 1)
+	if occ := tl.Occupancy(ops); occ != 1 {
+		t.Errorf("occupancy with no compute = %v, want 1", occ)
+	}
+}
+
+func TestStreamString(t *testing.T) {
+	names := map[Stream]string{Compute: "compute", H2D: "h2d", D2H: "d2h", HostCPU: "cpu", Network: "net"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if !strings.Contains(Stream(42).String(), "42") {
+		t.Error("unknown stream should include its code")
+	}
+}
+
+// Property: makespan is at least the busiest stream's total work and at
+// most the sum of all durations (no time travel, no lost work).
+func TestMakespanBounds(t *testing.T) {
+	f := func(durs []uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 24 {
+			durs = durs[:24]
+		}
+		ops := make([]Op, len(durs))
+		var sum unit.Seconds
+		var perStream [numStreams]unit.Seconds
+		for i, d := range durs {
+			s := Stream(int(d) % int(numStreams))
+			dur := unit.Seconds(d%7) * 0.5
+			ops[i] = Op{Label: "x", Stream: s, Duration: dur}
+			if i > 0 && d%3 == 0 {
+				ops[i].Deps = []int{i - 1}
+			}
+			sum += dur
+			perStream[s] += dur
+		}
+		tl, err := Run(ops, 1)
+		if err != nil {
+			return false
+		}
+		maxStream := unit.Seconds(0)
+		for _, b := range perStream {
+			if b > maxStream {
+				maxStream = b
+			}
+		}
+		return tl.Makespan >= maxStream && tl.Makespan <= sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: peak memory never exceeds capacity.
+func TestPeakMemUnderCapacity(t *testing.T) {
+	f := func(allocs []uint8) bool {
+		if len(allocs) == 0 {
+			return true
+		}
+		if len(allocs) > 16 {
+			allocs = allocs[:16]
+		}
+		const capacity = 64
+		ops := make([]Op, 0, 2*len(allocs))
+		for _, a := range allocs {
+			alloc := unit.Bytes(a % 32)
+			i := len(ops)
+			ops = append(ops, Op{Label: "in", Stream: H2D, Duration: 1, AllocBytes: alloc})
+			ops = append(ops, Op{Label: "out", Stream: D2H, Duration: 1, Deps: []int{i}, FreeBytes: alloc})
+		}
+		tl, err := Run(ops, capacity)
+		if err != nil {
+			return false
+		}
+		return tl.PeakMem <= capacity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (failure injection): inflating any single op's duration never
+// shortens the makespan — the schedule has no anti-monotone anomalies.
+func TestMakespanMonotoneUnderPerturbation(t *testing.T) {
+	base := []Op{
+		{Label: "F0", Stream: Compute, Duration: 1, AllocBytes: 4},
+		{Label: "Sout0", Stream: D2H, Duration: 2, Deps: []int{0}, FreeBytes: 4},
+		{Label: "F1", Stream: Compute, Duration: 1, AllocBytes: 4},
+		{Label: "B1", Stream: Compute, Duration: 2, Deps: []int{2}, FreeBytes: 4},
+		{Label: "Sin0", Stream: H2D, Duration: 2, Deps: []int{1}, AllocBytes: 4},
+		{Label: "B0", Stream: Compute, Duration: 2, Deps: []int{4}, FreeBytes: 4},
+	}
+	ref, err := Run(base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(idx uint8, extra uint8) bool {
+		ops := make([]Op, len(base))
+		copy(ops, base)
+		i := int(idx) % len(ops)
+		ops[i].Duration += unit.Seconds(extra%7) * 0.5
+		tl, err := Run(ops, 16)
+		if err != nil {
+			return false
+		}
+		return tl.Makespan >= ref.Makespan
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding capacity never slows the schedule down.
+func TestMakespanMonotoneInCapacity(t *testing.T) {
+	ops := []Op{
+		{Label: "in1", Stream: H2D, Duration: 1, AllocBytes: 8},
+		{Label: "use1", Stream: Compute, Duration: 2, Deps: []int{0}},
+		{Label: "out1", Stream: D2H, Duration: 1, Deps: []int{1}, FreeBytes: 8},
+		{Label: "in2", Stream: H2D, Duration: 1, AllocBytes: 8},
+		{Label: "use2", Stream: Compute, Duration: 2, Deps: []int{3}, FreeBytes: 8},
+	}
+	tight, err := Run(ops, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := Run(ops, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roomy.Makespan > tight.Makespan {
+		t.Errorf("more capacity slowed the schedule: %v vs %v", roomy.Makespan, tight.Makespan)
+	}
+	if roomy.Makespan == tight.Makespan {
+		t.Error("this schedule should benefit from capacity (in2 stalls under 10)")
+	}
+}

@@ -1,0 +1,209 @@
+// Package solve provides the search algorithms behind KARMA's two-tier
+// optimization (paper Fig. 4): contiguous partitioning of the layer chain
+// into blocks (Opt-1) and boundary refinement against a caller-supplied
+// objective. The objective is evaluated by the planner (internal/karma)
+// using the occupancy model or the full pipeline simulator; this package
+// is policy-free search machinery.
+//
+// Two backends are provided: a deterministic balanced-partition +
+// hill-climbing search (default), and the ant-colony mixed-integer
+// optimizer (internal/aco) standing in for the paper's MIDACO solver.
+package solve
+
+import (
+	"fmt"
+	"sort"
+
+	"karma/internal/aco"
+)
+
+// Ranges converts k-1 sorted cut positions over n items into k
+// half-open [start, end) ranges. A cut at position c starts a new range
+// at index c.
+func Ranges(cuts []int, n int) [][2]int {
+	out := make([][2]int, 0, len(cuts)+1)
+	start := 0
+	for _, c := range cuts {
+		out = append(out, [2]int{start, c})
+		start = c
+	}
+	out = append(out, [2]int{start, n})
+	return out
+}
+
+// validCuts reports whether cuts are strictly increasing within (0, n).
+func validCuts(cuts []int, n int) bool {
+	prev := 0
+	for _, c := range cuts {
+		if c <= prev || c >= n {
+			return false
+		}
+		prev = c
+	}
+	return true
+}
+
+// BalancedPartition returns the cut positions splitting the n weights
+// into k contiguous groups minimizing the maximum group sum (the classic
+// linear-partition problem, solved by parametric search). Weights must be
+// non-negative. It returns k-1 cuts; k must be in [1, n].
+func BalancedPartition(w []float64, k int) ([]int, error) {
+	n := len(w)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("solve: k=%d out of range [1,%d]", k, n)
+	}
+	var total, maxw float64
+	for _, v := range w {
+		if v < 0 {
+			return nil, fmt.Errorf("solve: negative weight %v", v)
+		}
+		total += v
+		if v > maxw {
+			maxw = v
+		}
+	}
+	// Binary search the smallest cap for which a greedy split needs <= k
+	// groups.
+	feasible := func(cap float64) bool {
+		groups, sum := 1, 0.0
+		for _, v := range w {
+			if sum+v > cap {
+				groups++
+				sum = v
+				if groups > k {
+					return false
+				}
+			} else {
+				sum += v
+			}
+		}
+		return true
+	}
+	lo, hi := maxw, total
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	// Emit cuts for cap=hi, then spread any leftover group budget by
+	// splitting the largest remaining groups to reach exactly k.
+	var cuts []int
+	sum := 0.0
+	for i, v := range w {
+		if sum+v > hi && i > 0 {
+			cuts = append(cuts, i)
+			sum = v
+		} else {
+			sum += v
+		}
+	}
+	for len(cuts) < k-1 {
+		// Split the largest group at its weighted midpoint.
+		rs := Ranges(cuts, n)
+		bi, bsum := -1, -1.0
+		for i, r := range rs {
+			if r[1]-r[0] < 2 {
+				continue
+			}
+			s := 0.0
+			for j := r[0]; j < r[1]; j++ {
+				s += w[j]
+			}
+			if s > bsum {
+				bsum, bi = s, i
+			}
+		}
+		if bi < 0 {
+			return nil, fmt.Errorf("solve: cannot split %d items into %d groups", n, k)
+		}
+		r := rs[bi]
+		half, s := r[0]+1, w[r[0]]
+		for half < r[1]-1 && s < bsum/2 {
+			s += w[half]
+			half++
+		}
+		cuts = append(cuts, half)
+		sort.Ints(cuts)
+	}
+	return cuts, nil
+}
+
+// HillClimb locally refines cut positions against eval (lower is better).
+// Each pass tries moving every cut by ±step for decreasing steps; the
+// best strictly-improving move is taken. Search is deterministic.
+func HillClimb(cuts []int, n int, eval func([]int) float64, passes int) []int {
+	if len(cuts) == 0 || passes <= 0 {
+		return cuts
+	}
+	best := append([]int(nil), cuts...)
+	bestV := eval(best)
+	steps := []int{8, 4, 2, 1}
+	for p := 0; p < passes; p++ {
+		improved := false
+		for _, step := range steps {
+			for i := range best {
+				for _, d := range []int{-step, step} {
+					cand := append([]int(nil), best...)
+					cand[i] += d
+					sort.Ints(cand)
+					if !validCuts(cand, n) {
+						continue
+					}
+					if v := eval(cand); v < bestV {
+						best, bestV = cand, v
+						improved = true
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+// ACOBoundaries searches k-1 cut positions over n items with the
+// ant-colony optimizer (the MIDACO stand-in). Candidate cut vectors are
+// sorted and deduplicated before evaluation; invalid vectors are
+// infeasible. Lower eval is better.
+func ACOBoundaries(n, k int, eval func([]int) float64, seed int64) ([]int, error) {
+	if k < 2 {
+		return nil, nil // a single block has no cuts
+	}
+	if k > n {
+		return nil, fmt.Errorf("solve: k=%d exceeds n=%d", k, n)
+	}
+	dim := k - 1
+	lower := make([]int, dim)
+	upper := make([]int, dim)
+	for i := range lower {
+		lower[i] = 1
+		upper[i] = n - 1
+	}
+	canon := func(x []int) ([]int, bool) {
+		c := append([]int(nil), x...)
+		sort.Ints(c)
+		return c, validCuts(c, n)
+	}
+	res, err := aco.Minimize(aco.Problem{
+		Lower: lower,
+		Upper: upper,
+		Objective: func(x []int) float64 {
+			c, _ := canon(x)
+			return eval(c)
+		},
+		Feasible: func(x []int) bool {
+			_, ok := canon(x)
+			return ok
+		},
+	}, aco.Options{Seed: seed, Iterations: 120, Ants: 20})
+	if err != nil {
+		return nil, err
+	}
+	c, _ := canon(res.X)
+	return c, nil
+}

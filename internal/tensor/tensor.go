@@ -1,0 +1,143 @@
+// Package tensor provides shape and data-type accounting for the KARMA
+// memory model. A TensorSpec describes a tensor symbolically (no data is
+// allocated); the profiler and planner use it to compute activation,
+// weight and gradient footprints for arbitrary batch sizes (paper §III-D).
+package tensor
+
+import (
+	"fmt"
+	"strings"
+
+	"karma/internal/unit"
+)
+
+// DType enumerates the element types the memory model distinguishes.
+type DType int
+
+// Supported element types.
+const (
+	FP32 DType = iota // 4-byte IEEE float, PyTorch default
+	FP16              // 2-byte IEEE half, mixed-precision training
+	INT8              // 1-byte integer, quantized inference
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() unit.Bytes {
+	switch d {
+	case FP32:
+		return 4
+	case FP16:
+		return 2
+	case INT8:
+		return 1
+	default:
+		panic(fmt.Sprintf("tensor: unknown dtype %d", int(d)))
+	}
+}
+
+// String returns the conventional dtype name.
+func (d DType) String() string {
+	switch d {
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Shape is a tensor extent per dimension. By convention the batch dimension
+// is NOT part of a Shape: the planner scales per-sample footprints by the
+// mini-batch size, mirroring the paper's projection of memory requirements
+// across batch sizes without re-profiling (§III-D).
+type Shape []int
+
+// Elems returns the number of elements in one sample, i.e. the product of
+// all dimensions. The empty shape is a scalar with one element.
+func (s Shape) Elems() int64 {
+	n := int64(1)
+	for _, d := range s {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", []int(s)))
+		}
+		n *= int64(d)
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Clone returns an independent copy of the shape.
+func (s Shape) Clone() Shape {
+	out := make(Shape, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the shape as "CxHxW"-style text.
+func (s Shape) String() string {
+	if len(s) == 0 {
+		return "scalar"
+	}
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return strings.Join(parts, "x")
+}
+
+// CHW builds a channel-major image shape.
+func CHW(c, h, w int) Shape { return Shape{c, h, w} }
+
+// Vec builds a 1-D shape.
+func Vec(n int) Shape { return Shape{n} }
+
+// Spec describes a tensor symbolically.
+type Spec struct {
+	Name  string
+	Shape Shape
+	DType DType
+	// PerSample marks tensors whose first implied dimension is the batch
+	// (activations, activation gradients). Weight-like tensors are shared
+	// across the batch and have PerSample == false.
+	PerSample bool
+}
+
+// Bytes returns the footprint of the tensor for the given batch size.
+// Weight-like tensors ignore the batch size.
+func (t Spec) Bytes(batch int) unit.Bytes {
+	if batch <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive batch %d", batch))
+	}
+	n := t.Shape.Elems() * int64(t.DType.Size())
+	if t.PerSample {
+		n *= int64(batch)
+	}
+	return unit.Bytes(n)
+}
+
+// String renders the spec, e.g. "act[64x56x56 fp32 per-sample]".
+func (t Spec) String() string {
+	kind := "shared"
+	if t.PerSample {
+		kind = "per-sample"
+	}
+	return fmt.Sprintf("%s[%s %s %s]", t.Name, t.Shape, t.DType, kind)
+}

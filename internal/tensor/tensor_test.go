@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"karma/internal/unit"
+)
+
+func TestDTypeSize(t *testing.T) {
+	if FP32.Size() != 4 || FP16.Size() != 2 || INT8.Size() != 1 {
+		t.Errorf("dtype sizes wrong: fp32=%d fp16=%d int8=%d",
+			FP32.Size(), FP16.Size(), INT8.Size())
+	}
+}
+
+func TestDTypeString(t *testing.T) {
+	if FP32.String() != "fp32" || FP16.String() != "fp16" || INT8.String() != "int8" {
+		t.Error("dtype names wrong")
+	}
+	if DType(99).String() != "dtype(99)" {
+		t.Error("unknown dtype should format its code")
+	}
+}
+
+func TestUnknownDTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown dtype size")
+		}
+	}()
+	DType(42).Size()
+}
+
+func TestShapeElems(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want int64
+	}{
+		{Shape{}, 1},
+		{Vec(10), 10},
+		{CHW(3, 224, 224), 3 * 224 * 224},
+		{Shape{64, 56, 56}, 64 * 56 * 56},
+	}
+	for _, c := range cases {
+		if got := c.s.Elems(); got != c.want {
+			t.Errorf("%v.Elems() = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestShapeBadDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dimension")
+		}
+	}()
+	Shape{3, 0, 5}.Elems()
+}
+
+func TestShapeEqualClone(t *testing.T) {
+	a := CHW(3, 224, 224)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone should equal original")
+	}
+	b[0] = 4
+	if a.Equal(b) {
+		t.Error("mutating clone must not affect original")
+	}
+	if a.Equal(Vec(3)) {
+		t.Error("different ranks must not be equal")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := CHW(3, 224, 224).String(); got != "3x224x224" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Shape{}).String(); got != "scalar" {
+		t.Errorf("empty shape String = %q", got)
+	}
+}
+
+func TestSpecBytes(t *testing.T) {
+	act := Spec{Name: "act", Shape: CHW(64, 56, 56), DType: FP32, PerSample: true}
+	// 64*56*56*4 bytes per sample.
+	per := unit.Bytes(64 * 56 * 56 * 4)
+	if got := act.Bytes(1); got != per {
+		t.Errorf("Bytes(1) = %d, want %d", got, per)
+	}
+	if got := act.Bytes(32); got != 32*per {
+		t.Errorf("Bytes(32) = %d, want %d", got, 32*per)
+	}
+	w := Spec{Name: "w", Shape: Shape{64, 3, 7, 7}, DType: FP32}
+	if w.Bytes(1) != w.Bytes(128) {
+		t.Error("weight tensors must not scale with batch size")
+	}
+}
+
+func TestSpecBadBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for batch 0")
+		}
+	}()
+	Spec{Shape: Vec(1), DType: FP32}.Bytes(0)
+}
+
+func TestSpecString(t *testing.T) {
+	s := Spec{Name: "act", Shape: CHW(64, 56, 56), DType: FP32, PerSample: true}
+	if got := s.String(); got != "act[64x56x56 fp32 per-sample]" {
+		t.Errorf("String = %q", got)
+	}
+	w := Spec{Name: "w", Shape: Vec(10), DType: FP16}
+	if got := w.String(); got != "w[10 fp16 shared]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: per-sample footprint scales exactly linearly with batch.
+func TestSpecBytesLinearInBatch(t *testing.T) {
+	f := func(c, h uint8, batch uint8) bool {
+		s := Spec{
+			Shape:     Shape{int(c) + 1, int(h) + 1},
+			DType:     FP32,
+			PerSample: true,
+		}
+		b := int(batch) + 1
+		return s.Bytes(b) == unit.Bytes(b)*s.Bytes(1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Elems is invariant under dimension permutation (product law).
+func TestElemsPermutationInvariant(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)+1, int(b)+1, int(c)+1
+		return Shape{x, y, z}.Elems() == Shape{z, x, y}.Elems()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package trace renders simulated timelines for humans and tools: an
+// ASCII Gantt chart of the multi-stream pipeline (what the paper's
+// Fig. 2/3 sketches show) and the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto) for interactive inspection.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"karma/internal/sim"
+	"karma/internal/unit"
+)
+
+// Event is one op's execution record paired with its identity.
+type Event struct {
+	Label  string
+	Stream sim.Stream
+	Start  unit.Seconds
+	End    unit.Seconds
+}
+
+// Collect pairs ops with their simulated results, dropping zero-length
+// events (they render as noise).
+func Collect(ops []sim.Op, tl *sim.Timeline) []Event {
+	out := make([]Event, 0, len(ops))
+	for i, op := range ops {
+		r := tl.Ops[i]
+		if r.End <= r.Start {
+			continue
+		}
+		out = append(out, Event{Label: op.Label, Stream: op.Stream, Start: r.Start, End: r.End})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Stream != out[b].Stream {
+			return out[a].Stream < out[b].Stream
+		}
+		return out[a].Start < out[b].Start
+	})
+	return out
+}
+
+// Gantt writes an ASCII chart with one row per stream, `width` columns
+// spanning the makespan. Each op paints its span with the first rune of
+// its label; overlaps within a stream (impossible by FIFO, but kept
+// robust) paint left to right.
+func Gantt(w io.Writer, events []Event, makespan unit.Seconds, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	streams := map[sim.Stream][]Event{}
+	var order []sim.Stream
+	for _, e := range events {
+		if _, ok := streams[e.Stream]; !ok {
+			order = append(order, e.Stream)
+		}
+		streams[e.Stream] = append(streams[e.Stream], e)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+
+	scale := float64(width) / float64(makespan)
+	for _, s := range order {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range streams[s] {
+			lo := int(float64(e.Start) * scale)
+			hi := int(float64(e.End) * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			mark := '#'
+			if len(e.Label) > 0 {
+				mark = rune(e.Label[0])
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = mark
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-8s |%s|\n", s, string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-8s  0%s%v\n", "", strings.Repeat(" ", width-len(makespan.String())), makespan)
+	return err
+}
+
+// chromeEvent is the trace-event JSON schema (complete "X" events).
+type chromeEvent struct {
+	Name    string  `json:"name"`
+	Cat     string  `json:"cat"`
+	Phase   string  `json:"ph"`
+	StartUS float64 `json:"ts"`
+	DurUS   float64 `json:"dur"`
+	PID     int     `json:"pid"`
+	TID     int     `json:"tid"`
+}
+
+// WriteChrome emits the events as Chrome trace-event JSON: one thread per
+// stream, microsecond timestamps.
+func WriteChrome(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		out = append(out, chromeEvent{
+			Name:    e.Label,
+			Cat:     e.Stream.String(),
+			Phase:   "X",
+			StartUS: float64(e.Start) * 1e6,
+			DurUS:   float64(e.End-e.Start) * 1e6,
+			PID:     1,
+			TID:     int(e.Stream) + 1,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// Utilization summarizes per-stream busy fractions over the makespan.
+func Utilization(events []Event, makespan unit.Seconds) map[sim.Stream]float64 {
+	busy := map[sim.Stream]unit.Seconds{}
+	for _, e := range events {
+		busy[e.Stream] += e.End - e.Start
+	}
+	out := map[sim.Stream]float64{}
+	for s, b := range busy {
+		if makespan > 0 {
+			out[s] = float64(b) / float64(makespan)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"karma/internal/sim"
+)
+
+func sampleTimeline(t *testing.T) ([]sim.Op, *sim.Timeline) {
+	t.Helper()
+	ops := []sim.Op{
+		{Label: "F0", Stream: sim.Compute, Duration: 1},
+		{Label: "Sout0", Stream: sim.D2H, Duration: 2, Deps: []int{0}},
+		{Label: "F1", Stream: sim.Compute, Duration: 1},
+		{Label: "zero", Stream: sim.Compute, Duration: 0},
+	}
+	tl, err := sim.Run(ops, 1)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	return ops, tl
+}
+
+func TestCollect(t *testing.T) {
+	ops, tl := sampleTimeline(t)
+	ev := Collect(ops, tl)
+	// Zero-duration op dropped.
+	if len(ev) != 3 {
+		t.Fatalf("events = %d, want 3", len(ev))
+	}
+	// Sorted by stream then start.
+	if ev[0].Stream != sim.Compute || ev[2].Stream != sim.D2H {
+		t.Errorf("ordering wrong: %+v", ev)
+	}
+	if ev[0].Label != "F0" || ev[1].Label != "F1" {
+		t.Errorf("compute order wrong: %+v", ev)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	ops, tl := sampleTimeline(t)
+	ev := Collect(ops, tl)
+	var buf bytes.Buffer
+	if err := Gantt(&buf, ev, tl.Makespan, 30); err != nil {
+		t.Fatalf("Gantt: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "compute") || !strings.Contains(out, "d2h") {
+		t.Errorf("missing stream rows:\n%s", out)
+	}
+	if !strings.Contains(out, "F") || !strings.Contains(out, "S") {
+		t.Errorf("missing op marks:\n%s", out)
+	}
+	// Two rows plus the axis line.
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("line count = %d:\n%s", lines, out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf, nil, 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty timeline should say so")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	ops, tl := sampleTimeline(t)
+	ev := Collect(ops, tl)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, ev); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" || e.Dur <= 0 {
+			t.Errorf("bad event %+v", e)
+		}
+	}
+	// F0 runs [0,1s] -> ts 0, dur 1e6 us.
+	if doc.TraceEvents[0].Name != "F0" || doc.TraceEvents[0].Dur != 1e6 {
+		t.Errorf("F0 event wrong: %+v", doc.TraceEvents[0])
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	ops, tl := sampleTimeline(t)
+	ev := Collect(ops, tl)
+	u := Utilization(ev, tl.Makespan)
+	// Makespan 3 (Sout0 ends at 3): compute busy 2/3, d2h 2/3.
+	if u[sim.Compute] < 0.6 || u[sim.Compute] > 0.7 {
+		t.Errorf("compute util = %v", u[sim.Compute])
+	}
+	if u[sim.D2H] < 0.6 || u[sim.D2H] > 0.7 {
+		t.Errorf("d2h util = %v", u[sim.D2H])
+	}
+}

@@ -1,0 +1,161 @@
+package unit
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{KiB, "1.00 KiB"},
+		{16 * GiB, "16.00 GiB"},
+		{3 * MiB / 2, "1.50 MiB"},
+		{2 * TiB, "2.00 TiB"},
+		{-KiB, "-1.00 KiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFLOPsString(t *testing.T) {
+	cases := []struct {
+		in   FLOPs
+		want string
+	}{
+		{0, "0 FLOP"},
+		{999, "999 FLOP"},
+		{KFLOP, "1.00 KFLOP"},
+		{14700 * GFLOP, "14.70 TFLOP"},
+		{-MFLOP, "-1.00 MFLOP"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("FLOPs(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := (16 * GBps).String(); got != "16.0 GB/s" {
+		t.Errorf("16 GBps = %q", got)
+	}
+	if got := (BytesPerSec(1500)).String(); got != "1.5 KB/s" {
+		t.Errorf("1500 B/s = %q", got)
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{0, "0 s"},
+		{1.52e-3, "1.52 ms"},
+		{2.5e-6, "2.50 us"},
+		{3e-9, "3.00 ns"},
+		{1.5, "1.50 s"},
+		{600, "10.0 min"},
+		{3 * 3600, "3.00 h"},
+		{-1.5, "-1.50 s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Seconds(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 16 GB over 16 GB/s with zero latency is exactly 1 second.
+	got := TransferTime(Bytes(16e9), 16*GBps, 0)
+	if math.Abs(float64(got)-1.0) > 1e-12 {
+		t.Errorf("TransferTime = %v, want 1s", got)
+	}
+	// Latency is additive.
+	got = TransferTime(Bytes(16e9), 16*GBps, 0.5)
+	if math.Abs(float64(got)-1.5) > 1e-12 {
+		t.Errorf("TransferTime with latency = %v, want 1.5s", got)
+	}
+	// Zero bandwidth means the link is unusable.
+	if !math.IsInf(float64(TransferTime(1, 0, 0)), 1) {
+		t.Error("TransferTime with zero bandwidth should be +Inf")
+	}
+}
+
+func TestTransferTimeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative size")
+		}
+	}()
+	TransferTime(-1, GBps, 0)
+}
+
+func TestComputeTime(t *testing.T) {
+	got := ComputeTime(14700*GFLOP, FLOPSRate(14.7e12))
+	if math.Abs(float64(got)-1.0) > 1e-9 {
+		t.Errorf("ComputeTime = %v, want 1s", got)
+	}
+	if !math.IsInf(float64(ComputeTime(1, 0)), 1) {
+		t.Error("ComputeTime with zero rate should be +Inf")
+	}
+}
+
+func TestComputeTimeNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative FLOPs")
+		}
+	}()
+	ComputeTime(-5, FLOPSRate(1))
+}
+
+// Property: transfer time is monotone in size and antitone in bandwidth.
+func TestTransferTimeMonotone(t *testing.T) {
+	f := func(a, b uint32, bw uint32) bool {
+		lo, hi := Bytes(a), Bytes(a)+Bytes(b)
+		rate := BytesPerSec(bw) + 1
+		return TransferTime(lo, rate, 0) <= TransferTime(hi, rate, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(n uint32, bw1, bw2 uint32) bool {
+		slow := BytesPerSec(bw1) + 1
+		fast := slow + BytesPerSec(bw2)
+		return TransferTime(Bytes(n), fast, 0) <= TransferTime(Bytes(n), slow, 0)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: formatting never returns the empty string and is sign-symmetric.
+func TestStringNonEmpty(t *testing.T) {
+	f := func(v int64) bool {
+		return Bytes(v).String() != "" && FLOPs(v).String() != ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		s := Seconds(v).String()
+		return s != "" && (v >= 0 || strings.HasPrefix(s, "-"))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
