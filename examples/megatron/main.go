@@ -18,6 +18,7 @@ import (
 	"karma/internal/dist"
 	"karma/internal/hw"
 	"karma/internal/model"
+	"karma/internal/unit"
 )
 
 func main() {
@@ -29,7 +30,7 @@ func main() {
 
 	fmt.Printf("%s: %.1fB parameters (%v fp32 weights vs %v per GPU)\n",
 		cfg.Name, float64(cfg.Params())/1e9,
-		float64(cfg.Params())*4/float64(1<<30),
+		unit.Bytes(cfg.Params()*4),
 		cl.Node.Device.UsableMem())
 
 	fmt.Printf("\n%-6s  %-22s  %-22s  %-22s\n", "gpus", "MP+DP (h/epoch)", "MP+DP opt-ex (h/epoch)", "KARMA DP (h/epoch)")

@@ -1,0 +1,3 @@
+module karma
+
+go 1.21

@@ -1,0 +1,309 @@
+// Package dist models KARMA at cluster scale (paper §III-G, Fig. 3): the
+// five-stage out-of-core data-parallel pipeline (swap-in, compute,
+// swap-out, phased gradient exchange, host-side weight update), the
+// Megatron-LM model+data-parallel hybrid it is compared against (Fig. 8,
+// Table IV), ZeRO-style sharded data parallelism, and conventional
+// in-core data parallelism (Table V).
+//
+// Every entry point is an analytic cost model layered on the profiled
+// per-block quantities of internal/profiler and the collective costs of
+// internal/comm. The models return a Result rather than an error for
+// capacity problems (undersized clusters, models that cannot be sharded
+// small enough), so experiment sweeps can render infeasible cells; errors
+// are reserved for invalid arguments.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"karma/internal/comm"
+	"karma/internal/graph"
+	"karma/internal/hw"
+	"karma/internal/profiler"
+	"karma/internal/unit"
+)
+
+// headroomFrac is the fraction of usable device memory reserved for
+// transient working tensors (mirrors the planner's Options.Headroom).
+const headroomFrac = 0.03
+
+// Result is the outcome of evaluating one distributed configuration.
+type Result struct {
+	// Feasible reports whether the configuration fits the cluster; when
+	// false, Reason explains why and the timing fields are zero.
+	Feasible bool
+	Reason   string
+
+	// EpochTime is the time to process one epoch of the sample set.
+	EpochTime unit.Seconds
+	// IterTime is the time of one global mini-batch iteration.
+	IterTime unit.Seconds
+	// IterPerSec is the iteration rate (Table IV's perf column).
+	IterPerSec float64
+	// CostPerf is the cost/performance proxy of Table V: GPU-seconds
+	// spent per training sample ($/P up to a constant price factor).
+	CostPerf float64
+	// GPUs is the device count the configuration uses.
+	GPUs int
+	// GlobalBatch is the samples processed per iteration across the run.
+	GlobalBatch int
+}
+
+// KARMAOptions selects KARMA-DP variants.
+type KARMAOptions struct {
+	// UpdateOnDevice forces the weight update of swapped blocks back onto
+	// the GPU (ablation A4). The default updates swapped blocks on the
+	// host during swap-out (Fig. 3 stage 5), which avoids the momentum
+	// round-trip over the link.
+	UpdateOnDevice bool
+	// ZeROShard composes KARMA with ZeRO-style sharding: gradient and
+	// optimizer state partition across the replicas, shrinking the
+	// out-of-core footprint each GPU must stream (Fig. 8 right panel).
+	ZeROShard bool
+}
+
+// infeasible returns a non-viable Result carrying the configuration's
+// identity so tables can still render the row.
+func infeasible(gpus, globalBatch int, format string, args ...any) *Result {
+	return &Result{
+		Feasible:    false,
+		Reason:      fmt.Sprintf(format, args...),
+		GPUs:        gpus,
+		GlobalBatch: globalBatch,
+	}
+}
+
+// finalize derives the rate and epoch quantities from one iteration time.
+func finalize(iter unit.Seconds, gpus, globalBatch, samples int) *Result {
+	iters := (samples + globalBatch - 1) / globalBatch
+	return &Result{
+		Feasible:    true,
+		EpochTime:   unit.Seconds(float64(iters)) * iter,
+		IterTime:    iter,
+		IterPerSec:  1 / float64(iter),
+		CostPerf:    float64(gpus) * float64(iter) / float64(globalBatch),
+		GPUs:        gpus,
+		GlobalBatch: globalBatch,
+	}
+}
+
+// validateRun checks the argument combinations shared by all models.
+func validateRun(cl hw.Cluster, gpus, batch, samples int) error {
+	if gpus <= 0 {
+		return fmt.Errorf("dist: gpus must be positive, got %d", gpus)
+	}
+	if batch <= 0 {
+		return fmt.Errorf("dist: per-replica batch must be positive, got %d", batch)
+	}
+	if samples <= 0 {
+		return fmt.Errorf("dist: sample count must be positive, got %d", samples)
+	}
+	if cl.Nodes <= 0 || cl.Node.Devices <= 0 {
+		return fmt.Errorf("dist: cluster %s has no devices", cl.Name)
+	}
+	return cl.Node.Device.Validate()
+}
+
+// budget returns the per-device memory available after headroom.
+func budget(cl hw.Cluster) unit.Bytes {
+	usable := cl.Node.Device.UsableMem()
+	return usable - unit.Bytes(float64(usable)*headroomFrac)
+}
+
+// replicaCost is the per-replica iteration cost of KARMA's out-of-core
+// pipeline, before the gradient exchange is added.
+type replicaCost struct {
+	// fwd and bwd are the device compute phases; recompute is the Opt-2
+	// style redundant forward work for dropped cheap activations.
+	fwd, bwd, recompute unit.Seconds
+	// swapStall is link time not hidden under compute.
+	swapStall unit.Seconds
+	// serialUpdate is weight-update work on the iteration's critical path.
+	serialUpdate unit.Seconds
+	// updateStall is host-update time not hidden under the next forward.
+	updateStall unit.Seconds
+	// stream is the fraction of the working set crossing the link each
+	// iteration (0 when the replica runs in-core).
+	stream float64
+}
+
+func (rc replicaCost) iter() unit.Seconds {
+	return rc.fwd + rc.bwd + rc.recompute + rc.swapStall + rc.serialUpdate + rc.updateStall
+}
+
+// karmaReplica evaluates one out-of-core replica at the profile's batch.
+// gpus is the data-parallel width (it sizes ZeRO's shards). A nil result
+// means the configuration cannot run; reason explains it.
+func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) (*replicaCost, string) {
+	m := budget(cl)
+	weights := p.TotalWeightBytes
+	grads := weights
+	if o.ZeROShard {
+		// Gradient and optimizer state shard across the replicas; each
+		// GPU holds only its 1/gpus partition between exchanges.
+		grads = unit.Bytes(math.Ceil(float64(weights) / float64(gpus)))
+	}
+
+	var fwd, bwd, cheapFwd unit.Seconds
+	var heavyActs, maxBlock unit.Bytes
+	var updateFLOPs unit.FLOPs
+	for _, b := range p.Blocks {
+		fwd += b.FwdTime
+		bwd += b.BwdTime
+		cheapFwd += b.CheapFwdTime
+		heavyActs += b.HeavyActBytes
+		updateFLOPs += b.UpdateFLOPs
+		if work := 2*b.WeightBytes + b.ActBytes + b.PinnedInBytes; work > maxBlock {
+			maxBlock = work
+		}
+	}
+	if maxBlock > m {
+		return nil, fmt.Sprintf("largest block needs %v of %v device memory", maxBlock, m)
+	}
+
+	rc := &replicaCost{fwd: fwd, bwd: bwd}
+	devRate := cl.Node.Device.SustainedFLOPS()
+	updDev := unit.ComputeTime(updateFLOPs, devRate)
+	if o.ZeROShard {
+		// Every replica updates only its 1/gpus partition (the all-gather
+		// of fresh parameters is folded into the exchange).
+		updDev = updDev / unit.Seconds(float64(gpus))
+	}
+
+	if weights+grads+p.TotalActBytes <= m {
+		// Fully in-core: KARMA degenerates to conventional data
+		// parallelism with a device-side update.
+		rc.serialUpdate = updDev
+		return rc, ""
+	}
+
+	// Drop cheap activations (normalization, pooling, element-wise) and
+	// recompute them in backward — the Opt-2 interleave at block scale.
+	rc.recompute = cheapFwd
+	footprint := weights + grads + heavyActs
+	if footprint <= m {
+		rc.serialUpdate = updDev
+		return rc, ""
+	}
+
+	// Block streaming: the nonresident share of weights and heavy
+	// activations crosses the link every iteration. Weights enter twice
+	// (forward and backward sweeps), activations leave after forward and
+	// return for backward, gradients drain to far memory.
+	f := 1 - float64(m)/float64(footprint)
+	rc.stream = f
+	in := f * float64(2*weights+heavyActs)
+	out := f * float64(heavyActs+grads)
+
+	hostFLOPs := f * float64(updateFLOPs) // update share handled off-device
+	if o.ZeROShard {
+		hostFLOPs /= float64(gpus)
+	}
+	if o.UpdateOnDevice {
+		// Forcing streamed blocks to update on the GPU round-trips their
+		// momentum buffers and serializes the update kernel (A4). ZeRO
+		// partitions the momentum like the rest of the optimizer state.
+		momentum := f * float64(weights)
+		if o.ZeROShard {
+			momentum /= float64(gpus)
+		}
+		in += momentum
+		out += momentum
+		rc.serialUpdate = updDev
+		hostFLOPs = 0
+	} else {
+		// Streamed blocks update on the host during swap-out; resident
+		// blocks update on the device.
+		rc.serialUpdate = unit.Seconds(1-f) * updDev
+	}
+	hostT := unit.ComputeTime(unit.FLOPs(hostFLOPs), cl.Node.Host.SustainedFLOPS())
+	if hostT > fwd {
+		// CPU update overlaps the next iteration's forward pass.
+		rc.updateStall = hostT - fwd
+	}
+
+	swapBW := hw.SwapThroughput(cl.Node)
+	lat := unit.Seconds(float64(len(p.Blocks))) * cl.Node.Link.Latency
+	dir := math.Max(in, out)
+	link := unit.TransferTime(unit.Bytes(dir), swapBW, lat)
+	if compute := rc.fwd + rc.bwd + rc.recompute; link > compute {
+		rc.swapStall = link - compute
+	}
+	return rc, ""
+}
+
+// gradExchange returns the per-iteration cost of the phased block-wise
+// gradient exchange: a hierarchical all-reduce of the full gradient
+// payload, overlapped with the backward pass that produces it. With
+// ZeROShard the exchange is a reduce-scatter plus the all-gather of
+// updated parameters — the same ring volume in this cost model.
+func gradExchange(grads unit.Bytes, cl hw.Cluster, gpus int, window unit.Seconds) unit.Seconds {
+	if gpus <= 1 {
+		return 0
+	}
+	b := comm.Pick(gpus)
+	t := comm.HierarchicalAllReduce(grads, cl, gpus, b)
+	if t <= window {
+		return 0
+	}
+	return t - window
+}
+
+// KARMADataParallel evaluates KARMA's pure data-parallel training of g:
+// every GPU holds the whole model out-of-core at the given per-replica
+// batch, blocks swap with their weights, gradients exchange per block in
+// phases, and the weight update runs host-side (Fig. 3). The global
+// mini-batch is gpus x perReplicaBatch.
+func KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int, o KARMAOptions) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dist: nil graph")
+	}
+	if err := validateRun(cl, gpus, perReplicaBatch, samples); err != nil {
+		return nil, err
+	}
+	global := gpus * perReplicaBatch
+	if total := cl.TotalDevices(); gpus > total {
+		return infeasible(gpus, global, "cluster %s has %d devices, need %d", cl.Name, total, gpus), nil
+	}
+	p, err := profiler.New(g, cl.Node, profiler.Options{Batch: perReplicaBatch})
+	if err != nil {
+		return nil, err
+	}
+	rc, reason := karmaReplica(p, cl, gpus, o)
+	if rc == nil {
+		return infeasible(gpus, global, "%s", reason), nil
+	}
+	iter := rc.iter() + gradExchange(p.TotalWeightBytes, cl, gpus, rc.bwd)
+	return finalize(iter, gpus, global, samples), nil
+}
+
+// DataParallel evaluates conventional in-core data parallelism: gpus
+// replicas at the given batch, gradients all-reduced hierarchically and
+// overlapped with backward, weights updated on the device. Models whose
+// working set exceeds device memory are infeasible — the regime KARMA
+// (and the MP hybrid) exist for.
+func DataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dist: nil graph")
+	}
+	if err := validateRun(cl, gpus, perReplicaBatch, samples); err != nil {
+		return nil, err
+	}
+	global := gpus * perReplicaBatch
+	if total := cl.TotalDevices(); gpus > total {
+		return infeasible(gpus, global, "cluster %s has %d devices, need %d", cl.Name, total, gpus), nil
+	}
+	p, err := profiler.New(g, cl.Node, profiler.Options{Batch: perReplicaBatch})
+	if err != nil {
+		return nil, err
+	}
+	if need, have := p.InCoreBytes(), budget(cl); need > have {
+		return infeasible(gpus, global,
+			"batch %d needs %v of %v device memory; use KARMADataParallel", perReplicaBatch, need, have), nil
+	}
+	fwd, bwd, updateFLOPs := p.Totals()
+	upd := unit.ComputeTime(updateFLOPs, cl.Node.Device.SustainedFLOPS())
+	iter := fwd + bwd + upd + gradExchange(p.TotalWeightBytes, cl, gpus, bwd)
+	return finalize(iter, gpus, global, samples), nil
+}

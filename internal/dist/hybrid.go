@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"fmt"
+
+	"karma/internal/comm"
+	"karma/internal/hw"
+	"karma/internal/model"
+	"karma/internal/profiler"
+	"karma/internal/unit"
+)
+
+// mpCollectivesPerLayer is the Megatron-LM partitioning cost: one
+// all-reduce after the attention block and one after the MLP block, in
+// both the forward and backward pass of every transformer layer.
+const mpCollectivesPerLayer = 4
+
+// validateTransformer rejects degenerate configurations before the model
+// builder (which panics on structural errors) runs.
+func validateTransformer(cfg model.TransformerConfig) error {
+	if cfg.Hidden <= 0 || cfg.Heads <= 0 || cfg.Layers <= 0 || cfg.Seq <= 0 || cfg.Vocab <= 0 {
+		return fmt.Errorf("dist: degenerate transformer config %+v", cfg)
+	}
+	return nil
+}
+
+// shardRingBW is the per-collective network bandwidth available to the
+// hybrid's data-parallel exchange: each shard's replicas sit on distinct
+// nodes, so every node injects into Devices concurrent shard collectives
+// and the per-node bandwidth divides among them.
+func shardRingBW(cl hw.Cluster) unit.BytesPerSec {
+	return cl.NetBW / unit.BytesPerSec(float64(cl.Node.Devices))
+}
+
+// hybridCost aggregates the per-iteration phases shared by MegatronHybrid
+// and ZeRO: per-shard compute, MP activation collectives, and the
+// data-parallel gradient exchange across replicas.
+type hybridCost struct {
+	fwd, bwd, mpComm, exchange, update unit.Seconds
+}
+
+// megatronCost evaluates the MP-sharded transformer iteration. zero
+// additionally shards gradient and optimizer state across the replicas
+// (ZeRO-style), which divides the update work and always overlaps the
+// exchange with backward.
+func megatronCost(cfg model.TransformerConfig, p *profiler.Profile, cl hw.Cluster, mp, replicas int, phased, zero bool) hybridCost {
+	fwd, bwd, updateFLOPs := p.Totals()
+	c := hybridCost{
+		fwd: fwd / unit.Seconds(float64(mp)),
+		bwd: bwd / unit.Seconds(float64(mp)),
+	}
+
+	updWork := float64(updateFLOPs) / float64(mp)
+	if zero {
+		// Each replica updates only its optimizer-state partition.
+		updWork /= float64(replicas)
+	}
+	c.update = unit.ComputeTime(unit.FLOPs(updWork), cl.Node.Device.SustainedFLOPS())
+
+	gpus := mp * replicas
+	backend := comm.Pick(gpus)
+	if mp > 1 {
+		// Partial-sum activations all-reduce inside the MP group, which
+		// Megatron's placement packs onto consecutive devices.
+		payload := unit.Bytes(int64(p.Opts.Batch)*int64(cfg.Seq)*int64(cfg.Hidden)) * p.Opts.DType.Size()
+		perAR := comm.HierarchicalAllReduce(payload, cl, mp, backend)
+		c.mpComm = unit.Seconds(float64(mpCollectivesPerLayer*cfg.Layers)) * perAR
+	}
+
+	// Data-parallel exchange of the shard's gradients across replicas on
+	// a flat contended ring (one participant per node per collective).
+	// ZeRO's reduce-scatter plus parameter all-gather moves the same ring
+	// volume as the all-reduce.
+	shardGrads := unit.Bytes(float64(p.TotalWeightBytes) / float64(mp))
+	c.exchange = comm.RingAllReduce(shardGrads, replicas, shardRingBW(cl), backend)
+	if phased || zero {
+		// The per-block grouping overlaps the exchange with the backward
+		// work still in flight; only the excess stalls the iteration.
+		if c.exchange <= c.bwd {
+			c.exchange = 0
+		} else {
+			c.exchange -= c.bwd
+		}
+	}
+	return c
+}
+
+func (c hybridCost) iter() unit.Seconds {
+	return c.fwd + c.bwd + c.mpComm + c.exchange + c.update
+}
+
+// megatronSetup validates the shared MP+DP argument set and profiles the
+// configuration; a non-nil Result reports an infeasible configuration.
+// With zero set, gradient and optimizer state additionally shard across
+// the data-parallel replicas — ZeRO's defining memory property.
+func megatronSetup(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, zero bool) (*profiler.Profile, *Result, error) {
+	if err := validateRun(cl, gpus, perReplicaBatch, samples); err != nil {
+		return nil, nil, err
+	}
+	if mp <= 0 {
+		return nil, nil, fmt.Errorf("dist: model-parallel factor must be positive, got %d", mp)
+	}
+	if err := validateTransformer(cfg); err != nil {
+		return nil, nil, err
+	}
+	replicas := gpus / mp
+	global := replicas * perReplicaBatch
+	if gpus%mp != 0 || replicas < 1 {
+		return nil, infeasible(gpus, global, "%d GPUs do not divide into MP groups of %d", gpus, mp), nil
+	}
+	if total := cl.TotalDevices(); gpus > total {
+		return nil, infeasible(gpus, global, "cluster %s has %d devices, need %d", cl.Name, total, gpus), nil
+	}
+	p, err := profiler.New(model.Transformer(cfg), cl.Node, profiler.Options{Batch: perReplicaBatch})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Each GPU holds a 1/mp shard of weights, gradients and activations;
+	// under ZeRO the gradient+optimizer shard further divides across the
+	// replicas and only 1/replicas of it stays resident per GPU.
+	weights := float64(p.TotalWeightBytes)
+	grads := weights
+	if zero {
+		grads /= float64(replicas)
+	}
+	perGPU := unit.Bytes((weights + grads + float64(p.TotalActBytes)) / float64(mp))
+	if m := budget(cl); perGPU > m {
+		return nil, infeasible(gpus, global,
+			"MP=%d shard needs %v of %v device memory; increase the MP factor or go out-of-core", mp, perGPU, m), nil
+	}
+	return p, nil, nil
+}
+
+// MegatronHybrid evaluates the Megatron-LM model+data-parallel hybrid:
+// the transformer shards mp ways (per-layer tensor parallelism paying
+// mpCollectivesPerLayer activation all-reduces per layer), and gpus/mp
+// replicas of the shard group train data-parallel. When phased is true
+// the gradient exchange uses the optimized per-block grouping that
+// overlaps the backward pass (§III-G); otherwise it runs as one bulk
+// collective after backward completes — the configuration of Fig. 8's
+// "MP+DP" versus "MP+DP opt-ex" curves.
+func MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, phased bool) (*Result, error) {
+	p, bad, err := megatronSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, false)
+	if err != nil || bad != nil {
+		return bad, err
+	}
+	replicas := gpus / mp
+	c := megatronCost(cfg, p, cl, mp, replicas, phased, false)
+	return finalize(c.iter(), gpus, replicas*perReplicaBatch, samples), nil
+}
+
+// ZeRO evaluates the sharded hybrid Turing-NLG shipped with: Megatron
+// tensor parallelism of degree mp combined with ZeRO-style partitioning
+// of gradients and optimizer state across the gpus/mp data-parallel
+// replicas. The exchange becomes a reduce-scatter plus parameter
+// all-gather overlapped with backward, and each replica updates only its
+// optimizer partition — the "ZeRO" reference curve of Fig. 8's right
+// panel.
+func ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int) (*Result, error) {
+	p, bad, err := megatronSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, true)
+	if err != nil || bad != nil {
+		return bad, err
+	}
+	replicas := gpus / mp
+	c := megatronCost(cfg, p, cl, mp, replicas, true, true)
+	return finalize(c.iter(), gpus, replicas*perReplicaBatch, samples), nil
+}

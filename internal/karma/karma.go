@@ -66,9 +66,10 @@ type Block struct {
 	Ckpt bool
 }
 
-// Payload returns the bytes moved when the block swaps (activations; the
-// planner keeps weights resident — multi-device weight swapping lives in
-// internal/dist).
+// Payload returns the bytes moved when the block swaps (activations
+// only; this single-device planner keeps weights resident. Streaming
+// block weights too is the cluster-scale regime, modeled analytically by
+// dist.KARMADataParallel).
 func (b Block) Payload() unit.Bytes { return b.Cost.ActBytes }
 
 // Solver selects the Opt-1 search backend.
@@ -152,7 +153,8 @@ func (s *Schedule) RecomputedTime() unit.Seconds {
 // BudgetFor computes the activation budget for a profile: usable device
 // memory minus resident weights+gradients, pinned skip tensors, and
 // headroom. An error is returned when the model's weights alone leave no
-// room (those models need the multi-device path in internal/dist).
+// room; such models must stream weights as well as activations, the
+// regime dist.KARMADataParallel costs out.
 func BudgetFor(p *profiler.Profile, headroom float64) (unit.Bytes, error) {
 	usable := p.Node.Device.UsableMem()
 	var pinned unit.Bytes

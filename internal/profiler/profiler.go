@@ -186,6 +186,18 @@ func New(g *graph.Graph, node hw.Node, opts Options) (*Profile, error) {
 	return p, nil
 }
 
+// Totals aggregates the per-block compute quantities the cluster-scale
+// models (internal/dist) consume: forward and backward device time and
+// the weight-update work for the whole model at the profiled batch.
+func (p *Profile) Totals() (fwd, bwd unit.Seconds, update unit.FLOPs) {
+	for _, b := range p.Blocks {
+		fwd += b.FwdTime
+		bwd += b.BwdTime
+		update += b.UpdateFLOPs
+	}
+	return fwd, bwd, update
+}
+
 // InCoreBytes returns the peak device footprint of conventional (no swap,
 // no recompute) training: all stored activations, weights, and one
 // gradient copy of the weights.
