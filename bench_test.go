@@ -104,6 +104,22 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 }
 
+// benchBackends runs a cluster-model benchmark once per evaluator
+// backend, so the nightly harness watches the planner-backed path's cost
+// alongside the closed forms.
+func benchBackends(b *testing.B, fn func(b *testing.B, ev dist.Evaluator)) {
+	for _, name := range dist.BackendNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			ev, err := dist.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fn(b, ev)
+		})
+	}
+}
+
 // BenchmarkFigure8Megatron25B regenerates the 2.5B scaling panel.
 func BenchmarkFigure8Megatron25B(b *testing.B) {
 	benchFig8Megatron(b, 2, []int{128, 512, 2048})
@@ -116,41 +132,45 @@ func BenchmarkFigure8Megatron83B(b *testing.B) {
 
 func benchFig8Megatron(b *testing.B, cfgIdx int, gpus []int) {
 	cl := hw.ABCI()
-	var panel *experiments.Fig8Panel
-	var err error
-	for i := 0; i < b.N; i++ {
-		panel, err = experiments.Figure8Megatron(cl, cfgIdx, gpus)
-		if err != nil {
-			b.Fatal(err)
+	benchBackends(b, func(b *testing.B, ev dist.Evaluator) {
+		var panel *experiments.Fig8Panel
+		var err error
+		for i := 0; i < b.N; i++ {
+			panel, err = experiments.Figure8Megatron(cl, cfgIdx, gpus, ev)
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
-	last := panel.Rows[len(panel.Rows)-1]
-	if r := last.Results["karma-dp"]; r.Feasible {
-		b.ReportMetric(float64(r.EpochTime)/3600, "karma-epoch-h@2048gpu")
-	}
-	if r := last.Results["mp+dp"]; r.Feasible {
-		b.ReportMetric(float64(r.EpochTime)/3600, "hybrid-epoch-h@2048gpu")
-	}
+		last := panel.Rows[len(panel.Rows)-1]
+		if r := last.Results["karma-dp"]; r.Feasible {
+			b.ReportMetric(float64(r.EpochTime)/3600, "karma-epoch-h@2048gpu")
+		}
+		if r := last.Results["mp+dp"]; r.Feasible {
+			b.ReportMetric(float64(r.EpochTime)/3600, "hybrid-epoch-h@2048gpu")
+		}
+	})
 }
 
 // BenchmarkFigure8Turing regenerates the Turing-NLG panel (ZeRO, KARMA,
 // ZeRO+KARMA).
 func BenchmarkFigure8Turing(b *testing.B) {
 	cl := hw.ABCI()
-	var panel *experiments.Fig8Panel
-	var err error
-	for i := 0; i < b.N; i++ {
-		panel, err = experiments.Figure8Turing(cl, []int{512, 1024, 2048})
-		if err != nil {
-			b.Fatal(err)
+	benchBackends(b, func(b *testing.B, ev dist.Evaluator) {
+		var panel *experiments.Fig8Panel
+		var err error
+		for i := 0; i < b.N; i++ {
+			panel, err = experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev)
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
-	last := panel.Rows[len(panel.Rows)-1]
-	zero := last.Results["zero"]
-	combo := last.Results["zero+karma"]
-	if zero.Feasible && combo.Feasible {
-		b.ReportMetric(float64(zero.EpochTime)/float64(combo.EpochTime), "x-zero+karma-vs-zero")
-	}
+		last := panel.Rows[len(panel.Rows)-1]
+		zero := last.Results["zero"]
+		combo := last.Results["zero+karma"]
+		if zero.Feasible && combo.Feasible {
+			b.ReportMetric(float64(zero.EpochTime)/float64(combo.EpochTime), "x-zero+karma-vs-zero")
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -169,35 +189,39 @@ func BenchmarkTableI(b *testing.B) {
 // BenchmarkTableIV regenerates the Megatron-LM configuration table.
 func BenchmarkTableIV(b *testing.B) {
 	cl := hw.ABCI()
-	var rows []experiments.TableIVRow
-	var err error
-	for i := 0; i < b.N; i++ {
-		rows, err = experiments.TableIV(cl)
-		if err != nil {
-			b.Fatal(err)
+	benchBackends(b, func(b *testing.B, ev dist.Evaluator) {
+		var rows []experiments.TableIVRow
+		var err error
+		for i := 0; i < b.N; i++ {
+			rows, err = experiments.TableIV(cl, ev)
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
-	last := rows[len(rows)-1] // 8.3B
-	if last.KARMA.Feasible {
-		b.ReportMetric(last.KARMA.IterPerSec, "karma-iter/s-8.3B")
-	}
+		last := rows[len(rows)-1] // 8.3B
+		if last.KARMA.Feasible {
+			b.ReportMetric(last.KARMA.IterPerSec, "karma-iter/s-8.3B")
+		}
+	})
 }
 
 // BenchmarkTableV regenerates the cost/performance sweeps.
 func BenchmarkTableV(b *testing.B) {
 	cl := hw.ABCI()
-	var sweeps map[string][]experiments.TableVRow
-	var err error
-	for i := 0; i < b.N; i++ {
-		sweeps, err = experiments.TableV(cl)
-		if err != nil {
-			b.Fatal(err)
+	benchBackends(b, func(b *testing.B, ev dist.Evaluator) {
+		var sweeps map[string][]experiments.TableVRow
+		var err error
+		for i := 0; i < b.N; i++ {
+			sweeps, err = experiments.TableV(cl, ev)
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
-	rows := sweeps["resnet50"]
-	if rows[1].KARMA.Feasible && rows[0].KARMA.CostPerf > 0 {
-		b.ReportMetric(rows[1].KARMA.CostPerf/rows[0].KARMA.CostPerf, "karma-$/P@2x-batch")
-	}
+		rows := sweeps["resnet50"]
+		if rows[1].KARMA.Feasible && rows[0].KARMA.CostPerf > 0 {
+			b.ReportMetric(rows[1].KARMA.CostPerf/rows[0].KARMA.CostPerf, "karma-$/P@2x-batch")
+		}
+	})
 }
 
 // BenchmarkEquivalence runs the §IV-D substitution (bitwise equivalence

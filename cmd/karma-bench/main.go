@@ -9,13 +9,16 @@
 //	karma-bench -exp fig5           # single-GPU throughput sweeps
 //	karma-bench -exp fig5 -model resnet50
 //	karma-bench -exp fig8           # multi-node scaling
+//	karma-bench -exp fig8 -backend planned   # planner-backed cluster models
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"karma/internal/dist"
 	"karma/internal/experiments"
 	"karma/internal/hw"
 )
@@ -23,17 +26,23 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table4|table5|equiv|ablations|all")
 	modelName := flag.String("model", "", "restrict fig5 to one model")
+	backend := flag.String("backend", "analytic",
+		"cluster-model backend for fig8/table4/table5/ablations: "+strings.Join(dist.BackendNames(), "|"))
 	flag.Parse()
 
-	if err := run(*exp, *modelName); err != nil {
+	if err := run(*exp, *modelName, *backend); err != nil {
 		fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, modelName string) error {
+func run(exp, modelName, backend string) error {
 	node := hw.ABCINode()
 	cl := hw.ABCI()
+	ev, err := dist.ByName(backend)
+	if err != nil {
+		return err
+	}
 	all := exp == "all"
 
 	if all || exp == "table1" {
@@ -97,7 +106,7 @@ func run(exp, modelName string) error {
 			{2, []int{128, 256, 512, 1024, 2048}}, // 2.5B
 			{4, []int{512, 1024, 2048}},           // 8.3B
 		} {
-			panel, err := experiments.Figure8Megatron(cl, cfg.idx, cfg.gpus)
+			panel, err := experiments.Figure8Megatron(cl, cfg.idx, cfg.gpus, ev)
 			if err != nil {
 				return err
 			}
@@ -106,7 +115,7 @@ func run(exp, modelName string) error {
 			}
 			fmt.Println()
 		}
-		turing, err := experiments.Figure8Turing(cl, []int{512, 1024, 2048})
+		turing, err := experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev)
 		if err != nil {
 			return err
 		}
@@ -117,7 +126,7 @@ func run(exp, modelName string) error {
 	}
 
 	if all || exp == "table4" {
-		rows, err := experiments.TableIV(cl)
+		rows, err := experiments.TableIV(cl, ev)
 		if err != nil {
 			return err
 		}
@@ -128,7 +137,7 @@ func run(exp, modelName string) error {
 	}
 
 	if all || exp == "table5" {
-		sweeps, err := experiments.TableV(cl)
+		sweeps, err := experiments.TableV(cl, ev)
 		if err != nil {
 			return err
 		}
@@ -152,7 +161,7 @@ func run(exp, modelName string) error {
 	}
 
 	if all || exp == "ablations" {
-		rs, err := experiments.Ablations(node, cl)
+		rs, err := experiments.Ablations(node, cl, ev)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,12 @@
 //	karma-plan -model resnet50 -batch 512
 //	karma-plan -model unet -batch 24 -maxopen 5
 //	karma-plan -list
+//
+// With -gpus the model is instead evaluated as one distributed KARMA-DP
+// configuration on the ABCI cluster (per-replica batch -batch), using the
+// analytic or planner-backed cluster backend:
+//
+//	karma-plan -model turing-nlg-17B -batch 2 -gpus 512 -backend planned -zero
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"karma/internal/dist"
 	"karma/internal/hw"
 	"karma/internal/karma"
 	"karma/internal/model"
@@ -36,16 +43,76 @@ func main() {
 	planOut := flag.String("plan-json", "", "write the execution plan as JSON")
 	dotOut := flag.String("dot", "", "write the model dependency graph in Graphviz dot format")
 	list := flag.Bool("list", false, "list available models")
+	gpus := flag.Int("gpus", 0, "evaluate a distributed KARMA-DP configuration on this many GPUs instead of planning one device")
+	backend := flag.String("backend", "analytic",
+		"cluster-model backend with -gpus: "+strings.Join(dist.BackendNames(), "|"))
+	zero := flag.Bool("zero", false, "with -gpus: compose KARMA with ZeRO-style gradient/optimizer sharding")
+	updDev := flag.Bool("update-on-device", false, "with -gpus: force streamed blocks to update on the GPU (ablation A4)")
+	samples := flag.Int("samples", 1_281_167, "with -gpus: epoch sample count (default ImageNet)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(model.Names(), "\n"))
 		return
 	}
+	if *gpus > 0 {
+		// The single-device planning flags have no meaning for the
+		// distributed evaluation; reject them rather than silently
+		// dropping a requested artifact.
+		for name, set := range map[string]bool{
+			"-maxopen":      *maxOpen != 1,
+			"-overhead":     *overhead != 1.0,
+			"-no-recompute": *noRecompute,
+			"-aco":          *useACO,
+			"-gantt":        *gantt,
+			"-chrome":       *chrome != "",
+			"-plan-json":    *planOut != "",
+			"-dot":          *dotOut != "",
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "karma-plan: %s only applies to single-device planning (drop -gpus)\n", name)
+				os.Exit(1)
+			}
+		}
+		if err := runDist(*modelName, *batch, *gpus, *backend, *zero, *updDev, *samples); err != nil {
+			fmt.Fprintf(os.Stderr, "karma-plan: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*modelName, *batch, *maxOpen, *overhead, *noRecompute, *useACO, *gantt, *chrome, *planOut, *dotOut); err != nil {
 		fmt.Fprintf(os.Stderr, "karma-plan: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runDist evaluates one distributed configuration with the chosen
+// cluster-model backend and prints the outcome.
+func runDist(modelName string, batch, gpus int, backend string, zero, updDev bool, samples int) error {
+	g, err := model.Build(modelName)
+	if err != nil {
+		return err
+	}
+	ev, err := dist.ByName(backend)
+	if err != nil {
+		return err
+	}
+	cl := hw.ABCI()
+	r, err := ev.KARMADataParallel(g, cl, gpus, batch, samples, dist.KARMAOptions{
+		ZeROShard: zero, UpdateOnDevice: updDev,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s on %s: %d GPUs x batch %d (global %d), backend %s\n",
+		g.Name(), cl.Name, gpus, batch, r.GlobalBatch, r.Backend)
+	if !r.Feasible {
+		fmt.Printf("infeasible: %s\n", r.Reason)
+		return nil
+	}
+	fmt.Printf("iteration: %v (%.3f iter/s); epoch of %d samples: %.2f h; cost/perf %.3g GPU-s/sample\n",
+		r.IterTime, r.IterPerSec, samples, float64(r.EpochTime)/3600, r.CostPerf)
+	return nil
 }
 
 func run(modelName string, batch, maxOpen int, overhead float64, noRecompute, useACO, gantt bool, chromePath, planPath, dotPath string) error {

@@ -5,12 +5,30 @@
 // Table IV), ZeRO-style sharded data parallelism, and conventional
 // in-core data parallelism (Table V).
 //
-// Every entry point is an analytic cost model layered on the profiled
-// per-block quantities of internal/profiler and the collective costs of
-// internal/comm. The models return a Result rather than an error for
-// capacity problems (undersized clusters, models that cannot be sharded
-// small enough), so experiment sweeps can render infeasible cells; errors
-// are reserved for invalid arguments.
+// Two Evaluator backends cost each configuration:
+//
+//   - Analytic (the package-level functions): closed-form models layered
+//     on the profiled per-block quantities of internal/profiler and the
+//     collective costs of internal/comm. The out-of-core replica is
+//     approximated by a heavy/cheap activation split with a streamed
+//     fraction. Use it for dense sweeps — a full Fig. 8 grid costs
+//     milliseconds.
+//
+//   - Planned: the replica runs the real internal/karma two-tier
+//     partition search (Opt-1/Opt-2, in the §III-G weight-streaming
+//     regime when weights cannot stay resident) and the resulting
+//     schedule is simulated by internal/sim with the phased gradient
+//     exchange injected on the network stream, so per-block swap,
+//     recompute and exchange stalls interact exactly as in Fig. 3. Use
+//     it when fidelity of the out-of-core path matters (calibration,
+//     headline ratios); planner runs are cached per replica shape so
+//     sweeps stay tractable.
+//
+// Both backends share feasibility verdicts and coincide exactly for
+// fully in-core replicas. The models return a Result rather than an
+// error for capacity problems (undersized clusters, models that cannot
+// be sharded small enough), so experiment sweeps can render infeasible
+// cells; errors are reserved for invalid arguments.
 package dist
 
 import (
@@ -48,6 +66,10 @@ type Result struct {
 	GPUs int
 	// GlobalBatch is the samples processed per iteration across the run.
 	GlobalBatch int
+	// Backend names the cost model that produced the numbers ("analytic"
+	// or "planned"); empty when a package-level model function was called
+	// directly rather than through an Evaluator.
+	Backend string
 }
 
 // KARMAOptions selects KARMA-DP variants.
@@ -111,6 +133,20 @@ func budget(cl hw.Cluster) unit.Bytes {
 	return usable - unit.Bytes(float64(usable)*headroomFrac)
 }
 
+// maxBlockBytes returns the largest single-block working set of the
+// profile — two weight copies, activations, and pinned inputs. A block
+// whose working set exceeds the device budget cannot run under any
+// streaming policy; both backends share this feasibility verdict.
+func maxBlockBytes(p *profiler.Profile) unit.Bytes {
+	var maxBlock unit.Bytes
+	for _, b := range p.Blocks {
+		if work := 2*b.WeightBytes + b.ActBytes + b.PinnedInBytes; work > maxBlock {
+			maxBlock = work
+		}
+	}
+	return maxBlock
+}
+
 // replicaCost is the per-replica iteration cost of KARMA's out-of-core
 // pipeline, before the gradient exchange is added.
 type replicaCost struct {
@@ -146,7 +182,7 @@ func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) 
 	}
 
 	var fwd, bwd, cheapFwd unit.Seconds
-	var heavyActs, maxBlock unit.Bytes
+	var heavyActs unit.Bytes
 	var updateFLOPs unit.FLOPs
 	for _, b := range p.Blocks {
 		fwd += b.FwdTime
@@ -154,11 +190,8 @@ func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) 
 		cheapFwd += b.CheapFwdTime
 		heavyActs += b.HeavyActBytes
 		updateFLOPs += b.UpdateFLOPs
-		if work := 2*b.WeightBytes + b.ActBytes + b.PinnedInBytes; work > maxBlock {
-			maxBlock = work
-		}
 	}
-	if maxBlock > m {
+	if maxBlock := maxBlockBytes(p); maxBlock > m {
 		return nil, fmt.Sprintf("largest block needs %v of %v device memory", maxBlock, m)
 	}
 

@@ -1,10 +1,12 @@
 package dist
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
 
+	"karma/internal/graph"
 	"karma/internal/hw"
 	"karma/internal/model"
 	"karma/internal/unit"
@@ -300,5 +302,204 @@ func TestZeROFitsWhereHybridFits(t *testing.T) {
 	}
 	if !z8.Feasible {
 		t.Errorf("ZeRO should fit Turing-NLG at MP=8 by sharding the optimizer state: %s", z8.Reason)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator backends (Analytic vs Planned)
+// ---------------------------------------------------------------------------
+
+func TestByName(t *testing.T) {
+	for _, name := range BackendNames() {
+		ev, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if ev.Name() != name {
+			t.Errorf("ByName(%s).Name() = %s", name, ev.Name())
+		}
+	}
+	if _, err := ByName("quantum"); err == nil {
+		t.Error("unknown backend should error")
+	}
+}
+
+// testGraphs returns the model set the backend properties are checked
+// on: a small CNN, an OOC-prone ResNet, and a transformer.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"smallcnn": model.SmallCNN(),
+		"resnet50": model.ResNet50(),
+		"test-lm":  model.Transformer(smallLM()),
+	}
+}
+
+// TestBackendsAgreeOnFeasibility: the two backends must return the same
+// feasibility verdict for every configuration — the planner adds
+// fidelity to the timing, never a different answer to "does it fit".
+func TestBackendsAgreeOnFeasibility(t *testing.T) {
+	an := Analytic{}
+	pe := NewPlanned()
+	for name, g := range testGraphs(t) {
+		for _, gib := range []float64{2, 8, 32} {
+			for _, batch := range []int{16, 256, 2048} {
+				for _, gpus := range []int{4, 64, 1 << 20} {
+					cl := hw.ABCI()
+					cl.Node.Device.MemCapacity = unit.Bytes(gib * float64(unit.GiB))
+					ra, erra := an.KARMADataParallel(g, cl, gpus, batch, samples, KARMAOptions{})
+					rp, errp := pe.KARMADataParallel(g, cl, gpus, batch, samples, KARMAOptions{})
+					if (erra != nil) != (errp != nil) {
+						t.Fatalf("%s %vGiB b=%d g=%d: error mismatch: %v vs %v", name, gib, batch, gpus, erra, errp)
+					}
+					if erra != nil {
+						continue
+					}
+					if ra.Feasible != rp.Feasible {
+						t.Errorf("%s %vGiB b=%d g=%d: analytic feasible=%v (%s), planned feasible=%v (%s)",
+							name, gib, batch, gpus, ra.Feasible, ra.Reason, rp.Feasible, rp.Reason)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackendsAgreeInCore: where the replica runs fully in-core, the
+// planner degenerates to conventional data parallelism and the two
+// backends must coincide exactly.
+func TestBackendsAgreeInCore(t *testing.T) {
+	cl := hw.ABCI()
+	g := model.ResNet50()
+	an := Analytic{}
+	pe := NewPlanned()
+	ra, err := an.KARMADataParallel(g, cl, 16, 64, samples, KARMAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := pe.KARMADataParallel(g, cl, 16, 64, samples, KARMAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra.Feasible || !rp.Feasible {
+		t.Fatalf("in-core config must be feasible: %v %v", ra, rp)
+	}
+	if ra.IterTime != rp.IterTime {
+		t.Errorf("in-core iteration differs: analytic %v, planned %v", ra.IterTime, rp.IterTime)
+	}
+	if ra.Backend != "analytic" || rp.Backend != "planned" {
+		t.Errorf("backend tags: %q, %q", ra.Backend, rp.Backend)
+	}
+}
+
+// TestIterMonotoneInDeviceMemory: more device memory never slows the
+// iteration, under either backend.
+func TestIterMonotoneInDeviceMemory(t *testing.T) {
+	g := model.ResNet50()
+	pe := NewPlanned()
+	for _, ev := range []Evaluator{Analytic{}, pe} {
+		prev := unit.Seconds(math.Inf(1))
+		for _, gib := range []float64{12, 16, 24, 32, 48} {
+			cl := hw.ABCI()
+			cl.Node.Device.MemCapacity = unit.Bytes(gib * float64(unit.GiB))
+			r, err := ev.KARMADataParallel(g, cl, 16, 512, samples, KARMAOptions{})
+			if err != nil {
+				t.Fatalf("%s %vGiB: %v", ev.Name(), gib, err)
+			}
+			if !r.Feasible {
+				t.Fatalf("%s %vGiB: infeasible: %s", ev.Name(), gib, r.Reason)
+			}
+			if r.Backend != ev.Name() {
+				t.Fatalf("%s %vGiB: backend tag %q (silent fallback?)", ev.Name(), gib, r.Backend)
+			}
+			if float64(r.IterTime) > float64(prev)*1.0001 {
+				t.Errorf("%s: %vGiB iteration %v regressed from %v", ev.Name(), gib, r.IterTime, prev)
+			}
+			prev = r.IterTime
+		}
+	}
+}
+
+// TestIterMonotoneInModelSize: a deeper transformer never trains faster
+// per iteration, under either backend.
+func TestIterMonotoneInModelSize(t *testing.T) {
+	pe := NewPlanned()
+	for _, ev := range []Evaluator{Analytic{}, pe} {
+		prev := unit.Seconds(0)
+		for _, layers := range []int{6, 12, 24, 36} {
+			cfg := model.TransformerConfig{
+				Name: fmt.Sprintf("mono-lm-%d", layers), Hidden: 1024, Heads: 16,
+				Layers: layers, Seq: 512, Vocab: 16384,
+			}
+			g := model.Transformer(cfg)
+			cl := hw.ABCI()
+			cl.Node.Device.MemCapacity = 8 * unit.GiB
+			r, err := ev.KARMADataParallel(g, cl, 16, 8, samples, KARMAOptions{})
+			if err != nil {
+				t.Fatalf("%s L=%d: %v", ev.Name(), layers, err)
+			}
+			if !r.Feasible {
+				t.Fatalf("%s L=%d: infeasible: %s", ev.Name(), layers, r.Reason)
+			}
+			if r.Backend != ev.Name() {
+				t.Fatalf("%s L=%d: backend tag %q (silent fallback?)", ev.Name(), layers, r.Backend)
+			}
+			if float64(r.IterTime) < float64(prev)*0.9999 {
+				t.Errorf("%s: %d layers iterate in %v, faster than %v with fewer layers",
+					ev.Name(), layers, r.IterTime, prev)
+			}
+			prev = r.IterTime
+		}
+	}
+}
+
+// TestPlannedZeROShardHelps mirrors TestKARMAOptionZeROShard on the
+// planner-backed path: sharding the streamed gradients can only help.
+func TestPlannedZeROShardHelps(t *testing.T) {
+	cl := slowLinkCluster()
+	g := model.Transformer(model.MegatronConfigs()[2])
+	pe := NewPlanned()
+	plain, err := pe.KARMADataParallel(g, cl, 16, 4, samples, KARMAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combo, err := pe.KARMADataParallel(g, cl, 16, 4, samples, KARMAOptions{ZeROShard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Feasible || !combo.Feasible {
+		t.Fatalf("both variants must be feasible: %v %v", plain, combo)
+	}
+	if plain.Backend != "planned" || combo.Backend != "planned" {
+		t.Fatalf("backend tags %q/%q: the planner-backed path silently fell back", plain.Backend, combo.Backend)
+	}
+	if combo.IterTime > plain.IterTime {
+		t.Errorf("planned ZeRO+KARMA (%v) slower than plain (%v) on a saturated link",
+			combo.IterTime, plain.IterTime)
+	}
+}
+
+// TestPlannedUpdateOnDeviceNeverFaster mirrors ablation A4 on the
+// planner-backed path: the momentum round-trip cannot win.
+func TestPlannedUpdateOnDeviceNeverFaster(t *testing.T) {
+	cl := slowLinkCluster()
+	g := model.Transformer(model.MegatronConfigs()[2])
+	pe := NewPlanned()
+	host, err := pe.KARMADataParallel(g, cl, 16, 4, samples, KARMAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := pe.KARMADataParallel(g, cl, 16, 4, samples, KARMAOptions{UpdateOnDevice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !host.Feasible || !dev.Feasible {
+		t.Fatalf("both variants must be feasible: %v %v", host, dev)
+	}
+	if host.Backend != "planned" || dev.Backend != "planned" {
+		t.Fatalf("backend tags %q/%q: the planner-backed path silently fell back", host.Backend, dev.Backend)
+	}
+	if dev.IterTime < host.IterTime {
+		t.Errorf("planned device update (%v) beat host update (%v)", dev.IterTime, host.IterTime)
 	}
 }

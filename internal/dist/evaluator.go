@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"fmt"
+
+	"karma/internal/graph"
+	"karma/internal/hw"
+	"karma/internal/model"
+)
+
+// Evaluator evaluates distributed training configurations. Two backends
+// implement it:
+//
+//   - Analytic: the closed-form cost models of this package, cheap enough
+//     for dense sweeps (Fig. 8 grids, Table V ladders).
+//   - Planned: the planner-backed path — each replica runs the real KARMA
+//     partition search (internal/karma, Opt-1/Opt-2) and the resulting
+//     schedule is simulated with the phased gradient exchange injected
+//     (internal/sim + internal/comm), trading sweep speed for fidelity.
+//
+// Both backends agree on feasibility verdicts and coincide exactly for
+// fully in-core replicas; they differ in how out-of-core stalls are
+// costed.
+type Evaluator interface {
+	// Name identifies the backend ("analytic", "planned").
+	Name() string
+	// KARMADataParallel evaluates KARMA's out-of-core data parallelism
+	// (see the package-level KARMADataParallel).
+	KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int, o KARMAOptions) (*Result, error)
+	// DataParallel evaluates conventional in-core data parallelism.
+	DataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int) (*Result, error)
+	// MegatronHybrid evaluates the Megatron-LM MP+DP hybrid.
+	MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, phased bool) (*Result, error)
+	// ZeRO evaluates the ZeRO-sharded hybrid.
+	ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int) (*Result, error)
+}
+
+// Analytic is the closed-form backend: every method delegates to the
+// package-level cost model of the same name.
+type Analytic struct{}
+
+// Name implements Evaluator.
+func (Analytic) Name() string { return "analytic" }
+
+// KARMADataParallel implements Evaluator.
+func (Analytic) KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int, o KARMAOptions) (*Result, error) {
+	return tag(KARMADataParallel(g, cl, gpus, perReplicaBatch, samples, o))
+}
+
+// DataParallel implements Evaluator.
+func (Analytic) DataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int) (*Result, error) {
+	return tag(DataParallel(g, cl, gpus, perReplicaBatch, samples))
+}
+
+// MegatronHybrid implements Evaluator.
+func (Analytic) MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, phased bool) (*Result, error) {
+	return tag(MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, samples, phased))
+}
+
+// ZeRO implements Evaluator.
+func (Analytic) ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int) (*Result, error) {
+	return tag(ZeRO(cfg, cl, mp, gpus, perReplicaBatch, samples))
+}
+
+// tag stamps the analytic backend name on a result.
+func tag(r *Result, err error) (*Result, error) {
+	if r != nil {
+		r.Backend = "analytic"
+	}
+	return r, err
+}
+
+// BackendNames lists the selectable evaluator backends.
+func BackendNames() []string { return []string{"analytic", "planned"} }
+
+// ByName returns a fresh evaluator for the named backend.
+func ByName(name string) (Evaluator, error) {
+	switch name {
+	case "analytic":
+		return Analytic{}, nil
+	case "planned":
+		return NewPlanned(), nil
+	default:
+		return nil, fmt.Errorf("dist: unknown backend %q (have analytic, planned)", name)
+	}
+}

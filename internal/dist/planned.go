@@ -1,0 +1,332 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"karma/internal/comm"
+	"karma/internal/graph"
+	"karma/internal/hw"
+	"karma/internal/karma"
+	"karma/internal/model"
+	"karma/internal/plan"
+	"karma/internal/profiler"
+	"karma/internal/unit"
+)
+
+// Planned is the planner-backed evaluator: instead of the closed-form
+// heavy/cheap activation split, each KARMA replica derives a per-replica
+// profile (sharded batch, optionally ZeRO-shrunk gradient footprint),
+// runs the real two-tier partition search (karma.Plan: Opt-1 blocking,
+// Opt-2 recompute interleave — at cluster scale in the §III-G
+// weight-streaming regime), and feeds the schedule through the event
+// simulator with the phased gradient exchange of internal/comm injected
+// as Network-stream ops, so swap and recompute stalls overlap the
+// exchange exactly as in Fig. 3.
+//
+// Planner runs are cached by (graph, node, batch) for profiles and by
+// (profile, planner options) for schedules, so sweeps re-plan each
+// replica shape once and re-simulate only the cheap exchange composition
+// per configuration. Note that under ZeROShard the gradient shard
+// (1/gpus) is part of the replica shape — each GPU count genuinely plans
+// a different footprint — so a ZeRO sweep replans per GPU count by
+// design. Distinct graphs must be distinct pointers (true for every
+// model.Build/model.Transformer call site).
+//
+// The in-core hybrid baselines (MegatronHybrid, ZeRO, DataParallel) have
+// no out-of-core schedule to plan; for them the closed forms are exact
+// and Planned delegates to Analytic. When the partition search cannot
+// produce a schedule for a configuration the analytic precheck deems
+// feasible, Planned falls back to the analytic replica cost (the result
+// is tagged "analytic" in Result.Backend) rather than diverging on the
+// feasibility verdict.
+type Planned struct {
+	mu        sync.Mutex
+	profiles  map[profileKey]*profiler.Profile
+	schedules map[schedKey]*schedEntry
+}
+
+type profileKey struct {
+	g     *graph.Graph
+	node  hw.Node
+	batch int
+}
+
+type schedKey struct {
+	p    *profiler.Profile
+	opts karma.Options
+}
+
+type schedEntry struct {
+	s   *karma.Schedule
+	err error
+}
+
+// NewPlanned returns a planner-backed evaluator with empty caches.
+func NewPlanned() *Planned {
+	return &Planned{
+		profiles:  map[profileKey]*profiler.Profile{},
+		schedules: map[schedKey]*schedEntry{},
+	}
+}
+
+// Name implements Evaluator.
+func (*Planned) Name() string { return "planned" }
+
+// profile returns the cached per-replica profile.
+func (pe *Planned) profile(g *graph.Graph, node hw.Node, batch int) (*profiler.Profile, error) {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	key := profileKey{g: g, node: node, batch: batch}
+	if p, ok := pe.profiles[key]; ok {
+		return p, nil
+	}
+	p, err := profiler.New(g, node, profiler.Options{Batch: batch})
+	if err != nil {
+		return nil, err
+	}
+	pe.profiles[key] = p
+	return p, nil
+}
+
+// plan returns the cached planner schedule for (profile, options).
+func (pe *Planned) plan(p *profiler.Profile, opts karma.Options) (*karma.Schedule, error) {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	key := schedKey{p: p, opts: opts}
+	if e, ok := pe.schedules[key]; ok {
+		return e.s, e.err
+	}
+	s, err := karma.Plan(p, opts)
+	pe.schedules[key] = &schedEntry{s: s, err: err}
+	return s, err
+}
+
+// KARMADataParallel implements Evaluator with the planner-backed replica
+// cost.
+func (pe *Planned) KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int, o KARMAOptions) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dist: nil graph")
+	}
+	if err := validateRun(cl, gpus, perReplicaBatch, samples); err != nil {
+		return nil, err
+	}
+	global := gpus * perReplicaBatch
+	stamp := func(r *Result) *Result { r.Backend = pe.Name(); return r }
+	if total := cl.TotalDevices(); gpus > total {
+		return stamp(infeasible(gpus, global, "cluster %s has %d devices, need %d", cl.Name, total, gpus)), nil
+	}
+	p, err := pe.profile(g, cl.Node, perReplicaBatch)
+	if err != nil {
+		return nil, err
+	}
+	m := budget(cl)
+	if mb := maxBlockBytes(p); mb > m {
+		// Shared verdict with the analytic backend: a single block that
+		// cannot fit is infeasible under any policy.
+		return stamp(infeasible(gpus, global, "largest block needs %v of %v device memory", mb, m)), nil
+	}
+	weights := p.TotalWeightBytes
+	grads := weights
+	gs := 1.0
+	if o.ZeROShard {
+		gs = 1 / float64(gpus)
+		grads = unit.Bytes(math.Ceil(float64(weights) / float64(gpus)))
+	}
+	if weights+grads+p.TotalActBytes <= m {
+		// Fully in-core the planner degenerates to conventional data
+		// parallelism and the closed form is exact; both backends agree
+		// bit-for-bit here by construction.
+		r, err := KARMADataParallel(g, cl, gpus, perReplicaBatch, samples, o)
+		if err != nil {
+			return nil, err
+		}
+		return stamp(r), nil
+	}
+	iter, err := pe.plannedIter(p, cl, gpus, o, gs)
+	if err != nil {
+		// The search found no simulable schedule for a configuration the
+		// shared precheck deems feasible: keep the feasibility verdict
+		// aligned and fall back to the closed form.
+		r, ferr := KARMADataParallel(g, cl, gpus, perReplicaBatch, samples, o)
+		if r != nil {
+			r.Backend = "analytic"
+		}
+		return r, ferr
+	}
+	return stamp(finalize(iter, gpus, global, samples)), nil
+}
+
+// plannedIter plans one replica and simulates its iteration with the
+// phased gradient exchange overlapped.
+func (pe *Planned) plannedIter(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions, gs float64) (unit.Seconds, error) {
+	// Prefer the single-GPU residency regime (weights resident, only
+	// activations stream); when weights cannot stay resident, plan the
+	// §III-G weight-streaming regime instead.
+	opts := karma.Options{GradScale: gs, Seed: 1}
+	s, err := pe.plan(p, opts)
+	if err != nil {
+		opts.StreamWeights = true
+		if s, err = pe.plan(p, opts); err != nil {
+			return 0, err
+		}
+	}
+	pl, err := karma.BuildPlan(s)
+	if err != nil {
+		return 0, err
+	}
+	if o.UpdateOnDevice {
+		addMomentumTraffic(pl, s, cl, o.ZeROShard, gpus)
+	}
+	if gpus > 1 {
+		injectExchange(pl, s, cl, gpus)
+	}
+	_, tl, err := pl.Simulate(s.Budget)
+	if err != nil {
+		return 0, err
+	}
+	return tl.Makespan + updateCost(s, cl, o, gs), nil
+}
+
+// updateCost returns the weight-update time on the iteration's critical
+// path: the device-side update of resident (and, under UpdateOnDevice,
+// streamed) blocks serializes; the host-side update of streamed blocks
+// overlaps the next iteration's forward pass and only the excess stalls
+// — the same accounting as the analytic replica model.
+func updateCost(s *karma.Schedule, cl hw.Cluster, o KARMAOptions, gs float64) unit.Seconds {
+	var devF, hostF float64
+	var fwd unit.Seconds
+	for _, b := range s.Blocks {
+		fwd += b.Cost.FwdTime
+		u := gs * float64(b.Cost.UpdateFLOPs)
+		if o.UpdateOnDevice || b.Policy == karma.Keep || b.WBytes == 0 {
+			devF += u
+		} else {
+			hostF += u
+		}
+	}
+	t := unit.ComputeTime(unit.FLOPs(devF), cl.Node.Device.SustainedFLOPS())
+	if hostT := unit.ComputeTime(unit.FLOPs(hostF), cl.Node.Host.SustainedFLOPS()); hostT > fwd {
+		t += hostT - fwd
+	}
+	return t
+}
+
+// addMomentumTraffic models ablation A4 on a planned schedule: forcing
+// streamed blocks to update on the GPU round-trips their momentum
+// buffers over the link, inflating the backward weight refetch and the
+// gradient drain of every streamed block (ZeRO partitions momentum like
+// the rest of the optimizer state).
+func addMomentumTraffic(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, zero bool, gpus int) {
+	swapBW := hw.SwapThroughput(cl.Node)
+	lat := cl.Node.Link.Latency
+	lastIn := map[int]*plan.Op{}
+	lastOut := map[int]*plan.Op{}
+	for si := range pl.Stages {
+		for oi := range pl.Stages[si].Ops {
+			op := &pl.Stages[si].Ops[oi]
+			switch op.Kind {
+			case plan.SwapIn:
+				lastIn[op.Block] = op
+			case plan.SwapOut:
+				lastOut[op.Block] = op
+			}
+		}
+	}
+	for b, blk := range s.Blocks {
+		if blk.Policy == karma.Keep || blk.WBytes == 0 {
+			continue
+		}
+		mom := float64(blk.WBytes)
+		if zero {
+			mom /= float64(gpus)
+		}
+		t := unit.TransferTime(unit.Bytes(mom), swapBW, lat)
+		if op := lastIn[b]; op != nil {
+			op.Duration += t
+		}
+		if op := lastOut[b]; op != nil {
+			op.Duration += t
+		}
+	}
+}
+
+// injectExchange appends the phased block-wise gradient exchange to a
+// replica plan: per-block gradient payloads in backward completion order
+// merge into phases (comm.PhasedGroups), and each phase becomes one
+// Network-stream op right after the stage that produces its last
+// gradient — its drain for streamed blocks, its backward pass otherwise
+// (the compiler derives that dependency). The simulator then overlaps
+// the exchange against the backward work still in flight, and only the
+// excess extends the makespan.
+func injectExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, gpus int) {
+	k := len(s.Blocks)
+	backend := comm.Pick(gpus)
+	sizes := make([]unit.Bytes, k)
+	for i := 0; i < k; i++ {
+		sizes[i] = s.Blocks[k-1-i].Cost.WeightBytes // completion order
+	}
+	groups := comm.PhasedGroups(sizes, cl, gpus, backend)
+
+	// lastStage[b] is the stage after which block b's gradients are
+	// available for exchange.
+	lastStage := make([]int, k)
+	for si, st := range pl.Stages {
+		for _, op := range st.Ops {
+			if op.Kind == plan.Bwd || op.Kind == plan.SwapOut {
+				if si > lastStage[op.Block] {
+					lastStage[op.Block] = si
+				}
+			}
+		}
+	}
+	type insertion struct {
+		after int
+		op    plan.Op
+	}
+	var ins []insertion
+	for _, g := range groups {
+		last := 0
+		for _, i := range g.Blocks {
+			if i > last {
+				last = i
+			}
+		}
+		blk := k - 1 - last
+		ins = append(ins, insertion{after: lastStage[blk], op: plan.Op{
+			Kind: plan.GradExchange, Block: blk, Duration: g.Time,
+		}})
+	}
+	sort.Slice(ins, func(a, b int) bool { return ins[a].after < ins[b].after })
+
+	out := make([]plan.Stage, 0, len(pl.Stages)+len(ins))
+	next := 0
+	for si, st := range pl.Stages {
+		out = append(out, st)
+		for next < len(ins) && ins[next].after == si {
+			out = append(out, plan.Stage{Ops: []plan.Op{ins[next].op}})
+			next++
+		}
+	}
+	pl.Stages = out
+}
+
+// DataParallel implements Evaluator. Conventional data parallelism is
+// in-core by definition, where the closed form is exact.
+func (pe *Planned) DataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int) (*Result, error) {
+	return tag(DataParallel(g, cl, gpus, perReplicaBatch, samples))
+}
+
+// MegatronHybrid implements Evaluator. The MP+DP hybrid runs in-core
+// per shard; there is no out-of-core schedule to plan.
+func (pe *Planned) MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, phased bool) (*Result, error) {
+	return tag(MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, samples, phased))
+}
+
+// ZeRO implements Evaluator. The sharded hybrid runs in-core per shard;
+// there is no out-of-core schedule to plan.
+func (pe *Planned) ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int) (*Result, error) {
+	return tag(ZeRO(cfg, cl, mp, gpus, perReplicaBatch, samples))
+}

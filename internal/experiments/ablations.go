@@ -19,8 +19,9 @@ type AblationResult struct {
 	Value    float64
 }
 
-// Ablations runs all six studies on small fixed workloads.
-func Ablations(node hw.Node, cl hw.Cluster) ([]AblationResult, error) {
+// Ablations runs all six studies on small fixed workloads; the
+// cluster-scale studies (A3, A4) use the given backend.
+func Ablations(node hw.Node, cl hw.Cluster, ev dist.Evaluator) ([]AblationResult, error) {
 	var out []AblationResult
 
 	prof := func(batch int) (*profiler.Profile, error) {
@@ -69,11 +70,11 @@ func Ablations(node hw.Node, cl hw.Cluster) ([]AblationResult, error) {
 
 	// A3: phased vs bulk gradient exchange (Megatron-2.5B hybrid).
 	cfg := model.MegatronConfigs()[2]
-	phased, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, true)
+	phased, err := ev.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, true)
 	if err != nil {
 		return nil, err
 	}
-	bulk, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, false)
+	bulk, err := ev.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, false)
 	if err != nil {
 		return nil, err
 	}
@@ -86,11 +87,11 @@ func Ablations(node hw.Node, cl hw.Cluster) ([]AblationResult, error) {
 
 	// A4: CPU-side vs move-back-to-GPU weight update.
 	g := model.Transformer(cfg)
-	host, err := dist.KARMADataParallel(g, cl, 256, 4, openWTSamples, dist.KARMAOptions{})
+	host, err := ev.KARMADataParallel(g, cl, 256, 4, openWTSamples, dist.KARMAOptions{})
 	if err != nil {
 		return nil, err
 	}
-	dev, err := dist.KARMADataParallel(g, cl, 256, 4, openWTSamples, dist.KARMAOptions{UpdateOnDevice: true})
+	dev, err := ev.KARMADataParallel(g, cl, 256, 4, openWTSamples, dist.KARMAOptions{UpdateOnDevice: true})
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"karma/internal/dist"
 	"karma/internal/hw"
 )
 
@@ -11,7 +12,7 @@ func TestFigure8Megatron8B(t *testing.T) {
 		t.Skip("large-scale sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	panel, err := Figure8Megatron(cl, 4, []int{512, 1024, 2048})
+	panel, err := Figure8Megatron(cl, 4, []int{512, 1024, 2048}, dist.Analytic{})
 	if err != nil {
 		t.Fatalf("Figure8Megatron: %v", err)
 	}
@@ -51,7 +52,7 @@ func TestFigure8Turing(t *testing.T) {
 		t.Skip("large-scale sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	panel, err := Figure8Turing(cl, []int{512, 1024, 2048})
+	panel, err := Figure8Turing(cl, []int{512, 1024, 2048}, dist.Analytic{})
 	if err != nil {
 		t.Fatalf("Figure8Turing: %v", err)
 	}
@@ -76,7 +77,7 @@ func TestTableIVPerformance(t *testing.T) {
 		t.Skip("five-config sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	rows, err := TableIV(cl)
+	rows, err := TableIV(cl, dist.Analytic{})
 	if err != nil {
 		t.Fatalf("TableIV: %v", err)
 	}
@@ -112,7 +113,7 @@ func TestTableVCrossover(t *testing.T) {
 		t.Skip("cost sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	all, err := TableV(cl)
+	all, err := TableV(cl, dist.Analytic{})
 	if err != nil {
 		t.Fatalf("TableV: %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"karma/internal/baseline"
+	"karma/internal/dist"
 	"karma/internal/hw"
 )
 
@@ -228,7 +229,7 @@ func TestAblations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep in -short mode")
 	}
-	rs, err := Ablations(hw.ABCINode(), hw.ABCI())
+	rs, err := Ablations(hw.ABCINode(), hw.ABCI(), dist.Analytic{})
 	if err != nil {
 		t.Fatalf("Ablations: %v", err)
 	}

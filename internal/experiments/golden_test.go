@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"karma/internal/dist"
+	"karma/internal/hw"
+)
+
+// The golden tests pin the *orderings* of the reproduced artifacts —
+// which method wins where — rather than raw numbers, under BOTH
+// evaluator backends. A refactor that shifts a cost model slightly keeps
+// them green; one that flips a ranking (the quantity the paper's
+// conclusions rest on) fails loudly.
+
+// goldenBackends returns the evaluators the goldens must hold under; the
+// Planned instance is shared across subtests so plans are cached once.
+func goldenBackends() map[string]dist.Evaluator {
+	return map[string]dist.Evaluator{
+		"analytic": dist.Analytic{},
+		"planned":  dist.NewPlanned(),
+	}
+}
+
+// epochOrdering renders one Fig. 8 row as its methods sorted by epoch
+// time, fastest first, e.g. "karma-dp<mp+dp-opt<mp+dp". Infeasible
+// methods sort last.
+func epochOrdering(row Fig8Row, methods []string) string {
+	ms := append([]string(nil), methods...)
+	sort.SliceStable(ms, func(a, b int) bool {
+		ra, rb := row.Results[ms[a]], row.Results[ms[b]]
+		if ra.Feasible != rb.Feasible {
+			return ra.Feasible
+		}
+		return ra.EpochTime < rb.EpochTime
+	})
+	return strings.Join(ms, "<")
+}
+
+// TestGoldenFig8MegatronOrdering: at every plotted GPU count of both
+// Megatron panels, data-parallel KARMA beats the phased hybrid, which
+// beats the bulk-exchange hybrid (paper Fig. 8 left/middle).
+func TestGoldenFig8MegatronOrdering(t *testing.T) {
+	const want = "karma-dp<mp+dp-opt<mp+dp"
+	cl := hw.ABCI()
+	panels := []struct {
+		cfgIdx int
+		gpus   []int
+	}{
+		{2, []int{128, 512, 2048}}, // 2.5B
+		{4, []int{512, 2048}},      // 8.3B
+	}
+	for name, ev := range goldenBackends() {
+		for _, pc := range panels {
+			panel, err := Figure8Megatron(cl, pc.cfgIdx, pc.gpus, ev)
+			if err != nil {
+				t.Fatalf("%s: Figure8Megatron(%d): %v", name, pc.cfgIdx, err)
+			}
+			for _, row := range panel.Rows {
+				for _, m := range panel.Methods {
+					if !row.Results[m].Feasible {
+						t.Fatalf("%s %s@%d: %s infeasible: %s",
+							name, panel.Model, row.GPUs, m, row.Results[m].Reason)
+					}
+				}
+				if got := epochOrdering(row, panel.Methods); got != want {
+					t.Errorf("%s %s@%d GPUs: ordering %q, want %q", name, panel.Model, row.GPUs, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenFig8TuringOrdering: on the right panel, ZeRO+KARMA is never
+// slower than plain KARMA, and both beat the capacity-batch ZeRO
+// reference at every plotted GPU count.
+func TestGoldenFig8TuringOrdering(t *testing.T) {
+	cl := hw.ABCI()
+	for name, ev := range goldenBackends() {
+		panel, err := Figure8Turing(cl, []int{512, 2048}, ev)
+		if err != nil {
+			t.Fatalf("%s: Figure8Turing: %v", name, err)
+		}
+		for _, row := range panel.Rows {
+			zero := row.Results["zero"]
+			karma := row.Results["karma-dp"]
+			combo := row.Results["zero+karma"]
+			if !zero.Feasible || !karma.Feasible || !combo.Feasible {
+				t.Fatalf("%s @%d GPUs: infeasible result", name, row.GPUs)
+			}
+			if combo.EpochTime > karma.EpochTime {
+				t.Errorf("%s @%d: ZeRO+KARMA (%v) slower than KARMA (%v)",
+					name, row.GPUs, combo.EpochTime, karma.EpochTime)
+			}
+			if karma.EpochTime >= zero.EpochTime {
+				t.Errorf("%s @%d: KARMA (%v) does not beat ZeRO (%v)",
+					name, row.GPUs, karma.EpochTime, zero.EpochTime)
+			}
+		}
+	}
+}
+
+// TestGoldenFig8ZeROCalibration asserts the right-panel headline under
+// the planned backend: with the ZeRO baseline at its true (capacity)
+// global batch, the ZeRO/ZeRO+KARMA epoch-time ratio lands in a band
+// around the paper's ~1.35x. The reproduction measures ~2.35x — the
+// uncalibrated comparison (ZeRO pinned to the combo's tiny per-replica
+// batch) was ~4.4x off the paper; the residual gap is attributable to
+// the simulated activation-footprint model capping ZeRO's batch at 8 and
+// to Megatron-style MP collectives spanning ABCI's 4-GPU nodes. The
+// band [1.0, 2.6] locks both the ordering (KARMA wins) and the
+// magnitude (no silent drift back toward 4x or down below parity).
+func TestGoldenFig8ZeROCalibration(t *testing.T) {
+	cl := hw.ABCI()
+	ev := dist.NewPlanned()
+	panel, err := Figure8Turing(cl, []int{512}, ev)
+	if err != nil {
+		t.Fatalf("Figure8Turing: %v", err)
+	}
+	row := panel.Rows[0]
+	zero := row.Results["zero"]
+	combo := row.Results["zero+karma"]
+	if !zero.Feasible || !combo.Feasible {
+		t.Fatalf("infeasible: zero=%v combo=%v", zero, combo)
+	}
+	// The calibrated ZeRO baseline must run a materially larger global
+	// batch than the combo's per-GPU parity would naively give it.
+	if zero.GlobalBatch < 8*row.GPUs/16 {
+		t.Errorf("ZeRO global batch %d below its capacity batch", zero.GlobalBatch)
+	}
+	ratio := float64(zero.EpochTime) / float64(combo.EpochTime)
+	t.Logf("ZeRO/ZeRO+KARMA epoch ratio at %d GPUs: %.2fx (paper ~1.35x)", row.GPUs, ratio)
+	if ratio < 1.0 || ratio > 2.6 {
+		t.Errorf("epoch ratio %.2fx outside the calibrated band [1.0, 2.6] (paper ~1.35x)", ratio)
+	}
+}
+
+// TestGoldenTableIVOrdering pins two Table IV shapes under both
+// backends: KARMA's iteration rate decreases monotonically with model
+// size, and the hybrid-vs-KARMA winner crosses over exactly once — KARMA
+// (on half the GPUs) wins the small configurations, the hybrid wins from
+// 2.5B up.
+func TestGoldenTableIVOrdering(t *testing.T) {
+	cl := hw.ABCI()
+	const wantCrossover = 2 // index of megatron-2.5B
+	for name, ev := range goldenBackends() {
+		rows, err := TableIV(cl, ev)
+		if err != nil {
+			t.Fatalf("%s: TableIV: %v", name, err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("%s: rows = %d", name, len(rows))
+		}
+		crossover := -1
+		prev := 0.0
+		for i, r := range rows {
+			if !r.Hybrid.Feasible || !r.KARMA.Feasible {
+				t.Fatalf("%s %s: infeasible row", name, r.Config.Name)
+			}
+			if i > 0 && r.KARMA.IterPerSec >= prev {
+				t.Errorf("%s %s: KARMA rate %.3f did not drop below %.3f",
+					name, r.Config.Name, r.KARMA.IterPerSec, prev)
+			}
+			prev = r.KARMA.IterPerSec
+			hybridWins := r.Hybrid.IterPerSec > r.KARMA.IterPerSec
+			if hybridWins && crossover == -1 {
+				crossover = i
+			}
+			if !hybridWins && crossover != -1 {
+				t.Errorf("%s %s: KARMA re-overtakes the hybrid after the crossover", name, r.Config.Name)
+			}
+		}
+		if crossover != wantCrossover {
+			t.Errorf("%s: hybrid overtakes KARMA at config %d, want %d", name, crossover, wantCrossover)
+		}
+	}
+}
+
+// TestGoldenTableVOrdering pins the cost/performance shapes under both
+// backends: for ResNet-50 scaling out (DP) ends up cheaper than scaling
+// the batch out-of-core (the paper's crossover), while for ResNet-200 —
+// whose capacity batch is tiny — KARMA's batch growth stays cheaper
+// through the whole sweep.
+func TestGoldenTableVOrdering(t *testing.T) {
+	cl := hw.ABCI()
+	for name, ev := range goldenBackends() {
+		sweeps, err := TableV(cl, ev)
+		if err != nil {
+			t.Fatalf("%s: TableV: %v", name, err)
+		}
+		for _, mn := range []string{"resnet50", "resnet200"} {
+			rows := sweeps[mn]
+			if len(rows) != 6 {
+				t.Fatalf("%s %s: rows = %d", name, mn, len(rows))
+			}
+			for i, r := range rows {
+				if !r.DP.Feasible || !r.KARMA.Feasible {
+					t.Fatalf("%s %s row %d: infeasible", name, mn, i)
+				}
+			}
+			dpBase, kmBase := rows[0].DP.CostPerf, rows[0].KARMA.CostPerf
+			dp2, km2 := rows[1].DP.CostPerf/dpBase, rows[1].KARMA.CostPerf/kmBase
+			if km2 > dp2*1.25 {
+				t.Errorf("%s %s: first OOC step KARMA $/P %.3f strays from DP %.3f", name, mn, km2, dp2)
+			}
+			dp6, km6 := rows[5].DP.CostPerf/dpBase, rows[5].KARMA.CostPerf/kmBase
+			switch mn {
+			case "resnet50":
+				if km6 <= dp6 {
+					t.Errorf("%s resnet50: expected DP to win by 6x batch (dp=%.3f km=%.3f)", name, dp6, km6)
+				}
+			case "resnet200":
+				if km6 >= dp6 {
+					t.Errorf("%s resnet200: expected KARMA to stay cheaper at 6x batch (dp=%.3f km=%.3f)", name, dp6, km6)
+				}
+			}
+		}
+	}
+}

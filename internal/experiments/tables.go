@@ -47,8 +47,9 @@ type TableIVRow struct {
 }
 
 // TableIV evaluates all five Megatron-LM configurations at the paper's
-// GPU counts: hybrid at {64,128,256,512,1024}x, KARMA at half.
-func TableIV(cl hw.Cluster) ([]TableIVRow, error) {
+// GPU counts with the given backend: hybrid at {64,128,256,512,1024}x,
+// KARMA at half.
+func TableIV(cl hw.Cluster, ev dist.Evaluator) ([]TableIVRow, error) {
 	cfgs := model.MegatronConfigs()
 	hybridGPUs := []int{64, 128, 256, 512, 1024}
 	karmaGPUs := []int{32, 64, 128, 256, 512}
@@ -56,12 +57,12 @@ func TableIV(cl hw.Cluster) ([]TableIVRow, error) {
 	var rows []TableIVRow
 	for i, cfg := range cfgs {
 		mp := 1 << i
-		h, err := dist.MegatronHybrid(cfg, cl, mp, hybridGPUs[i], perReplicaBatch, openWTSamples, false)
+		h, err := ev.MegatronHybrid(cfg, cl, mp, hybridGPUs[i], perReplicaBatch, openWTSamples, false)
 		if err != nil {
 			return nil, err
 		}
 		g := model.Transformer(cfg)
-		k, err := dist.KARMADataParallel(g, cl, karmaGPUs[i], perReplicaBatch, openWTSamples, dist.KARMAOptions{})
+		k, err := ev.KARMADataParallel(g, cl, karmaGPUs[i], perReplicaBatch, openWTSamples, dist.KARMAOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -118,20 +119,20 @@ type TableVRow struct {
 	KARMA       *dist.Result // KARMA: fixed GPUs, growing per-GPU batch
 }
 
-// TableVModel evaluates one model's cost/performance sweep: data
-// parallelism scales GPUs at the memory-capacity batch; KARMA holds
-// 100 GPUs and grows the per-GPU batch out-of-core.
-func TableVModel(cl hw.Cluster, name string, capacityBatch int, steps int, samples int) ([]TableVRow, error) {
+// TableVModel evaluates one model's cost/performance sweep with the
+// given backend: data parallelism scales GPUs at the memory-capacity
+// batch; KARMA holds 100 GPUs and grows the per-GPU batch out-of-core.
+func TableVModel(cl hw.Cluster, name string, capacityBatch int, steps int, samples int, ev dist.Evaluator) ([]TableVRow, error) {
 	g := buildGraph(name)
 	const karmaGPUs = 100
 	var rows []TableVRow
 	for i := 1; i <= steps; i++ {
 		global := capacityBatch * karmaGPUs * i
-		dp, err := dist.DataParallel(g, cl, karmaGPUs*i, capacityBatch, samples)
+		dp, err := ev.DataParallel(g, cl, karmaGPUs*i, capacityBatch, samples)
 		if err != nil {
 			return nil, err
 		}
-		km, err := dist.KARMADataParallel(g, cl, karmaGPUs, capacityBatch*i, samples, dist.KARMAOptions{})
+		km, err := ev.KARMADataParallel(g, cl, karmaGPUs, capacityBatch*i, samples, dist.KARMAOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -142,14 +143,14 @@ func TableVModel(cl hw.Cluster, name string, capacityBatch int, steps int, sampl
 
 // TableV runs both Table V models: ResNet-50 (12.8K..76.8K samples) and
 // ResNet-200 (400..2,400 samples).
-func TableV(cl hw.Cluster) (map[string][]TableVRow, error) {
+func TableV(cl hw.Cluster, ev dist.Evaluator) (map[string][]TableVRow, error) {
 	out := map[string][]TableVRow{}
-	r50, err := TableVModel(cl, "resnet50", 128, 6, 1_280_000)
+	r50, err := TableVModel(cl, "resnet50", 128, 6, 1_280_000, ev)
 	if err != nil {
 		return nil, err
 	}
 	out["resnet50"] = r50
-	r200, err := TableVModel(cl, "resnet200", 4, 6, 1_280_000)
+	r200, err := TableVModel(cl, "resnet200", 4, 6, 1_280_000, ev)
 	if err != nil {
 		return nil, err
 	}

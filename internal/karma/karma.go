@@ -14,6 +14,7 @@ package karma
 
 import (
 	"fmt"
+	"math"
 
 	"karma/internal/profiler"
 	"karma/internal/unit"
@@ -64,13 +65,21 @@ type Block struct {
 	// split without a swap separator (the gradient-checkpointing
 	// structure, subsumed by KARMA's search).
 	Ckpt bool
+	// WBytes is the block's streamed weight payload: zero in the
+	// single-GPU default (weights stay resident for the whole iteration),
+	// the block's parameter footprint under Options.StreamWeights — the
+	// cluster regime of §III-G where weights swap with their blocks.
+	WBytes unit.Bytes
+	// GBytes is the streamed gradient payload drained to far memory each
+	// iteration (shrunk by Options.GradScale under ZeRO-style sharding).
+	// Zero when gradients stay resident with the weights.
+	GBytes unit.Bytes
 }
 
-// Payload returns the bytes moved when the block swaps (activations
-// only; this single-device planner keeps weights resident. Streaming
-// block weights too is the cluster-scale regime, modeled analytically by
-// dist.KARMADataParallel).
-func (b Block) Payload() unit.Bytes { return b.Cost.ActBytes }
+// Payload returns the device memory the block occupies while resident:
+// its stored activations plus, under weight streaming, the weight and
+// gradient footprint that travels with the block (§III-G).
+func (b Block) Payload() unit.Bytes { return b.Cost.ActBytes + b.WBytes + b.GBytes }
 
 // Solver selects the Opt-1 search backend.
 type Solver int
@@ -99,6 +108,17 @@ type Options struct {
 	// Headroom is the fraction of the activation budget reserved for
 	// transient working tensors (default 0.05).
 	Headroom float64
+	// StreamWeights plans the cluster regime of §III-G (used by
+	// dist.Planned): block weights and gradients stream with their
+	// activations instead of staying resident, so the budget reserves only
+	// pinned tensors and headroom, block payloads grow by the weight and
+	// gradient footprint, and the generated plan carries the weight
+	// prefetch and gradient drain traffic.
+	StreamWeights bool
+	// GradScale scales the streamed (or resident) gradient/optimizer
+	// payload per block: 1/replicas under ZeRO-style sharding across a
+	// data-parallel group. Zero means 1 (unsharded).
+	GradScale float64
 }
 
 func (o *Options) normalize() {
@@ -107,6 +127,9 @@ func (o *Options) normalize() {
 	}
 	if o.Headroom == 0 {
 		o.Headroom = 0.05
+	}
+	if o.GradScale <= 0 {
+		o.GradScale = 1
 	}
 }
 
@@ -127,8 +150,9 @@ type Schedule struct {
 // NumBlocks returns the partition size.
 func (s *Schedule) NumBlocks() int { return len(s.Blocks) }
 
-// SwappedBytes returns the total payload crossing the link per direction
-// per iteration.
+// SwappedBytes returns the total payload of swapped blocks (per
+// direction; under weight streaming this includes the weight and gradient
+// share travelling with each block).
 func (s *Schedule) SwappedBytes() unit.Bytes {
 	var n unit.Bytes
 	for _, b := range s.Blocks {
@@ -154,17 +178,38 @@ func (s *Schedule) RecomputedTime() unit.Seconds {
 // memory minus resident weights+gradients, pinned skip tensors, and
 // headroom. An error is returned when the model's weights alone leave no
 // room; such models must stream weights as well as activations, the
-// regime dist.KARMADataParallel costs out.
+// regime Options.StreamWeights plans and dist.KARMADataParallel costs
+// out.
 func BudgetFor(p *profiler.Profile, headroom float64) (unit.Bytes, error) {
+	return ActivationBudget(p, Options{Headroom: headroom})
+}
+
+// ActivationBudget computes the planner budget under the options'
+// residency regime. The single-GPU default reserves resident weights plus
+// gradients (scaled by GradScale) like BudgetFor; with StreamWeights the
+// weight and gradient footprint enters the streamed block payloads
+// instead, so only pinned skip tensors and headroom are reserved.
+func ActivationBudget(p *profiler.Profile, o Options) (unit.Bytes, error) {
+	gs := o.GradScale
+	if gs <= 0 {
+		gs = 1
+	}
 	usable := p.Node.Device.UsableMem()
 	var pinned unit.Bytes
 	for _, b := range p.Blocks {
 		pinned += b.PinnedInBytes
 	}
-	reserve := 2*p.TotalWeightBytes + pinned
+	reserve := pinned
+	if !o.StreamWeights {
+		reserve += p.TotalWeightBytes +
+			unit.Bytes(math.Ceil(gs*float64(p.TotalWeightBytes)))
+	}
 	budget := usable - reserve
-	budget -= unit.Bytes(float64(budget) * headroom)
+	budget -= unit.Bytes(float64(budget) * o.Headroom)
 	if budget <= 0 {
+		if o.StreamWeights {
+			return 0, fmt.Errorf("karma: pinned tensors (%v) exceed device memory %v", pinned, usable)
+		}
 		return 0, fmt.Errorf("karma: weights (%v x2) and pinned tensors (%v) exceed device memory %v; use the distributed planner",
 			p.TotalWeightBytes, pinned, usable)
 	}

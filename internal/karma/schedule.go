@@ -22,6 +22,13 @@ import (
 // plus the simulator's capacity gating yield exactly the "keep swapping
 // in while space allows" behaviour. Recomputes interleave on the compute
 // stream right before their backward (§III-F).
+//
+// Under weight streaming (Options.StreamWeights, §III-G) the plan also
+// carries the block-weight traffic of the cluster regime: non-resident
+// blocks prefetch their weights one stage ahead in the forward phase,
+// drop them after use (the host keeps the clean copy), refetch them with
+// the backward swap-in, and drain their gradients to far memory after
+// backward — the Fig. 3 pipeline of one KARMA-DP replica.
 func BuildPlan(s *Schedule) (*plan.Plan, error) {
 	k := len(s.Blocks)
 	if k == 0 {
@@ -42,26 +49,51 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 	p := &plan.Plan{Name: "karma/" + s.Profile.Graph.Name(), NumBlocks: k}
 	swapBW := hw.SwapThroughput(s.Profile.Node)
 	lat := s.Profile.Node.Link.Latency
+	move := func(n unit.Bytes) unit.Seconds {
+		return unit.TransferTime(n, swapBW, lat)
+	}
 	// Swapped blocks move only their heavy-layer activations; the cheap
 	// remainder is rematerialized locally during backward (the
 	// cost-driven version of SuperNeurons' layer-type split).
 	heavyMove := func(b int) unit.Seconds {
-		return unit.TransferTime(s.Blocks[b].Cost.HeavyActBytes, swapBW, lat)
+		return move(s.Blocks[b].Cost.HeavyActBytes)
+	}
+	// streamed reports whether block b swaps its weights with itself.
+	streamed := func(b int) bool {
+		return s.Blocks[b].Policy != Keep && s.Blocks[b].WBytes > 0
+	}
+	// wIn is the forward-phase weight prefetch of a streamed block.
+	wIn := func(b int) plan.Op {
+		return plan.Op{
+			Kind: plan.SwapIn, Block: b,
+			Duration: move(s.Blocks[b].WBytes),
+			Alloc:    s.Blocks[b].WBytes,
+		}
 	}
 
 	// Forward phase.
 	for b := 0; b < k; b++ {
 		st := plan.Stage{}
+		if b == 0 && streamed(0) {
+			st.Ops = append(st.Ops, wIn(0))
+		}
+		alloc := s.Blocks[b].Payload()
+		if streamed(b) {
+			// Weights arrive via the prefetch; the gradient buffer is
+			// allocated with the backward swap-in.
+			alloc = s.Blocks[b].Cost.ActBytes
+		}
 		fwd := plan.Op{
 			Kind: plan.Fwd, Block: b,
 			Duration: s.Blocks[b].Cost.FwdTime,
-			Alloc:    s.Blocks[b].Payload(),
+			Alloc:    alloc,
 		}
-		// A recomputed predecessor's activations are dropped when this
-		// forward completes; a checkpointed block keeps its boundary
-		// resident for the run that will replay from it.
+		// A recomputed predecessor's activations (and streamed weights)
+		// are dropped when this forward completes; a checkpointed block
+		// keeps its boundary resident for the run that will replay from
+		// it.
 		if b > 0 && s.Blocks[b-1].Policy == Recompute {
-			drop := s.Blocks[b-1].Payload()
+			drop := s.Blocks[b-1].Cost.ActBytes + s.Blocks[b-1].WBytes
 			if s.Blocks[b-1].Ckpt {
 				drop -= s.Blocks[b-1].Cost.OutBytes
 			}
@@ -72,29 +104,65 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 			st.Ops = append(st.Ops, plan.Op{
 				Kind: plan.SwapOut, Block: b - 1,
 				Duration: heavyMove(b - 1),
-				Free:     s.Blocks[b-1].Payload(),
+				Free:     s.Blocks[b-1].Cost.ActBytes + s.Blocks[b-1].WBytes,
 			})
+		}
+		if b+1 < k && streamed(b+1) {
+			// Prefetch the next block's weights one stage ahead so the
+			// transfer overlaps this block's forward compute.
+			st.Ops = append(st.Ops, wIn(b+1))
 		}
 		p.Stages = append(p.Stages, st)
 	}
 
 	// Backward phase. First stage: B_{k-1} plus every swap-in, queued in
-	// consumption order (highest block first).
-	first := plan.Stage{Ops: []plan.Op{{
+	// consumption order: descending block order, except that a recompute
+	// run's streamed weight prefetches arrive in replay (ascending)
+	// order, matching the order the replays consume them.
+	//
+	// The last block's activations never leave the device even when its
+	// policy is Swap (there is no later forward to overlap a swap-out
+	// with), but under weight streaming its prefetched weights and the
+	// gradient buffer still follow the streamed protocol: the buffer is
+	// allocated at backward and both drain right after it.
+	lastBwd := plan.Op{
 		Kind: plan.Bwd, Block: k - 1,
 		Duration: s.Blocks[k-1].Cost.BwdTime,
 		Free:     s.Blocks[k-1].Payload(),
-	}}}
+	}
+	if streamed(k - 1) {
+		lastBwd.Alloc = s.Blocks[k-1].GBytes
+		lastBwd.Free = s.Blocks[k-1].Cost.ActBytes
+	}
+	first := plan.Stage{Ops: []plan.Op{lastBwd}}
 	for b := k - 2; b >= 0; b-- {
-		if s.Blocks[b].Policy == Swap {
+		switch s.Blocks[b].Policy {
+		case Swap:
 			first.Ops = append(first.Ops, plan.Op{
 				Kind: plan.SwapIn, Block: b,
-				Duration: heavyMove(b),
-				Alloc:    s.Blocks[b].Cost.HeavyActBytes,
+				Duration: move(s.Blocks[b].Cost.HeavyActBytes + s.Blocks[b].WBytes),
+				Alloc:    s.Blocks[b].Cost.HeavyActBytes + s.Blocks[b].WBytes + s.Blocks[b].GBytes,
 			})
+		case Recompute:
+			if !runContinues(s, b) {
+				for rb := runStart(s, b); rb <= b; rb++ {
+					if streamed(rb) {
+						op := wIn(rb)
+						op.Alloc += s.Blocks[rb].GBytes
+						first.Ops = append(first.Ops, op)
+					}
+				}
+			}
 		}
 	}
 	p.Stages = append(p.Stages, first)
+	if streamed(k - 1) {
+		p.Stages = append(p.Stages, plan.Stage{Ops: []plan.Op{{
+			Kind: plan.SwapOut, Block: k - 1,
+			Duration: move(s.Blocks[k-1].GBytes),
+			Free:     s.Blocks[k-1].WBytes + s.Blocks[k-1].GBytes,
+		}}})
+	}
 
 	for b := k - 2; b >= 0; b-- {
 		if s.Blocks[b].Policy == Recompute && !runContinues(s, b) {
@@ -102,15 +170,12 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 			// order from its boundary — a resident checkpoint, a swapped
 			// predecessor's prefetched activations, or the model input —
 			// so one boundary serves all blocks of the run (§III-F).
-			start := b
-			for start > 0 && recomputed(s, start-1) && !s.Blocks[start-1].Ckpt {
-				start--
-			}
+			start := runStart(s, b)
 			for rb := start; rb <= b; rb++ {
 				op := plan.Op{
 					Kind: plan.Recompute, Block: rb,
 					Duration: s.Blocks[rb].Cost.FwdTime,
-					Alloc:    s.Blocks[rb].Payload(),
+					Alloc:    s.Blocks[rb].Cost.ActBytes,
 				}
 				if rb == start && start > 0 && s.Blocks[start-1].Ckpt {
 					// The replay consumes the checkpoint boundary.
@@ -124,13 +189,28 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 			Duration: s.Blocks[b].Cost.BwdTime,
 			Free:     s.Blocks[b].Payload(),
 		}
+		if streamed(b) {
+			// Streamed weights and the gradient buffer outlive the
+			// backward pass; the gradient drain below releases them.
+			bwd.Free = s.Blocks[b].Cost.ActBytes
+		}
 		if s.Blocks[b].Policy == Swap {
 			// Rematerialize the cheap (unswapped) activations in line
 			// with the backward pass.
 			bwd.Duration += s.Blocks[b].Cost.CheapFwdTime
-			bwd.Alloc = s.Blocks[b].Payload() - s.Blocks[b].Cost.HeavyActBytes
+			bwd.Alloc = s.Blocks[b].Cost.ActBytes - s.Blocks[b].Cost.HeavyActBytes
 		}
 		p.Stages = append(p.Stages, plan.Stage{Ops: []plan.Op{bwd}})
+		if streamed(b) {
+			// Drain the block's gradients to far memory (the host-side
+			// update of Fig. 3 stage 5 consumes them there) and drop the
+			// weights — the host keeps the clean copy.
+			p.Stages = append(p.Stages, plan.Stage{Ops: []plan.Op{{
+				Kind: plan.SwapOut, Block: b,
+				Duration: move(s.Blocks[b].GBytes),
+				Free:     s.Blocks[b].WBytes + s.Blocks[b].GBytes,
+			}}})
+		}
 	}
 	return p, nil
 }
@@ -138,6 +218,17 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 // recomputed reports whether block i exists and recomputes.
 func recomputed(s *Schedule, i int) bool {
 	return i >= 0 && i < len(s.Blocks) && s.Blocks[i].Policy == Recompute
+}
+
+// runStart returns the first block of the recompute run ending at block
+// b: the run extends backwards through recomputed predecessors until a
+// checkpoint boundary or a differently-policied block.
+func runStart(s *Schedule, b int) int {
+	start := b
+	for start > 0 && recomputed(s, start-1) && !s.Blocks[start-1].Ckpt {
+		start--
+	}
+	return start
 }
 
 // runContinues reports whether block i's recompute run extends to block

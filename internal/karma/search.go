@@ -19,7 +19,7 @@ import (
 // (constraint 10.1).
 func Plan(p *profiler.Profile, opts Options) (*Schedule, error) {
 	opts.normalize()
-	budget, err := BudgetFor(p, opts.Headroom)
+	budget, err := ActivationBudget(p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -32,11 +32,15 @@ func Plan(p *profiler.Profile, opts Options) (*Schedule, error) {
 	for i, b := range p.Blocks {
 		// Partition on payload bytes with a floor so zero-activation
 		// segments still carry positional weight.
-		weights[i] = float64(b.ActBytes) + 1
+		w := float64(b.ActBytes)
+		if opts.StreamWeights {
+			w += (1 + opts.GradScale) * float64(b.WeightBytes)
+		}
+		weights[i] = w + 1
 	}
 	bw := hw.SwapThroughput(p.Node)
 	eval := func(cuts []int) float64 {
-		return float64(estimateCuts(p, cuts, budget, bw))
+		return float64(estimateCuts(p, cuts, budget, bw, opts))
 	}
 
 	// Opt-1: enumerate balanced partitions over K, then refine.
@@ -272,15 +276,22 @@ func maxRunBytes(blocks []Block) unit.Bytes {
 
 // estimateCuts is the fast analytic objective for Opt-1: the estimated
 // iteration makespan for a candidate partition, assuming every
-// non-resident block swaps (recompute refinement happens later).
-// Infeasible partitions return +Inf.
-func estimateCuts(p *profiler.Profile, cuts []int, budget unit.Bytes, bw unit.BytesPerSec) unit.Seconds {
+// non-resident block swaps (recompute refinement happens later). Under
+// StreamWeights the payloads and transfers include the weight and
+// gradient share travelling with each block (§III-G). Infeasible
+// partitions return +Inf.
+func estimateCuts(p *profiler.Profile, cuts []int, budget unit.Bytes, bw unit.BytesPerSec, opts Options) unit.Seconds {
 	rs := solve.Ranges(cuts, len(p.Blocks))
 	blocks := make([]profiler.Block, len(rs))
 	payloads := make([]unit.Bytes, len(rs))
+	wbytes := make([]unit.Bytes, len(rs))
 	for i, r := range rs {
 		blocks[i] = p.MergeBlocks(r[0], r[1])
 		payloads[i] = blocks[i].ActBytes
+		if opts.StreamWeights {
+			wbytes[i] = blocks[i].WeightBytes
+			payloads[i] += wbytes[i] + unit.Bytes(math.Ceil(opts.GradScale*float64(wbytes[i])))
+		}
 		if payloads[i] > budget {
 			return unit.Seconds(math.Inf(1))
 		}
@@ -288,28 +299,34 @@ func estimateCuts(p *profiler.Profile, cuts []int, budget unit.Bytes, bw unit.By
 	r := occupancy.ResidentSuffix(payloads, budget)
 
 	// Forward phase: compute serializes; swap-outs of the non-resident
-	// prefix (heavy payloads only) overlap on the D2H stream.
-	var fwd, sout unit.Seconds
+	// prefix (heavy payloads only) overlap on the D2H stream, weight
+	// prefetches of the streamed prefix overlap on the H2D stream.
+	var fwd, sout, sinW unit.Seconds
 	for i, b := range blocks {
 		fwd += b.FwdTime
 		if i < r {
 			sout += unit.TransferTime(b.HeavyActBytes, bw, 0)
+			sinW += unit.TransferTime(wbytes[i], bw, 0)
 		}
 	}
 	fwdPhase := fwd
 	if sout > fwdPhase {
 		fwdPhase = sout
 	}
+	if sinW > fwdPhase {
+		fwdPhase = sinW
+	}
 
 	// Backward phase under the capacity-based policy (Eqs. 3-8):
 	// resident tail processes stall-free while the swapped prefix streams
-	// in FIFO, each swapped block adding its cheap local recompute.
+	// in FIFO (heavy activations plus streamed weights), each swapped
+	// block adding its cheap local recompute.
 	seq := make([]occupancy.Block, 0, len(blocks))
 	for i := len(blocks) - 1; i >= 0; i-- {
 		ob := occupancy.Block{Proc: blocks[i].BwdTime}
 		if i < r {
 			ob.Proc += blocks[i].CheapFwdTime
-			ob.Bytes = blocks[i].HeavyActBytes + 1 // +1: keep transfer ordering strict
+			ob.Bytes = blocks[i].HeavyActBytes + wbytes[i] + 1 // +1: keep transfer ordering strict
 		}
 		seq = append(seq, ob)
 	}
@@ -318,13 +335,20 @@ func estimateCuts(p *profiler.Profile, cuts []int, budget unit.Bytes, bw unit.By
 }
 
 // scheduleFromCuts materializes a schedule: merged blocks, resident
-// suffix, and Swap policy for the non-resident prefix.
+// suffix, and Swap policy for the non-resident prefix. Under
+// StreamWeights every block carries its weight and (scaled) gradient
+// payload, including resident blocks — their weights occupy the budget
+// instead of the reserve.
 func scheduleFromCuts(p *profiler.Profile, cuts []int, budget unit.Bytes, opts Options) *Schedule {
 	rs := solve.Ranges(cuts, len(p.Blocks))
 	blocks := make([]Block, len(rs))
 	payloads := make([]unit.Bytes, len(rs))
 	for i, r := range rs {
 		blocks[i] = Block{Range: [2]int{r[0], r[1]}, Cost: p.MergeBlocks(r[0], r[1])}
+		if opts.StreamWeights {
+			blocks[i].WBytes = blocks[i].Cost.WeightBytes
+			blocks[i].GBytes = unit.Bytes(math.Ceil(opts.GradScale * float64(blocks[i].Cost.WeightBytes)))
+		}
 		payloads[i] = blocks[i].Payload()
 	}
 	resident := occupancy.ResidentSuffix(payloads, budget)

@@ -181,6 +181,7 @@ type Compiled struct {
 // Data dependencies (auto-derived, keyed by most recent occurrence):
 //
 //	Fwd(b), Bwd(b)  ← latest SwapIn(b), Recompute(b) of the block
+//	Recompute(b)    ← latest SwapIn(b) and SwapIn(b-1) (boundary/weights)
 //	SwapOut(b)      ← latest compute op of the block
 //	GradExchange(b) ← latest SwapOut(b) (if any) else Bwd(b)
 //	UpdateCPU(b)    ← latest GradExchange(b) (if any) else SwapOut/Bwd
@@ -230,7 +231,12 @@ func (p *Plan) Compile() (*Compiled, error) {
 				// A recompute replays from its predecessor's boundary
 				// activation; when that predecessor was swapped out, the
 				// replay must wait for its prefetch (§III-F: recompute
-				// interleaved with the swap stream).
+				// interleaved with the swap stream). Under weight
+				// streaming the replay also needs the block's own weights
+				// back on the device.
+				if i, ok := get(SwapIn, op.Block); ok {
+					addDep(i)
+				}
 				if op.Block > 0 {
 					if i, ok := get(SwapIn, op.Block-1); ok {
 						addDep(i)

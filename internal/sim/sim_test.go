@@ -322,3 +322,108 @@ func TestMakespanMonotoneInCapacity(t *testing.T) {
 		t.Error("this schedule should benefit from capacity (in2 stalls under 10)")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Distributed overlap: the Network stream concurrent with swap and compute
+// ---------------------------------------------------------------------------
+
+// TestNetworkOverlapsBackwardAndDrain models the distributed backward
+// phase: per-block backward compute, gradient drains on D2H, and phased
+// exchanges on the Network stream. The exchange must overlap the
+// remaining backward work and the next drain, and the Network FIFO must
+// account the second exchange's stall.
+func TestNetworkOverlapsBackwardAndDrain(t *testing.T) {
+	ops := []Op{
+		{Label: "B2", Stream: Compute, Duration: 2},
+		{Label: "drain2", Stream: D2H, Duration: 1, Deps: []int{0}},
+		{Label: "B1", Stream: Compute, Duration: 2, Deps: []int{0}},
+		{Label: "Ex2", Stream: Network, Duration: 3, Deps: []int{1}},
+		{Label: "drain1", Stream: D2H, Duration: 1, Deps: []int{2}},
+		{Label: "B0", Stream: Compute, Duration: 2, Deps: []int{2}},
+		{Label: "Ex1", Stream: Network, Duration: 3, Deps: []int{4}},
+	}
+	tl := mustRun(t, ops, 1)
+	// Ex2 launches as soon as drain2 lands (t=3), concurrent with B1
+	// (2..4), drain1 (4..5) and B0 (4..6).
+	if tl.Ops[3].Start != 3 {
+		t.Errorf("Ex2 start = %v, want 3 (right after its drain)", tl.Ops[3].Start)
+	}
+	// Ex1's input is ready at t=5 but the Network stream is busy with
+	// Ex2 until t=6: a 1s stall the accounting must attribute.
+	if tl.Ops[6].Ready != 5 || tl.Ops[6].Start != 6 || tl.Ops[6].Stall() != 1 {
+		t.Errorf("Ex1 ready/start/stall = %v/%v/%v, want 5/6/1",
+			tl.Ops[6].Ready, tl.Ops[6].Start, tl.Ops[6].Stall())
+	}
+	// The iteration ends when the trailing exchange lands, not at the sum
+	// of all durations (14): backward, drains and exchanges overlap.
+	if tl.Makespan != 9 {
+		t.Errorf("makespan = %v, want 9", tl.Makespan)
+	}
+	// Compute never idles: the exchange is fully off the critical path of
+	// the compute stream.
+	if idle := tl.ComputeIdle(ops); idle != 0 {
+		t.Errorf("compute idle = %v, want 0", idle)
+	}
+	if tl.Busy[Network] != 6 {
+		t.Errorf("network busy = %v, want 6", tl.Busy[Network])
+	}
+}
+
+// TestHiddenExchangeDoesNotExtendMakespan: an exchange shorter than the
+// remaining backward work is free; one issued after the last backward
+// extends the makespan by exactly its duration.
+func TestHiddenExchangeDoesNotExtendMakespan(t *testing.T) {
+	hidden := []Op{
+		{Label: "B1", Stream: Compute, Duration: 2},
+		{Label: "Ex1", Stream: Network, Duration: 1, Deps: []int{0}},
+		{Label: "B0", Stream: Compute, Duration: 4, Deps: []int{0}},
+	}
+	tl := mustRun(t, hidden, 1)
+	if tl.Makespan != 6 {
+		t.Errorf("hidden exchange: makespan = %v, want 6 (B0 ends last)", tl.Makespan)
+	}
+	trailing := []Op{
+		{Label: "B1", Stream: Compute, Duration: 2},
+		{Label: "B0", Stream: Compute, Duration: 1, Deps: []int{0}},
+		{Label: "Ex0", Stream: Network, Duration: 5, Deps: []int{1}},
+	}
+	tl = mustRun(t, trailing, 1)
+	if tl.Makespan != 8 {
+		t.Errorf("trailing exchange: makespan = %v, want 8 (3 + 5)", tl.Makespan)
+	}
+}
+
+// TestExchangeConcurrentWithSwapTraffic: gradient exchange on the
+// Network stream must not contend with swap-out (D2H) or swap-in (H2D)
+// traffic — three different streams running at once, with memory
+// capacity still gating the swap-in.
+func TestExchangeConcurrentWithSwapTraffic(t *testing.T) {
+	ops := []Op{
+		{Label: "B1", Stream: Compute, Duration: 1, FreeBytes: 6}, // backward frees its block
+		{Label: "out1", Stream: D2H, Duration: 4, Deps: []int{0}}, // gradient drain
+		{Label: "Ex1", Stream: Network, Duration: 4, Deps: []int{1}},
+		{Label: "in0", Stream: H2D, Duration: 2, AllocBytes: 8}, // next block's prefetch
+		{Label: "B0", Stream: Compute, Duration: 3, Deps: []int{3}, FreeBytes: 8},
+	}
+	// Capacity 10, 6 bytes held by B1's block at start: in0 (8 bytes)
+	// must wait for B1's free at t=1 despite being dependency-free.
+	start := []Op{{Label: "hold", Stream: Compute, Duration: 0, AllocBytes: 6}}
+	all := append(start, ops...)
+	for i := range all[1:] {
+		for j := range all[1+i].Deps {
+			all[1+i].Deps[j]++
+		}
+	}
+	tl := mustRun(t, all, 10)
+	if tl.Ops[4].Start != 1 {
+		t.Errorf("in0 start = %v, want 1 (memory-gated, not dependency-gated)", tl.Ops[4].Start)
+	}
+	// Drain (1..5), exchange (5..9), prefetch (1..3) and B0 (3..6) all
+	// overlap; the exchange tail is the makespan.
+	if tl.Ops[2].Start != 1 || tl.Ops[2].End != 5 {
+		t.Errorf("drain window = %v..%v, want 1..5", tl.Ops[2].Start, tl.Ops[2].End)
+	}
+	if tl.Makespan != 9 {
+		t.Errorf("makespan = %v, want 9 (trailing exchange)", tl.Makespan)
+	}
+}
