@@ -136,7 +136,7 @@ func benchFig8Megatron(b *testing.B, cfgIdx int, gpus []int) {
 		var panel *experiments.Fig8Panel
 		var err error
 		for i := 0; i < b.N; i++ {
-			panel, err = experiments.Figure8Megatron(cl, cfgIdx, gpus, ev)
+			panel, err = experiments.Figure8Megatron(cl, cfgIdx, gpus, ev, true)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -159,7 +159,7 @@ func BenchmarkFigure8Turing(b *testing.B) {
 		var panel *experiments.Fig8Panel
 		var err error
 		for i := 0; i < b.N; i++ {
-			panel, err = experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev)
+			panel, err = experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev, true)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -193,7 +193,7 @@ func BenchmarkTableIV(b *testing.B) {
 		var rows []experiments.TableIVRow
 		var err error
 		for i := 0; i < b.N; i++ {
-			rows, err = experiments.TableIV(cl, ev)
+			rows, err = experiments.TableIV(cl, ev, true)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -302,11 +302,11 @@ func BenchmarkAblationExchange(b *testing.B) {
 	cfg := model.MegatronConfigs()[2]
 	var phased, bulk float64
 	for i := 0; i < b.N; i++ {
-		pr, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, 7_200_000, true)
+		pr, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, 7_200_000, dist.HybridOptions{Phased: true, Checkpoint: true})
 		if err != nil || !pr.Feasible {
 			b.Fatal(err, pr)
 		}
-		br, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, 7_200_000, false)
+		br, err := dist.MegatronHybrid(cfg, cl, 4, 512, 4, 7_200_000, dist.HybridOptions{Checkpoint: true})
 		if err != nil || !br.Feasible {
 			b.Fatal(err, br)
 		}

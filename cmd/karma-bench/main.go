@@ -28,15 +28,17 @@ func main() {
 	modelName := flag.String("model", "", "restrict fig5 to one model")
 	backend := flag.String("backend", "analytic",
 		"cluster-model backend for fig8/table4/table5/ablations: "+strings.Join(dist.BackendNames(), "|"))
+	ckpt := flag.Bool("ckpt", true,
+		"activation checkpointing in the MP+DP/ZeRO baselines of fig8/table4 (the regime real deployments train in; off shows the smaller no-recompute capacity)")
 	flag.Parse()
 
-	if err := run(*exp, *modelName, *backend); err != nil {
+	if err := run(*exp, *modelName, *backend, *ckpt); err != nil {
 		fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, modelName, backend string) error {
+func run(exp, modelName, backend string, ckpt bool) error {
 	node := hw.ABCINode()
 	cl := hw.ABCI()
 	ev, err := dist.ByName(backend)
@@ -106,7 +108,7 @@ func run(exp, modelName, backend string) error {
 			{2, []int{128, 256, 512, 1024, 2048}}, // 2.5B
 			{4, []int{512, 1024, 2048}},           // 8.3B
 		} {
-			panel, err := experiments.Figure8Megatron(cl, cfg.idx, cfg.gpus, ev)
+			panel, err := experiments.Figure8Megatron(cl, cfg.idx, cfg.gpus, ev, ckpt)
 			if err != nil {
 				return err
 			}
@@ -115,7 +117,7 @@ func run(exp, modelName, backend string) error {
 			}
 			fmt.Println()
 		}
-		turing, err := experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev)
+		turing, err := experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev, ckpt)
 		if err != nil {
 			return err
 		}
@@ -126,7 +128,7 @@ func run(exp, modelName, backend string) error {
 	}
 
 	if all || exp == "table4" {
-		rows, err := experiments.TableIV(cl, ev)
+		rows, err := experiments.TableIV(cl, ev, ckpt)
 		if err != nil {
 			return err
 		}

@@ -35,11 +35,13 @@ func main() {
 
 	fmt.Printf("\n%-6s  %-22s  %-22s  %-22s\n", "gpus", "MP+DP (h/epoch)", "MP+DP opt-ex (h/epoch)", "KARMA DP (h/epoch)")
 	for _, gpus := range []int{128, 512, 2048} {
-		hybrid, err := dist.MegatronHybrid(cfg, cl, 4, gpus, perReplicaBatch, samples, false)
+		// The hybrid shards train under activation checkpointing, the
+		// regime Megatron-LM needs to fit batch 4 on a V100 (§III-G).
+		hybrid, err := dist.MegatronHybrid(cfg, cl, 4, gpus, perReplicaBatch, samples, dist.HybridOptions{Checkpoint: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt, err := dist.MegatronHybrid(cfg, cl, 4, gpus, perReplicaBatch, samples, true)
+		opt, err := dist.MegatronHybrid(cfg, cl, 4, gpus, perReplicaBatch, samples, dist.HybridOptions{Phased: true, Checkpoint: true})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -103,6 +103,35 @@ type Group struct {
 	Time   unit.Seconds
 }
 
+// mergeGroups applies the Shi et al. grouping rule: blocks merge into a
+// phase while the accumulated payload is below the latency-bandwidth
+// threshold of the collective, and each flushed group is costed by the
+// caller's collective model.
+func mergeGroups(sizes []unit.Bytes, threshold unit.Bytes, cost func(unit.Bytes) unit.Seconds) []Group {
+	var out []Group
+	cur := Group{}
+	flush := func() {
+		if len(cur.Blocks) == 0 {
+			return
+		}
+		cur.Time = cost(cur.Bytes)
+		out = append(out, cur)
+		cur = Group{}
+	}
+	for i, s := range sizes {
+		if s < 0 {
+			panic(fmt.Sprintf("comm: negative block size %d", s))
+		}
+		cur.Blocks = append(cur.Blocks, i)
+		cur.Bytes += s
+		if cur.Bytes >= threshold {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
 // PhasedGroups merges per-block gradient payloads (in backward completion
 // order) into exchange phases following the Shi et al. grouping rule the
 // paper adopts (§III-G): merging amortizes per-collective latency, but a
@@ -122,29 +151,32 @@ func PhasedGroups(sizes []unit.Bytes, c hw.Cluster, gpus int, b Backend) []Group
 	}
 	eff := unit.BytesPerSec(float64(c.NetBW) * b.BWEfficiency)
 	threshold := unit.Bytes(float64(steps) * float64(b.Latency) * float64(eff))
+	return mergeGroups(sizes, threshold, func(n unit.Bytes) unit.Seconds {
+		return HierarchicalAllReduce(n, c, gpus, b)
+	})
+}
 
-	var out []Group
-	cur := Group{}
-	flush := func() {
-		if len(cur.Blocks) == 0 {
-			return
-		}
-		cur.Time = HierarchicalAllReduce(cur.Bytes, c, gpus, b)
-		out = append(out, cur)
-		cur = Group{}
+// RingPhasedGroups merges per-block payloads (in backward completion
+// order) into exchange phases for a flat ring over p endpoints at
+// per-endpoint bandwidth bw — the PhasedGroups rule applied to the
+// contended ring of the in-core hybrids' data-parallel exchange, where
+// one replica per node participates and the node bandwidth divides among
+// concurrent shard collectives. Each group's Time is the ring all-reduce
+// of its payload; a reduce-scatter or all-gather phase costs exactly
+// half (half the ring steps).
+func RingPhasedGroups(sizes []unit.Bytes, p int, bw unit.BytesPerSec, b Backend) []Group {
+	if len(sizes) == 0 {
+		return nil
 	}
-	for i, s := range sizes {
-		if s < 0 {
-			panic(fmt.Sprintf("comm: negative block size %d", s))
-		}
-		cur.Blocks = append(cur.Blocks, i)
-		cur.Bytes += s
-		if cur.Bytes >= threshold {
-			flush()
-		}
+	steps := 2 * (p - 1)
+	if steps <= 0 {
+		steps = 2
 	}
-	flush()
-	return out
+	eff := unit.BytesPerSec(float64(bw) * b.BWEfficiency)
+	threshold := unit.Bytes(float64(steps) * float64(b.Latency) * float64(eff))
+	return mergeGroups(sizes, threshold, func(n unit.Bytes) unit.Seconds {
+		return RingAllReduce(n, p, bw, b)
+	})
 }
 
 // BulkTime returns the single-shot (non-phased) exchange time for the

@@ -9,26 +9,36 @@
 //
 //   - Analytic (the package-level functions): closed-form models layered
 //     on the profiled per-block quantities of internal/profiler and the
-//     collective costs of internal/comm. The out-of-core replica is
-//     approximated by a heavy/cheap activation split with a streamed
-//     fraction. Use it for dense sweeps — a full Fig. 8 grid costs
-//     milliseconds.
+//     collective costs of internal/comm. The out-of-core KARMA replica
+//     is approximated by a heavy/cheap activation split with a streamed
+//     fraction; the MP hybrids by a forward/backward phase algebra over
+//     the 1/mp shard profile (megatronCost). Use it for dense sweeps —
+//     a full Fig. 8 grid costs milliseconds.
 //
-//   - Planned: the replica runs the real internal/karma two-tier
-//     partition search (Opt-1/Opt-2, in the §III-G weight-streaming
-//     regime when weights cannot stay resident) and the resulting
-//     schedule is simulated by internal/sim with the phased gradient
-//     exchange injected on the network stream, so per-block swap,
-//     recompute and exchange stalls interact exactly as in Fig. 3. Use
-//     it when fidelity of the out-of-core path matters (calibration,
-//     headline ratios); planner runs are cached per replica shape so
-//     sweeps stay tractable.
+//   - Planned: everything runs through the planner/sim pipeline. A KARMA
+//     replica runs the real internal/karma two-tier partition search
+//     (Opt-1/Opt-2, in the §III-G weight-streaming regime when weights
+//     cannot stay resident); an MP hybrid shard (MegatronHybrid, ZeRO)
+//     profiles model.TransformerShard per layer, takes its in-core or
+//     activation-checkpointed schedule (karma.InCore / karma.Checkpoint)
+//     and gets the blocking Megatron collectives, the phased or bulk
+//     data-parallel exchange, and ZeRO's reduce-scatter/all-gather split
+//     injected as collective-stream ops. Either way internal/sim plays
+//     the schedule out, so swap, recompute, checkpoint-replay and
+//     collective stalls interact per block exactly as in Fig. 3. Use it
+//     when fidelity matters (calibration, headline ratios); profiles and
+//     shard builds are cached so sweeps stay tractable.
 //
-// Both backends share feasibility verdicts and coincide exactly for
-// fully in-core replicas. The models return a Result rather than an
-// error for capacity problems (undersized clusters, models that cannot
-// be sharded small enough), so experiment sweeps can render infeasible
-// cells; errors are reserved for invalid arguments.
+// The two backends diverge only in timing fidelity, never on "does it
+// fit": they share one feasibility path (the KARMA precheck, and
+// hybridSetup for the MP hybrids), so verdicts and Reason strings agree
+// by construction, and they coincide exactly for fully in-core KARMA
+// replicas. Analytic-vs-Planned iteration times are held to a bounded
+// band by the property tests in hybrid_test.go. The models return a
+// Result rather than an error for capacity problems (undersized
+// clusters, models that cannot be sharded small enough), so experiment
+// sweeps can render infeasible cells; errors are reserved for invalid
+// arguments.
 package dist
 
 import (
@@ -66,10 +76,15 @@ type Result struct {
 	GPUs int
 	// GlobalBatch is the samples processed per iteration across the run.
 	GlobalBatch int
-	// Backend names the cost model that produced the numbers ("analytic"
-	// or "planned"); empty when a package-level model function was called
-	// directly rather than through an Evaluator.
+	// Backend names the cost model that produced the numbers. Results are
+	// tagged "analytic" at construction (the package-level functions ARE
+	// the analytic backend); the planner-backed evaluator overwrites the
+	// tag with "planned" on the paths it actually simulates, so a
+	// "analytic" tag from Planned marks an explicit fallback.
 	Backend string
+	// Ckpt records whether the configuration ran with activation
+	// checkpointing (the in-core hybrids under HybridOptions.Checkpoint).
+	Ckpt bool
 }
 
 // KARMAOptions selects KARMA-DP variants.
@@ -86,17 +101,21 @@ type KARMAOptions struct {
 }
 
 // infeasible returns a non-viable Result carrying the configuration's
-// identity so tables can still render the row.
+// identity so tables can still render the row. Like finalize it tags the
+// result "analytic" at construction; evaluator backends re-tag.
 func infeasible(gpus, globalBatch int, format string, args ...any) *Result {
 	return &Result{
 		Feasible:    false,
 		Reason:      fmt.Sprintf(format, args...),
 		GPUs:        gpus,
 		GlobalBatch: globalBatch,
+		Backend:     "analytic",
 	}
 }
 
-// finalize derives the rate and epoch quantities from one iteration time.
+// finalize derives the rate and epoch quantities from one iteration
+// time, tagged with the analytic backend the package-level functions
+// implement (the planned evaluator re-tags what it simulates).
 func finalize(iter unit.Seconds, gpus, globalBatch, samples int) *Result {
 	iters := (samples + globalBatch - 1) / globalBatch
 	return &Result{
@@ -107,6 +126,7 @@ func finalize(iter unit.Seconds, gpus, globalBatch, samples int) *Result {
 		CostPerf:    float64(gpus) * float64(iter) / float64(globalBatch),
 		GPUs:        gpus,
 		GlobalBatch: globalBatch,
+		Backend:     "analytic",
 	}
 }
 

@@ -83,10 +83,10 @@ func TestKARMAArgumentErrors(t *testing.T) {
 	if _, err := KARMADataParallel(g, cl, 4, 32, 0, KARMAOptions{}); err == nil {
 		t.Error("zero samples should error")
 	}
-	if _, err := MegatronHybrid(smallLM(), cl, 0, 16, 4, samples, false); err == nil {
+	if _, err := MegatronHybrid(smallLM(), cl, 0, 16, 4, samples, HybridOptions{}); err == nil {
 		t.Error("non-positive MP factor should error")
 	}
-	if _, err := ZeRO(model.TransformerConfig{}, cl, 1, 16, 4, samples); err == nil {
+	if _, err := ZeRO(model.TransformerConfig{}, cl, 1, 16, 4, samples, HybridOptions{}); err == nil {
 		t.Error("degenerate transformer config should error")
 	}
 }
@@ -222,7 +222,7 @@ func TestDataParallelRequiresInCore(t *testing.T) {
 func TestMegatronHybridValidation(t *testing.T) {
 	cl := hw.ABCI()
 	cfg := smallLM()
-	r, err := MegatronHybrid(cfg, cl, 3, 16, 4, samples, false)
+	r, err := MegatronHybrid(cfg, cl, 3, 16, 4, samples, HybridOptions{})
 	if err != nil {
 		t.Fatalf("MegatronHybrid: %v", err)
 	}
@@ -232,7 +232,7 @@ func TestMegatronHybridValidation(t *testing.T) {
 	// The 2.5B model cannot fit a single V100 unsharded (the paper's
 	// premise): MP=1 must be infeasible with a memory reason.
 	big := model.MegatronConfigs()[2]
-	r, err = MegatronHybrid(big, cl, 1, 64, 4, samples, false)
+	r, err = MegatronHybrid(big, cl, 1, 64, 4, samples, HybridOptions{})
 	if err != nil {
 		t.Fatalf("MegatronHybrid: %v", err)
 	}
@@ -248,11 +248,11 @@ func TestPhasedExchangeNeverLoses(t *testing.T) {
 	cl := hw.ABCI()
 	cfg := smallLM()
 	for _, gpus := range []int{16, 64, 256} {
-		plain, err := MegatronHybrid(cfg, cl, 4, gpus, 4, samples, false)
+		plain, err := MegatronHybrid(cfg, cl, 4, gpus, 4, samples, HybridOptions{})
 		if err != nil {
 			t.Fatalf("%d GPUs plain: %v", gpus, err)
 		}
-		opt, err := MegatronHybrid(cfg, cl, 4, gpus, 4, samples, true)
+		opt, err := MegatronHybrid(cfg, cl, 4, gpus, 4, samples, HybridOptions{Phased: true})
 		if err != nil {
 			t.Fatalf("%d GPUs phased: %v", gpus, err)
 		}
@@ -268,14 +268,18 @@ func TestPhasedExchangeNeverLoses(t *testing.T) {
 func TestZeROFitsWhereHybridFits(t *testing.T) {
 	cl := hw.ABCI()
 	cfg := model.TuringNLG()
-	z, err := ZeRO(cfg, cl, 16, 512, 2, samples)
+	// Turing-NLG's shipped configuration trained with activation
+	// checkpointing; without it even the MP=16 shard's per-layer
+	// activations exceed a V100 at batch 2.
+	ckpt := HybridOptions{Phased: true, Checkpoint: true}
+	z, err := ZeRO(cfg, cl, 16, 512, 2, samples, ckpt)
 	if err != nil {
 		t.Fatalf("ZeRO: %v", err)
 	}
 	if !z.Feasible {
-		t.Fatalf("Turing-NLG at MP=16 should fit with ZeRO sharding: %s", z.Reason)
+		t.Fatalf("Turing-NLG at MP=16 should fit with ZeRO sharding and checkpointing: %s", z.Reason)
 	}
-	h, err := MegatronHybrid(cfg, cl, 16, 512, 2, samples, true)
+	h, err := MegatronHybrid(cfg, cl, 16, 512, 2, samples, ckpt)
 	if err != nil {
 		t.Fatalf("MegatronHybrid: %v", err)
 	}
@@ -287,16 +291,16 @@ func TestZeROFitsWhereHybridFits(t *testing.T) {
 		t.Errorf("ZeRO (%v) slower than the plain phased hybrid (%v)", z.IterTime, h.IterTime)
 	}
 	// ZeRO's defining property: at MP=8 the unsharded hybrid no longer
-	// fits a V100, but partitioning gradient+optimizer state across the
-	// 64 replicas does.
-	h8, err := MegatronHybrid(cfg, cl, 8, 512, 2, samples, true)
+	// fits a V100 even checkpointed (two full weight copies), but
+	// partitioning gradient+optimizer state across the 64 replicas does.
+	h8, err := MegatronHybrid(cfg, cl, 8, 512, 2, samples, ckpt)
 	if err != nil {
 		t.Fatalf("MegatronHybrid mp=8: %v", err)
 	}
 	if h8.Feasible {
 		t.Error("Turing-NLG at MP=8 should exceed device memory without sharding")
 	}
-	z8, err := ZeRO(cfg, cl, 8, 512, 2, samples)
+	z8, err := ZeRO(cfg, cl, 8, 512, 2, samples, ckpt)
 	if err != nil {
 		t.Fatalf("ZeRO mp=8: %v", err)
 	}

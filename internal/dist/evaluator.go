@@ -13,14 +13,16 @@ import (
 //
 //   - Analytic: the closed-form cost models of this package, cheap enough
 //     for dense sweeps (Fig. 8 grids, Table V ladders).
-//   - Planned: the planner-backed path — each replica runs the real KARMA
-//     partition search (internal/karma, Opt-1/Opt-2) and the resulting
-//     schedule is simulated with the phased gradient exchange injected
-//     (internal/sim + internal/comm), trading sweep speed for fidelity.
+//   - Planned: the planner-backed path — each KARMA replica runs the real
+//     partition search (internal/karma, Opt-1/Opt-2) and each in-core
+//     hybrid shard profiles per layer (model.TransformerShard) and builds
+//     an explicit forward/backward plan; either way the schedule is
+//     simulated by internal/sim with the collectives of internal/comm on
+//     the network stream, trading sweep speed for fidelity.
 //
 // Both backends agree on feasibility verdicts and coincide exactly for
-// fully in-core replicas; they differ in how out-of-core stalls are
-// costed.
+// fully in-core KARMA replicas; they differ in how out-of-core stalls
+// and per-layer collective overlap are costed.
 type Evaluator interface {
 	// Name identifies the backend ("analytic", "planned").
 	Name() string
@@ -30,13 +32,14 @@ type Evaluator interface {
 	// DataParallel evaluates conventional in-core data parallelism.
 	DataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int) (*Result, error)
 	// MegatronHybrid evaluates the Megatron-LM MP+DP hybrid.
-	MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, phased bool) (*Result, error)
+	MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error)
 	// ZeRO evaluates the ZeRO-sharded hybrid.
-	ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int) (*Result, error)
+	ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error)
 }
 
 // Analytic is the closed-form backend: every method delegates to the
-// package-level cost model of the same name.
+// package-level cost model of the same name (which tags results
+// "analytic" at construction).
 type Analytic struct{}
 
 // Name implements Evaluator.
@@ -44,30 +47,22 @@ func (Analytic) Name() string { return "analytic" }
 
 // KARMADataParallel implements Evaluator.
 func (Analytic) KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int, o KARMAOptions) (*Result, error) {
-	return tag(KARMADataParallel(g, cl, gpus, perReplicaBatch, samples, o))
+	return KARMADataParallel(g, cl, gpus, perReplicaBatch, samples, o)
 }
 
 // DataParallel implements Evaluator.
 func (Analytic) DataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int) (*Result, error) {
-	return tag(DataParallel(g, cl, gpus, perReplicaBatch, samples))
+	return DataParallel(g, cl, gpus, perReplicaBatch, samples)
 }
 
 // MegatronHybrid implements Evaluator.
-func (Analytic) MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, phased bool) (*Result, error) {
-	return tag(MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, samples, phased))
+func (Analytic) MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error) {
+	return MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, samples, o)
 }
 
 // ZeRO implements Evaluator.
-func (Analytic) ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int) (*Result, error) {
-	return tag(ZeRO(cfg, cl, mp, gpus, perReplicaBatch, samples))
-}
-
-// tag stamps the analytic backend name on a result.
-func tag(r *Result, err error) (*Result, error) {
-	if r != nil {
-		r.Backend = "analytic"
-	}
-	return r, err
+func (Analytic) ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error) {
+	return ZeRO(cfg, cl, mp, gpus, perReplicaBatch, samples, o)
 }
 
 // BackendNames lists the selectable evaluator backends.

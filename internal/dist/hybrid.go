@@ -2,18 +2,31 @@ package dist
 
 import (
 	"fmt"
+	"math"
 
 	"karma/internal/comm"
+	"karma/internal/graph"
 	"karma/internal/hw"
+	"karma/internal/karma"
 	"karma/internal/model"
 	"karma/internal/profiler"
 	"karma/internal/unit"
 )
 
-// mpCollectivesPerLayer is the Megatron-LM partitioning cost: one
-// all-reduce after the attention block and one after the MLP block, in
-// both the forward and backward pass of every transformer layer.
-const mpCollectivesPerLayer = 4
+// HybridOptions selects variants of the in-core MP hybrid baselines.
+type HybridOptions struct {
+	// Phased uses the per-block grouped gradient exchange overlapped with
+	// the backward pass (§III-G, "MP+DP opt-ex" in Fig. 8); false runs one
+	// bulk collective after backward completes. ZeRO ignores it: its
+	// reduce-scatter/all-gather exchange is phased by construction.
+	Phased bool
+	// Checkpoint enables activation checkpointing in the shard
+	// (karma.Checkpoint): boundary activations stay resident and the rest
+	// recompute during backward, trading redundant forward work for the
+	// larger capacity batches real Megatron-LM and ZeRO deployments train
+	// at.
+	Checkpoint bool
+}
 
 // validateTransformer rejects degenerate configurations before the model
 // builder (which panics on structural errors) runs.
@@ -32,136 +45,238 @@ func shardRingBW(cl hw.Cluster) unit.BytesPerSec {
 	return cl.NetBW / unit.BytesPerSec(float64(cl.Node.Devices))
 }
 
-// hybridCost aggregates the per-iteration phases shared by MegatronHybrid
-// and ZeRO: per-shard compute, MP activation collectives, and the
-// data-parallel gradient exchange across replicas.
-type hybridCost struct {
-	fwd, bwd, mpComm, exchange, update unit.Seconds
+// profileFn builds (or recalls) a profile; the planned backend injects
+// its cache here so both backends share one setup path.
+type profileFn func(g *graph.Graph, node hw.Node, batch int) (*profiler.Profile, error)
+
+func defaultProfile(g *graph.Graph, node hw.Node, batch int) (*profiler.Profile, error) {
+	return profiler.New(g, node, profiler.Options{Batch: batch})
 }
 
-// megatronCost evaluates the MP-sharded transformer iteration. zero
-// additionally shards gradient and optimizer state across the replicas
-// (ZeRO-style), which divides the update work and always overlaps the
-// exchange with backward.
-func megatronCost(cfg model.TransformerConfig, p *profiler.Profile, cl hw.Cluster, mp, replicas int, phased, zero bool) hybridCost {
-	fwd, bwd, updateFLOPs := p.Totals()
-	c := hybridCost{
-		fwd: fwd / unit.Seconds(float64(mp)),
-		bwd: bwd / unit.Seconds(float64(mp)),
+// hybridSetup validates the shared MP+DP argument set, profiles the
+// 1/mp shard (model.TransformerShard), and builds the shard's in-core
+// schedule — all-resident, or checkpointed under o.Checkpoint. Both
+// evaluator backends go through it, so feasibility verdicts agree by
+// construction. A non-nil Result reports an infeasible configuration.
+// With zero set, gradient and optimizer state additionally shard across
+// the data-parallel replicas — ZeRO's defining memory property.
+func hybridSetup(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, zero bool, o HybridOptions, shards func(model.TransformerConfig, int) *model.Shard, prof profileFn) (*model.Shard, *profiler.Profile, *karma.Schedule, *Result, error) {
+	if err := validateRun(cl, gpus, perReplicaBatch, samples); err != nil {
+		return nil, nil, nil, nil, err
 	}
-
-	updWork := float64(updateFLOPs) / float64(mp)
+	if mp <= 0 {
+		return nil, nil, nil, nil, fmt.Errorf("dist: model-parallel factor must be positive, got %d", mp)
+	}
+	if err := validateTransformer(cfg); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	replicas := gpus / mp
+	global := replicas * perReplicaBatch
+	// Infeasible verdicts still record the checkpointing regime they were
+	// computed under (the tables' ckpt column reads it).
+	bad := func(format string, args ...any) *Result {
+		r := infeasible(gpus, global, format, args...)
+		r.Ckpt = o.Checkpoint
+		return r
+	}
+	if gpus%mp != 0 || replicas < 1 {
+		return nil, nil, nil, bad("%d GPUs do not divide into MP groups of %d", gpus, mp), nil
+	}
+	if total := cl.TotalDevices(); gpus > total {
+		return nil, nil, nil, bad("cluster %s has %d devices, need %d", cl.Name, total, gpus), nil
+	}
+	if shards == nil {
+		shards = model.TransformerShard
+	}
+	shard := shards(cfg, mp)
+	if prof == nil {
+		prof = defaultProfile
+	}
+	p, err := prof(shard.Graph, cl.Node, perReplicaBatch)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	// Each GPU keeps its shard's weights and gradients resident; under
+	// ZeRO the gradient+optimizer shard further divides across the
+	// replicas and only 1/replicas of it stays resident per GPU.
+	weights := p.TotalWeightBytes
+	grads := weights
 	if zero {
-		// Each replica updates only its optimizer-state partition.
-		updWork /= float64(replicas)
+		grads = unit.Bytes(math.Ceil(float64(weights) / float64(replicas)))
 	}
-	c.update = unit.ComputeTime(unit.FLOPs(updWork), cl.Node.Device.SustainedFLOPS())
+	m := budget(cl)
+	actBudget := m - weights - grads
+	// The schedule construction IS the capacity verdict (one scan, shared
+	// by both backends); its failure is re-rendered below as the stable
+	// memory Reason carrying the minimal activation footprint the regime
+	// could have reached.
+	var s *karma.Schedule
+	if actBudget > 0 {
+		if o.Checkpoint {
+			s, _ = karma.Checkpoint(p, actBudget)
+		} else {
+			s, _ = karma.InCore(p, actBudget)
+		}
+	}
+	if s == nil {
+		actNeed := p.TotalActBytes
+		if o.Checkpoint {
+			actNeed = karma.CheckpointFootprint(p)
+		}
+		return nil, nil, nil, bad(
+			"MP=%d shard needs %v of %v device memory; increase the MP factor or go out-of-core",
+			mp, weights+grads+actNeed, m), nil
+	}
+	return shard, p, s, nil, nil
+}
 
+// arCounts maps the shard's marked collectives onto the profile's
+// blocks: fwdAR[i] counts the partial-sum all-reduces block i's forward
+// pass ends with (row-parallel projections, plus the vocab-parallel
+// embedding gather), bwdAR[i] the matching input-gradient all-reduces of
+// its backward pass (the embedding has none — token ids carry no
+// gradient).
+func arCounts(shard *model.Shard, p *profiler.Profile) (fwdAR, bwdAR []int) {
+	blockOf := map[graph.NodeID]int{}
+	for i, b := range p.Blocks {
+		for _, id := range b.Seg.Nodes {
+			blockOf[id] = i
+		}
+	}
+	fwdAR = make([]int, len(p.Blocks))
+	bwdAR = make([]int, len(p.Blocks))
+	for _, id := range shard.AllReduce {
+		if i, ok := blockOf[id]; ok {
+			fwdAR[i]++
+			bwdAR[i]++
+		}
+	}
+	if shard.EmbedAllReduce >= 0 {
+		if i, ok := blockOf[shard.EmbedAllReduce]; ok {
+			fwdAR[i]++
+		}
+	}
+	return fwdAR, bwdAR
+}
+
+// mpARPayload is the boundary activation each MP collective reduces: the
+// full {batch, seq, hidden} tensor of partial sums.
+func mpARPayload(cfg model.TransformerConfig, p *profiler.Profile) unit.Bytes {
+	return unit.Bytes(int64(p.Opts.Batch)*int64(cfg.Seq)*int64(cfg.Hidden)) * p.Opts.DType.Size()
+}
+
+// hybridCost is the analytic phase decomposition of one MP+DP iteration:
+// a forward phase (compute serialized with the blocking forward
+// collectives, the ZeRO parameter gather overlapped), a backward phase
+// (backward compute, recompute replays and the blocking gradient
+// collectives, with the data-parallel exchange overlapped on the same
+// network), and the optimizer update.
+type hybridCost struct {
+	fwdPhase, bwdPhase, update unit.Seconds
+}
+
+func (c hybridCost) iter() unit.Seconds { return c.fwdPhase + c.bwdPhase + c.update }
+
+// megatronCost evaluates the MP-sharded transformer iteration from the
+// shard profile and its in-core schedule — the closed form mirroring the
+// per-layer simulated plan of the planned backend (dense sweeps use
+// this; property tests bound the divergence). zero additionally shards
+// gradient and optimizer state across the replicas (ZeRO-style), which
+// divides the update work, splits the exchange into a backward
+// reduce-scatter and a forward-overlapped parameter all-gather, and is
+// always phased.
+func megatronCost(cfg model.TransformerConfig, shard *model.Shard, p *profiler.Profile, s *karma.Schedule, cl hw.Cluster, mp, replicas int, zero bool, o HybridOptions) hybridCost {
+	fwd, bwd, updateFLOPs := p.Totals()
+	rec := s.RecomputedTime()
 	gpus := mp * replicas
 	backend := comm.Pick(gpus)
-	if mp > 1 {
-		// Partial-sum activations all-reduce inside the MP group, which
-		// Megatron's placement packs onto consecutive devices.
-		payload := unit.Bytes(int64(p.Opts.Batch)*int64(cfg.Seq)*int64(cfg.Hidden)) * p.Opts.DType.Size()
-		perAR := comm.HierarchicalAllReduce(payload, cl, mp, backend)
-		c.mpComm = unit.Seconds(float64(mpCollectivesPerLayer*cfg.Layers)) * perAR
+
+	// Blocking MP collectives: every marked boundary all-reduces in
+	// forward and backward, and the interior boundaries of multi-block
+	// checkpoint runs reduce again during their replay.
+	perAR := comm.HierarchicalAllReduce(mpARPayload(cfg, p), cl, mp, backend)
+	fwdAR, bwdAR := arCounts(shard, p)
+	var fwdART, bwdART, replayART unit.Seconds
+	for i := range p.Blocks {
+		fwdART += unit.Seconds(float64(fwdAR[i])) * perAR
+		bwdART += unit.Seconds(float64(bwdAR[i])) * perAR
+		if s.Blocks[i].Policy == karma.Recompute && s.RunContinues(i) {
+			replayART += unit.Seconds(float64(fwdAR[i])) * perAR
+		}
 	}
 
 	// Data-parallel exchange of the shard's gradients across replicas on
 	// a flat contended ring (one participant per node per collective).
-	// ZeRO's reduce-scatter plus parameter all-gather moves the same ring
-	// volume as the all-reduce.
-	shardGrads := unit.Bytes(float64(p.TotalWeightBytes) / float64(mp))
-	c.exchange = comm.RingAllReduce(shardGrads, replicas, shardRingBW(cl), backend)
-	if phased || zero {
-		// The per-block grouping overlaps the exchange with the backward
-		// work still in flight; only the excess stalls the iteration.
-		if c.exchange <= c.bwd {
-			c.exchange = 0
-		} else {
-			c.exchange -= c.bwd
-		}
+	exT := comm.RingAllReduce(p.TotalWeightBytes, replicas, shardRingBW(cl), backend)
+
+	updWork := float64(updateFLOPs)
+	if zero {
+		// Each replica updates only its optimizer-state partition.
+		updWork /= float64(replicas)
+	}
+	c := hybridCost{update: unit.ComputeTime(unit.FLOPs(updWork), cl.Node.Device.SustainedFLOPS())}
+
+	// The backward critical chain: each input-gradient collective
+	// launches after its block's dgrad half and overlaps the wgrad half
+	// (Megatron-LM's standard overlap), while interior checkpoint-run
+	// replays re-reduce their boundaries serially.
+	bwdChain := bwd/2 + max(bwd/2, bwdART) + rec + replayART
+	switch {
+	case zero:
+		// Reduce-scatter overlaps backward; the parameter all-gather of
+		// the next iteration's weights overlaps forward (steady state).
+		half := exT / 2
+		c.fwdPhase = fwdART + max(fwd, half)
+		c.bwdPhase = max(bwdChain, bwdART+replayART+half)
+	case o.Phased:
+		// Per-block grouping drains the exchange behind the backward
+		// collectives on the same network; only the excess stalls.
+		c.fwdPhase = fwd + fwdART
+		c.bwdPhase = max(bwdChain, bwdART+replayART+exT)
+	default:
+		// One bulk collective after backward completes.
+		c.fwdPhase = fwd + fwdART
+		c.bwdPhase = bwdChain + exT
 	}
 	return c
 }
 
-func (c hybridCost) iter() unit.Seconds {
-	return c.fwd + c.bwd + c.mpComm + c.exchange + c.update
-}
-
-// megatronSetup validates the shared MP+DP argument set and profiles the
-// configuration; a non-nil Result reports an infeasible configuration.
-// With zero set, gradient and optimizer state additionally shard across
-// the data-parallel replicas — ZeRO's defining memory property.
-func megatronSetup(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, zero bool) (*profiler.Profile, *Result, error) {
-	if err := validateRun(cl, gpus, perReplicaBatch, samples); err != nil {
-		return nil, nil, err
-	}
-	if mp <= 0 {
-		return nil, nil, fmt.Errorf("dist: model-parallel factor must be positive, got %d", mp)
-	}
-	if err := validateTransformer(cfg); err != nil {
-		return nil, nil, err
-	}
-	replicas := gpus / mp
-	global := replicas * perReplicaBatch
-	if gpus%mp != 0 || replicas < 1 {
-		return nil, infeasible(gpus, global, "%d GPUs do not divide into MP groups of %d", gpus, mp), nil
-	}
-	if total := cl.TotalDevices(); gpus > total {
-		return nil, infeasible(gpus, global, "cluster %s has %d devices, need %d", cl.Name, total, gpus), nil
-	}
-	p, err := profiler.New(model.Transformer(cfg), cl.Node, profiler.Options{Batch: perReplicaBatch})
-	if err != nil {
-		return nil, nil, err
-	}
-	// Each GPU holds a 1/mp shard of weights, gradients and activations;
-	// under ZeRO the gradient+optimizer shard further divides across the
-	// replicas and only 1/replicas of it stays resident per GPU.
-	weights := float64(p.TotalWeightBytes)
-	grads := weights
-	if zero {
-		grads /= float64(replicas)
-	}
-	perGPU := unit.Bytes((weights + grads + float64(p.TotalActBytes)) / float64(mp))
-	if m := budget(cl); perGPU > m {
-		return nil, infeasible(gpus, global,
-			"MP=%d shard needs %v of %v device memory; increase the MP factor or go out-of-core", mp, perGPU, m), nil
-	}
-	return p, nil, nil
-}
-
 // MegatronHybrid evaluates the Megatron-LM model+data-parallel hybrid:
-// the transformer shards mp ways (per-layer tensor parallelism paying
-// mpCollectivesPerLayer activation all-reduces per layer), and gpus/mp
-// replicas of the shard group train data-parallel. When phased is true
-// the gradient exchange uses the optimized per-block grouping that
-// overlaps the backward pass (§III-G); otherwise it runs as one bulk
-// collective after backward completes — the configuration of Fig. 8's
-// "MP+DP" versus "MP+DP opt-ex" curves.
-func MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, phased bool) (*Result, error) {
-	p, bad, err := megatronSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, false)
+// the transformer shards mp ways per layer (tensor parallelism paying
+// two blocking activation all-reduces per transformer layer in each
+// direction), and gpus/mp replicas of the shard group train
+// data-parallel. HybridOptions selects the phased vs bulk gradient
+// exchange — the configuration of Fig. 8's "MP+DP" versus "MP+DP
+// opt-ex" curves — and activation checkpointing in the shard.
+func MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error) {
+	shard, p, s, bad, err := hybridSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, false, o, nil, nil)
 	if err != nil || bad != nil {
 		return bad, err
 	}
 	replicas := gpus / mp
-	c := megatronCost(cfg, p, cl, mp, replicas, phased, false)
-	return finalize(c.iter(), gpus, replicas*perReplicaBatch, samples), nil
+	c := megatronCost(cfg, shard, p, s, cl, mp, replicas, false, o)
+	r := finalize(c.iter(), gpus, replicas*perReplicaBatch, samples)
+	r.Ckpt = o.Checkpoint
+	return r, nil
 }
 
 // ZeRO evaluates the sharded hybrid Turing-NLG shipped with: Megatron
 // tensor parallelism of degree mp combined with ZeRO-style partitioning
 // of gradients and optimizer state across the gpus/mp data-parallel
-// replicas. The exchange becomes a reduce-scatter plus parameter
-// all-gather overlapped with backward, and each replica updates only its
-// optimizer partition — the "ZeRO" reference curve of Fig. 8's right
-// panel.
-func ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int) (*Result, error) {
-	p, bad, err := megatronSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, true)
+// replicas. The exchange becomes a backward reduce-scatter plus a
+// forward-overlapped parameter all-gather, and each replica updates only
+// its optimizer partition — the "ZeRO" reference curve of Fig. 8's right
+// panel. o.Phased is ignored (the exchange is phased by construction);
+// o.Checkpoint enables the activation checkpointing real ZeRO
+// deployments run with.
+func ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error) {
+	shard, p, s, bad, err := hybridSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, true, o, nil, nil)
 	if err != nil || bad != nil {
 		return bad, err
 	}
 	replicas := gpus / mp
-	c := megatronCost(cfg, p, cl, mp, replicas, true, true)
-	return finalize(c.iter(), gpus, replicas*perReplicaBatch, samples), nil
+	c := megatronCost(cfg, shard, p, s, cl, mp, replicas, true, o)
+	r := finalize(c.iter(), gpus, replicas*perReplicaBatch, samples)
+	r.Ckpt = o.Checkpoint
+	return r, nil
 }

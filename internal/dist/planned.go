@@ -35,17 +35,23 @@ import (
 // design. Distinct graphs must be distinct pointers (true for every
 // model.Build/model.Transformer call site).
 //
-// The in-core hybrid baselines (MegatronHybrid, ZeRO, DataParallel) have
-// no out-of-core schedule to plan; for them the closed forms are exact
-// and Planned delegates to Analytic. When the partition search cannot
-// produce a schedule for a configuration the analytic precheck deems
-// feasible, Planned falls back to the analytic replica cost (the result
-// is tagged "analytic" in Result.Backend) rather than diverging on the
+// The in-core hybrid baselines (MegatronHybrid, ZeRO) run per layer too:
+// the 1/mp shard of model.TransformerShard is profiled, its in-core (or
+// checkpointed) schedule lowered to a plan, the blocking MP all-reduces
+// and the data-parallel exchange injected as collective-stream ops, and
+// the whole iteration simulated — so compute/collective overlap and
+// checkpoint-recompute stalls interact per layer (see planned_hybrid.go).
+// Conventional DataParallel stays on the closed form, which is exact for
+// a schedule with no overlap structure at all. When the partition search
+// or the simulator cannot cost a configuration the shared precheck deems
+// feasible, Planned falls back to the analytic cost (the result keeps
+// its "analytic" tag in Result.Backend) rather than diverging on the
 // feasibility verdict.
 type Planned struct {
 	mu        sync.Mutex
 	profiles  map[profileKey]*profiler.Profile
 	schedules map[schedKey]*schedEntry
+	shards    map[shardKey]*model.Shard
 }
 
 type profileKey struct {
@@ -64,11 +70,17 @@ type schedEntry struct {
 	err error
 }
 
+type shardKey struct {
+	cfg model.TransformerConfig
+	mp  int
+}
+
 // NewPlanned returns a planner-backed evaluator with empty caches.
 func NewPlanned() *Planned {
 	return &Planned{
 		profiles:  map[profileKey]*profiler.Profile{},
 		schedules: map[schedKey]*schedEntry{},
+		shards:    map[shardKey]*model.Shard{},
 	}
 }
 
@@ -314,19 +326,22 @@ func injectExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, gpus int) {
 }
 
 // DataParallel implements Evaluator. Conventional data parallelism is
-// in-core by definition, where the closed form is exact.
+// in-core by definition with no overlap structure to simulate; the
+// closed form is exact and the result keeps its "analytic" tag.
 func (pe *Planned) DataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples int) (*Result, error) {
-	return tag(DataParallel(g, cl, gpus, perReplicaBatch, samples))
+	return DataParallel(g, cl, gpus, perReplicaBatch, samples)
 }
 
-// MegatronHybrid implements Evaluator. The MP+DP hybrid runs in-core
-// per shard; there is no out-of-core schedule to plan.
-func (pe *Planned) MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, phased bool) (*Result, error) {
-	return tag(MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, samples, phased))
+// MegatronHybrid implements Evaluator with the per-layer simulated shard
+// (see planned_hybrid.go).
+func (pe *Planned) MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error) {
+	return pe.hybrid(cfg, cl, mp, gpus, perReplicaBatch, samples, false, o)
 }
 
-// ZeRO implements Evaluator. The sharded hybrid runs in-core per shard;
-// there is no out-of-core schedule to plan.
-func (pe *Planned) ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int) (*Result, error) {
-	return tag(ZeRO(cfg, cl, mp, gpus, perReplicaBatch, samples))
+// ZeRO implements Evaluator with the per-layer simulated shard; the
+// exchange is always phased (reduce-scatter behind backward, parameter
+// all-gather under forward).
+func (pe *Planned) ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error) {
+	o.Phased = true
+	return pe.hybrid(cfg, cl, mp, gpus, perReplicaBatch, samples, true, o)
 }

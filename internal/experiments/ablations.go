@@ -68,13 +68,14 @@ func Ablations(node hw.Node, cl hw.Cluster, ev dist.Evaluator) ([]AblationResult
 		})
 	}
 
-	// A3: phased vs bulk gradient exchange (Megatron-2.5B hybrid).
+	// A3: phased vs bulk gradient exchange (Megatron-2.5B hybrid, under
+	// the activation checkpointing its shard needs at batch 4).
 	cfg := model.MegatronConfigs()[2]
-	phased, err := ev.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, true)
+	phased, err := ev.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, dist.HybridOptions{Phased: true, Checkpoint: true})
 	if err != nil {
 		return nil, err
 	}
-	bulk, err := ev.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, false)
+	bulk, err := ev.MegatronHybrid(cfg, cl, 4, 512, 4, openWTSamples, dist.HybridOptions{Checkpoint: true})
 	if err != nil {
 		return nil, err
 	}

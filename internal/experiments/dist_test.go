@@ -5,6 +5,7 @@ import (
 
 	"karma/internal/dist"
 	"karma/internal/hw"
+	"karma/internal/model"
 )
 
 func TestFigure8Megatron8B(t *testing.T) {
@@ -12,7 +13,7 @@ func TestFigure8Megatron8B(t *testing.T) {
 		t.Skip("large-scale sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	panel, err := Figure8Megatron(cl, 4, []int{512, 1024, 2048}, dist.Analytic{})
+	panel, err := Figure8Megatron(cl, 4, []int{512, 1024, 2048}, dist.Analytic{}, true)
 	if err != nil {
 		t.Fatalf("Figure8Megatron: %v", err)
 	}
@@ -52,7 +53,7 @@ func TestFigure8Turing(t *testing.T) {
 		t.Skip("large-scale sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	panel, err := Figure8Turing(cl, []int{512, 1024, 2048}, dist.Analytic{})
+	panel, err := Figure8Turing(cl, []int{512, 1024, 2048}, dist.Analytic{}, true)
 	if err != nil {
 		t.Fatalf("Figure8Turing: %v", err)
 	}
@@ -72,12 +73,50 @@ func TestFigure8Turing(t *testing.T) {
 	}
 }
 
+// TestZeROBestConfigTuning: the deployment rule behind the calibrated
+// right panel — with checkpointing the ZeRO reference drops below the
+// shipped MP=16 (narrower groups span fewer of ABCI's 4-GPU nodes) and
+// runs a materially larger global batch than the naive per-GPU parity;
+// without checkpointing only MP=16 fits and the rule degenerates to the
+// plain capacity sweep.
+func TestZeROBestConfigTuning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity sweep in -short mode")
+	}
+	cl := hw.ABCI()
+	cfg := model.TuringNLG()
+	ev := dist.Analytic{}
+	mp, batch, best, err := ZeROBestConfig(cfg, cl, 512, ev, true)
+	if err != nil {
+		t.Fatalf("ZeROBestConfig: %v", err)
+	}
+	if !best.Feasible {
+		t.Fatalf("checkpointed ZeRO must be feasible at 512 GPUs: %s", best.Reason)
+	}
+	if mp >= 16 {
+		t.Errorf("checkpointing should admit a narrower MP than 16, got %d", mp)
+	}
+	if batch*(512/mp) != best.GlobalBatch {
+		t.Errorf("global batch %d inconsistent with mp=%d batch=%d", best.GlobalBatch, mp, batch)
+	}
+	mpPlain, _, plain, err := ZeROBestConfig(cfg, cl, 512, ev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpPlain != 16 {
+		t.Errorf("without checkpointing only MP=16 fits, got %d", mpPlain)
+	}
+	if plain.Feasible && plain.EpochTime < best.EpochTime {
+		t.Errorf("tuned checkpointed config (%v) lost to the unchecked one (%v)", best.EpochTime, plain.EpochTime)
+	}
+}
+
 func TestTableIVPerformance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("five-config sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	rows, err := TableIV(cl, dist.Analytic{})
+	rows, err := TableIV(cl, dist.Analytic{}, true)
 	if err != nil {
 		t.Fatalf("TableIV: %v", err)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"karma/internal/dist"
 	"karma/internal/hw"
@@ -28,8 +29,11 @@ type Fig8Panel struct {
 // the hybrid with the optimized (phased) gradient exchange, and
 // data-parallel KARMA at GPU parity, all evaluated by ev. cfgIdx selects
 // the Table IV configuration (2 = 2.5B, 4 = 8.3B); the per-replica batch
-// and MP factor follow Table IV.
-func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int, ev dist.Evaluator) (*Fig8Panel, error) {
+// and MP factor follow Table IV. ckpt enables activation checkpointing
+// in the hybrid shards — the regime Megatron-LM actually trains these
+// configurations in, and the one the per-layer shard profile needs to
+// fit Table IV's per-replica batch on a V100.
+func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int, ev dist.Evaluator, ckpt bool) (*Fig8Panel, error) {
 	cfgs := model.MegatronConfigs()
 	if cfgIdx < 0 || cfgIdx >= len(cfgs) {
 		return nil, fmt.Errorf("fig8: bad config index %d", cfgIdx)
@@ -44,12 +48,12 @@ func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int, ev dist.Evaluato
 	}
 	for _, gpus := range gpusList {
 		row := Fig8Row{GPUs: gpus, Results: map[string]*dist.Result{}}
-		plain, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, false)
+		plain, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, dist.HybridOptions{Checkpoint: ckpt})
 		if err != nil {
 			return nil, err
 		}
 		row.Results["mp+dp"] = plain
-		opt, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, true)
+		opt, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, dist.HybridOptions{Phased: true, Checkpoint: ckpt})
 		if err != nil {
 			return nil, err
 		}
@@ -73,14 +77,15 @@ func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int, ev dist.Evaluato
 // reports ~1.35x. When no batch fits, the batch-1 infeasible Result is
 // returned so sweeps can render the cell; errors are reserved for
 // invalid arguments.
-func ZeROCapacityBatch(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus int, ev dist.Evaluator) (int, *dist.Result, error) {
+func ZeROCapacityBatch(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus int, ev dist.Evaluator, ckpt bool) (int, *dist.Result, error) {
+	o := dist.HybridOptions{Checkpoint: ckpt}
 	batch := 1
-	best, err := ev.ZeRO(cfg, cl, mp, gpus, batch, openWTSamples)
+	best, err := ev.ZeRO(cfg, cl, mp, gpus, batch, openWTSamples, o)
 	if err != nil {
 		return 0, nil, err
 	}
 	for b := 2; best.Feasible && b <= 1<<12; b *= 2 {
-		r, err := ev.ZeRO(cfg, cl, mp, gpus, b, openWTSamples)
+		r, err := ev.ZeRO(cfg, cl, mp, gpus, b, openWTSamples, o)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -92,12 +97,44 @@ func ZeROCapacityBatch(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus int,
 	return batch, best, nil
 }
 
+// ZeROBestConfig tunes the ZeRO reference the way a deployment would: it
+// sweeps the tensor-parallel degree over the powers of two up to
+// Turing-NLG's shipped MP=16 (smaller MP groups span fewer of ABCI's
+// 4-GPU nodes and pay cheaper blocking collectives, but need
+// checkpointing to fit), takes each at its capacity batch, and keeps the
+// fastest feasible epoch. Without checkpointing only MP=16 fits, which
+// degenerates to ZeROCapacityBatch.
+func ZeROBestConfig(cfg model.TransformerConfig, cl hw.Cluster, gpus int, ev dist.Evaluator, ckpt bool) (int, int, *dist.Result, error) {
+	var bestMP, bestBatch int
+	var best *dist.Result
+	for _, mp := range []int{2, 4, 8, 16} {
+		if gpus%mp != 0 || gpus/mp < 2 {
+			continue
+		}
+		batch, r, err := ZeROCapacityBatch(cfg, cl, mp, gpus, ev, ckpt)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if r.Feasible && (best == nil || r.EpochTime < best.EpochTime) {
+			bestMP, bestBatch, best = mp, batch, r
+		}
+	}
+	if best == nil {
+		// Nothing fits at any degree: report the shipped MP=16 verdict.
+		batch, r, err := ZeROCapacityBatch(cfg, cl, 16, gpus, ev, ckpt)
+		return 16, batch, r, err
+	}
+	return bestMP, bestBatch, best, nil
+}
+
 // Figure8Turing reproduces the right panel: ZeRO (hybrid reference, at
-// its capacity batch — see ZeROCapacityBatch), data-parallel KARMA, and
-// KARMA on top of ZeRO for the 17B Turing-NLG, all evaluated by ev.
-func Figure8Turing(cl hw.Cluster, gpusList []int, ev dist.Evaluator) (*Fig8Panel, error) {
+// its best MP and capacity batch — see ZeROBestConfig), data-parallel
+// KARMA, and KARMA on top of ZeRO for the 17B Turing-NLG, all evaluated
+// by ev. ckpt applies activation checkpointing to the ZeRO baseline (the
+// regime real ZeRO deployments train in; the calibrated panel).
+func Figure8Turing(cl hw.Cluster, gpusList []int, ev dist.Evaluator, ckpt bool) (*Fig8Panel, error) {
 	cfg := model.TuringNLG()
-	const mp, perReplicaBatch = 16, 2
+	const perReplicaBatch = 2
 	g := model.Transformer(cfg)
 	panel := &Fig8Panel{
 		Model:   cfg.Name,
@@ -105,7 +142,7 @@ func Figure8Turing(cl hw.Cluster, gpusList []int, ev dist.Evaluator) (*Fig8Panel
 	}
 	for _, gpus := range gpusList {
 		row := Fig8Row{GPUs: gpus, Results: map[string]*dist.Result{}}
-		_, zero, err := ZeROCapacityBatch(cfg, cl, mp, gpus, ev)
+		_, _, zero, err := ZeROBestConfig(cfg, cl, gpus, ev, ckpt)
 		if err != nil {
 			return nil, err
 		}
@@ -125,15 +162,18 @@ func Figure8Turing(cl hw.Cluster, gpusList []int, ev dist.Evaluator) (*Fig8Panel
 	return panel, nil
 }
 
-// Table renders a panel as time-per-epoch hours (the figure's y-axis).
+// Table renders a panel as time-per-epoch hours (the figure's y-axis),
+// with a column naming the methods that ran under activation
+// checkpointing.
 func (p *Fig8Panel) Table() *Table {
 	t := &Table{
 		ID:      "fig8-" + p.Model,
 		Title:   fmt.Sprintf("time per epoch (hours), %s", p.Model),
-		Headers: append([]string{"gpus"}, p.Methods...),
+		Headers: append(append([]string{"gpus"}, p.Methods...), "ckpt"),
 	}
 	for _, row := range p.Rows {
 		cells := []string{fmt.Sprintf("%d", row.GPUs)}
+		var ckpt []string
 		for _, m := range p.Methods {
 			r := row.Results[m]
 			if r == nil || !r.Feasible {
@@ -141,6 +181,14 @@ func (p *Fig8Panel) Table() *Table {
 			} else {
 				cells = append(cells, fmt.Sprintf("%.1f", float64(r.EpochTime)/3600))
 			}
+			if r != nil && r.Ckpt {
+				ckpt = append(ckpt, m)
+			}
+		}
+		if len(ckpt) == 0 {
+			cells = append(cells, "-")
+		} else {
+			cells = append(cells, strings.Join(ckpt, ","))
 		}
 		t.Rows = append(t.Rows, cells)
 	}

@@ -48,8 +48,9 @@ type TableIVRow struct {
 
 // TableIV evaluates all five Megatron-LM configurations at the paper's
 // GPU counts with the given backend: hybrid at {64,128,256,512,1024}x,
-// KARMA at half.
-func TableIV(cl hw.Cluster, ev dist.Evaluator) ([]TableIVRow, error) {
+// KARMA at half. ckpt applies activation checkpointing to the hybrid
+// shards (Megatron-LM's own training regime).
+func TableIV(cl hw.Cluster, ev dist.Evaluator, ckpt bool) ([]TableIVRow, error) {
 	cfgs := model.MegatronConfigs()
 	hybridGPUs := []int{64, 128, 256, 512, 1024}
 	karmaGPUs := []int{32, 64, 128, 256, 512}
@@ -57,7 +58,7 @@ func TableIV(cl hw.Cluster, ev dist.Evaluator) ([]TableIVRow, error) {
 	var rows []TableIVRow
 	for i, cfg := range cfgs {
 		mp := 1 << i
-		h, err := ev.MegatronHybrid(cfg, cl, mp, hybridGPUs[i], perReplicaBatch, openWTSamples, false)
+		h, err := ev.MegatronHybrid(cfg, cl, mp, hybridGPUs[i], perReplicaBatch, openWTSamples, dist.HybridOptions{Checkpoint: ckpt})
 		if err != nil {
 			return nil, err
 		}
@@ -83,13 +84,17 @@ func TableIVTable(rows []TableIVRow) *Table {
 		ID:    "table4",
 		Title: "data-parallel KARMA configurations and performance for Megatron-LM",
 		Headers: []string{
-			"H", "A", "L", "P", "MP", "MP+DP gpus", "hybrid perf (iter/s)", "karma gpus", "karma perf (iter/s)",
+			"H", "A", "L", "P", "MP", "MP+DP gpus", "hybrid perf (iter/s)", "ckpt", "karma gpus", "karma perf (iter/s)",
 		},
 	}
 	for _, r := range rows {
 		hybrid := "-"
 		if r.Hybrid.Feasible {
 			hybrid = fmt.Sprintf("%.3f", r.Hybrid.IterPerSec)
+		}
+		ckpt := "off"
+		if r.Hybrid.Ckpt {
+			ckpt = "on"
 		}
 		karma := "-"
 		if r.KARMA.Feasible {
@@ -103,6 +108,7 @@ func TableIVTable(rows []TableIVRow) *Table {
 			fmt.Sprintf("%d", r.MPGPUs),
 			fmt.Sprintf("%d", r.HybridGPUs),
 			hybrid,
+			ckpt,
 			fmt.Sprintf("%d", r.KARMAGPUs),
 			karma,
 		})

@@ -1,0 +1,169 @@
+package karma
+
+import (
+	"fmt"
+	"math"
+
+	"karma/internal/profiler"
+	"karma/internal/solve"
+	"karma/internal/unit"
+)
+
+// InCore returns the trivial all-resident schedule: every profiled block
+// keeps its activations in near memory and nothing swaps or recomputes —
+// the degenerate case the in-core baselines (conventional DP, the MP
+// hybrids at a small batch) execute. An error is returned when the
+// stored activations do not fit the budget.
+func InCore(p *profiler.Profile, budget unit.Bytes) (*Schedule, error) {
+	s, err := identitySchedule(p, budget)
+	if err != nil {
+		return nil, err
+	}
+	if p.TotalActBytes > budget {
+		return nil, fmt.Errorf("karma: activations need %v of %v; checkpoint or stream", p.TotalActBytes, budget)
+	}
+	return s, nil
+}
+
+// Checkpoint returns the activation-checkpointing schedule of an in-core
+// replica — the gradient-checkpointing structure (Table I's "RECOMP,
+// O(sqrt N)") as a first-class regime rather than an Opt-2 candidate:
+// when the stored activations fit the budget the schedule is simply
+// all-resident; otherwise the last block stays resident and the prefix
+// recomputes during backward from resident boundary checkpoints. The
+// checkpoints are placed on block boundaries (for the transformer shards
+// of internal/model these are the post-all-reduce residual outputs, so a
+// replay never re-runs a finished collective unless its run spans
+// several blocks), and the run count is the largest that fits — as many
+// boundaries as memory allows, degrading toward the O(sqrt N) optimum as
+// the budget tightens. The in-core hybrid baselines (Megatron MP+DP,
+// ZeRO) use this to reach the larger capacity batches real deployments
+// train at.
+func Checkpoint(p *profiler.Profile, budget unit.Bytes) (*Schedule, error) {
+	s, err := identitySchedule(p, budget)
+	if err != nil {
+		return nil, err
+	}
+	if p.TotalActBytes <= budget {
+		return s, nil // everything resident; no recompute needed
+	}
+	k := len(s.Blocks)
+	if k < 2 {
+		return nil, fmt.Errorf("karma: checkpointed activations need %v of %v", p.TotalActBytes, budget)
+	}
+	tail := s.Blocks[k-1].Payload()
+	// Single scan, largest feasible run count first (most boundaries =
+	// least replay); on failure the scan's minimum doubles as the
+	// footprint the error reports, so feasibility needs no second pass.
+	minNeed := p.TotalActBytes
+	for runs := k - 1; runs >= 1; runs-- {
+		cand, foot, ok := checkpointRuns(p, budget, runs)
+		if !ok {
+			continue
+		}
+		if foot+tail <= budget {
+			return cand, nil
+		}
+		if foot+tail < minNeed {
+			minNeed = foot + tail
+		}
+	}
+	return nil, fmt.Errorf("karma: checkpointed activations need %v of %v", minNeed, budget)
+}
+
+// CheckpointFootprint returns the smallest peak activation footprint any
+// checkpointing schedule of the profile can reach: the minimum over run
+// counts of resident boundaries plus the largest replayed run (with one
+// extra block of transient replay slack), plus the resident tail — or
+// the all-resident footprint if that is smaller. Both dist backends use
+// it as the shared capacity verdict for the checkpointed hybrids.
+func CheckpointFootprint(p *profiler.Profile) unit.Bytes {
+	s, err := identitySchedule(p, unit.Bytes(math.MaxInt64))
+	if err != nil {
+		return 0
+	}
+	k := len(s.Blocks)
+	best := p.TotalActBytes
+	if k < 2 {
+		return best
+	}
+	tail := s.Blocks[k-1].Payload()
+	for runs := k - 1; runs >= 1; runs-- {
+		if _, foot, ok := checkpointRuns(p, unit.Bytes(math.MaxInt64), runs); ok {
+			if need := foot + tail; need < best {
+				best = need
+			}
+		}
+	}
+	return best
+}
+
+// checkpointRuns builds the candidate schedule with the prefix [0, k-1)
+// recomputing in the given number of runs, and reports its prefix
+// footprint: resident boundary checkpoints plus the largest run plus one
+// block of transient slack (a replayed block coexists with its
+// consumer's activations while the boundary hand-off completes).
+func checkpointRuns(p *profiler.Profile, budget unit.Bytes, runs int) (*Schedule, unit.Bytes, bool) {
+	s, err := identitySchedule(p, budget)
+	if err != nil {
+		return nil, 0, false
+	}
+	k := len(s.Blocks)
+	r := k - 1
+	weights := make([]float64, r)
+	var maxBlock unit.Bytes
+	for i := 0; i < r; i++ {
+		weights[i] = float64(s.Blocks[i].Payload()) + 1
+		if pl := s.Blocks[i].Payload(); pl > maxBlock {
+			maxBlock = pl
+		}
+	}
+	cuts, err := solve.BalancedPartition(weights, runs)
+	if err != nil {
+		return nil, 0, false
+	}
+	s.Resident = r
+	for i := 0; i < r; i++ {
+		s.Blocks[i].Policy = Recompute
+	}
+	// A checkpoint must land on a block that physically stores its
+	// boundary (see checkpointPrefix); shift left inside the run when the
+	// nominal end cannot anchor. Unanchorable runs merge with their
+	// successor.
+	canAnchor := func(i int) bool {
+		return s.Blocks[i].Cost.ActBytes >= s.Blocks[i].Cost.OutBytes &&
+			s.Blocks[i].Cost.OutBytes > 0
+	}
+	for _, rg := range solve.Ranges(cuts, r) {
+		for j := rg[1] - 1; j >= rg[0]; j-- {
+			if canAnchor(j) {
+				s.Blocks[j].Ckpt = true
+				break
+			}
+		}
+	}
+	var ckpt unit.Bytes
+	for i := 0; i < r; i++ {
+		if s.Blocks[i].Ckpt {
+			ckpt += s.Blocks[i].Cost.OutBytes
+		}
+	}
+	return s, ckpt + maxRunBytes(s.Blocks) + maxBlock, true
+}
+
+// identitySchedule materializes one planner block per profiled segment,
+// all resident (the partition the in-core regimes operate on — no Opt-1
+// merge is needed when nothing swaps).
+func identitySchedule(p *profiler.Profile, budget unit.Bytes) (*Schedule, error) {
+	n := len(p.Blocks)
+	if n == 0 {
+		return nil, fmt.Errorf("karma: profile has no blocks")
+	}
+	blocks := make([]Block, n)
+	for i := range p.Blocks {
+		blocks[i] = Block{Range: [2]int{i, i + 1}, Cost: p.Blocks[i], Policy: Keep}
+	}
+	opts := Options{}
+	opts.normalize()
+	return &Schedule{Profile: p, Opts: opts, Blocks: blocks, Resident: 0, Budget: budget}, nil
+}

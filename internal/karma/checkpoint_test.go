@@ -1,0 +1,162 @@
+package karma
+
+import (
+	"strings"
+	"testing"
+
+	"karma/internal/hw"
+	"karma/internal/model"
+	"karma/internal/profiler"
+	"karma/internal/unit"
+)
+
+// ckptProfile profiles the MP=1 transformer shard — the per-layer block
+// structure the checkpoint regime was built for.
+func ckptProfile(t *testing.T, batch int) *profiler.Profile {
+	t.Helper()
+	cfg := model.TransformerConfig{
+		Name: "ckpt-lm", Hidden: 512, Heads: 8, Layers: 8, Seq: 128, Vocab: 8192,
+	}
+	sh := model.TransformerShard(cfg, 1)
+	p, err := profiler.New(sh.Graph, hw.ABCINode(), profiler.Options{Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInCoreAllResident(t *testing.T) {
+	p := ckptProfile(t, 4)
+	s, err := InCore(p, p.TotalActBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range s.Blocks {
+		if b.Policy != Keep {
+			t.Errorf("block %d policy %v, want keep", i, b.Policy)
+		}
+	}
+	if s.Resident != 0 {
+		t.Errorf("Resident = %d, want 0 (everything resident)", s.Resident)
+	}
+	if _, err := InCore(p, p.TotalActBytes-1); err == nil {
+		t.Error("InCore must error when activations exceed the budget")
+	}
+}
+
+func TestCheckpointAllResidentWhenFits(t *testing.T) {
+	p := ckptProfile(t, 4)
+	s, err := Checkpoint(p, p.TotalActBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RecomputedTime(); got != 0 {
+		t.Errorf("nothing should recompute when everything fits, got %v", got)
+	}
+}
+
+// TestCheckpointEngagesBeyondCapacity: below the all-resident footprint
+// the regime recomputes a prefix from resident boundary checkpoints,
+// and the resulting plan simulates within the budget.
+func TestCheckpointEngagesBeyondCapacity(t *testing.T) {
+	p := ckptProfile(t, 4)
+	budget := p.TotalActBytes / 2
+	s, err := Checkpoint(p, budget)
+	if err != nil {
+		t.Fatalf("Checkpoint at half the footprint: %v", err)
+	}
+	if s.RecomputedTime() == 0 {
+		t.Fatal("the prefix must recompute below the all-resident footprint")
+	}
+	ckpts := 0
+	for i, b := range s.Blocks {
+		if i < s.Resident && b.Policy != Recompute {
+			t.Errorf("prefix block %d policy %v, want recompute", i, b.Policy)
+		}
+		if b.Ckpt {
+			ckpts++
+		}
+	}
+	if ckpts == 0 {
+		t.Error("no boundary checkpoints marked")
+	}
+	pl, err := BuildPlan(s)
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	_, tl, err := pl.Simulate(s.Budget)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if tl.PeakMem > budget {
+		t.Errorf("peak %v exceeds the %v budget", tl.PeakMem, budget)
+	}
+	// The checkpointed iteration pays recompute: it must be slower than
+	// the all-resident iteration of the same profile.
+	full, err := Checkpoint(p, p.TotalActBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := BuildPlan(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ftl, err := fp.Simulate(full.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan <= ftl.Makespan {
+		t.Errorf("checkpointed iteration %v not slower than all-resident %v", tl.Makespan, ftl.Makespan)
+	}
+}
+
+// TestCheckpointFootprint: the minimal checkpointed footprint must beat
+// the all-resident footprint on a deep model, and Checkpoint must
+// succeed exactly down to (approximately) that budget.
+func TestCheckpointFootprint(t *testing.T) {
+	p := ckptProfile(t, 8)
+	min := CheckpointFootprint(p)
+	if min >= p.TotalActBytes {
+		t.Fatalf("checkpointing saves nothing: footprint %v vs acts %v", min, p.TotalActBytes)
+	}
+	if _, err := Checkpoint(p, min); err != nil {
+		t.Errorf("Checkpoint at its own minimal footprint %v: %v", min, err)
+	}
+	_, err := Checkpoint(p, min-1)
+	if err == nil {
+		t.Error("Checkpoint below the minimal footprint should fail")
+	} else if !strings.Contains(err.Error(), "checkpointed activations") {
+		t.Errorf("error %q should name the checkpointed footprint", err)
+	}
+}
+
+// TestCheckpointCapacityBatchGain: the regime's point — at a fixed
+// budget, checkpointing admits a strictly larger batch than keeping
+// everything resident.
+func TestCheckpointCapacityBatchGain(t *testing.T) {
+	budget := 2 * unit.GiB
+	capacity := func(ckpt bool) int {
+		best := 0
+		for b := 1; b <= 1<<10; b *= 2 {
+			p := ckptProfile(t, b)
+			var err error
+			if ckpt {
+				_, err = Checkpoint(p, budget)
+			} else {
+				_, err = InCore(p, budget)
+			}
+			if err != nil {
+				break
+			}
+			best = b
+		}
+		return best
+	}
+	plain, ck := capacity(false), capacity(true)
+	if plain == 0 || ck == 0 {
+		t.Fatalf("capacities: plain=%d ckpt=%d", plain, ck)
+	}
+	if ck <= plain {
+		t.Errorf("checkpointing should raise the capacity batch: plain=%d ckpt=%d", plain, ck)
+	}
+}

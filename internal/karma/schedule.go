@@ -237,3 +237,13 @@ func runStart(s *Schedule, b int) int {
 func runContinues(s *Schedule, i int) bool {
 	return recomputed(s, i+1) && !s.Blocks[i].Ckpt
 }
+
+// RunContinues reports whether recomputed block i's replay run extends
+// to block i+1 — block i's boundary is then consumed mid-replay rather
+// than from a resident checkpoint. Consumers that must agree with
+// BuildPlan's run structure (the MP collective injection of
+// internal/dist re-reduces exactly these interior boundaries) use this
+// rather than re-deriving it.
+func (s *Schedule) RunContinues(i int) bool {
+	return i >= 0 && i < len(s.Blocks) && runContinues(s, i)
+}

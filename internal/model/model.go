@@ -266,6 +266,106 @@ func Transformer(cfg TransformerConfig) *graph.Graph {
 	return finish(g)
 }
 
+// Shard is a 1/mp slice of a Transformer under Megatron-LM tensor
+// parallelism: every attention and MLP block splits column-parallel then
+// row-parallel across the MP group, the embedding shards over the
+// vocabulary, and the per-sample layer costs and intermediate tensor
+// sizes all reflect the 1/mp share. The row-parallel outputs are partial
+// sums, so the graph alone is not a runnable model — AllReduce marks
+// where the MP group must synchronize.
+type Shard struct {
+	Graph  *graph.Graph
+	Config TransformerConfig
+	// MP is the tensor-parallel degree the shard was built for.
+	MP int
+	// AllReduce lists the nodes whose outputs are MP-group partial sums:
+	// the row-parallel attention projection and second MLP GEMM of every
+	// transformer layer (the two per-layer boundaries of Megatron-LM's
+	// partitioning). Each costs one all-reduce of the boundary activation
+	// in the forward pass and one of the matching input gradient in the
+	// backward pass.
+	AllReduce []graph.NodeID
+	// EmbedAllReduce is the vocab-parallel embedding output, a forward-only
+	// all-reduce (token indices carry no gradient). -1 when mp == 1.
+	EmbedAllReduce graph.NodeID
+}
+
+// ceilDiv is integer division rounding up.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// attentionCore returns the weightless middle of a sharded attention
+// block: scaled dot-product scores plus the value product over the
+// shard's {seq, 3*hs} QKV slab, producing the {seq, hs} pre-projection
+// context (§III-C.6's 2·S²·d term, at the shard's width).
+func attentionCore(name string, seq, hs int) *layer.Custom {
+	return &layer.Custom{
+		LayerName: name,
+		Infer: func(in []tensor.Shape) (tensor.Shape, error) {
+			if len(in) != 1 || in[0].Rank() != 2 || in[0][1] != 3*hs {
+				return nil, fmt.Errorf("layer %s: want {seq,%d} QKV input, got %v", name, 3*hs, in)
+			}
+			return tensor.Shape{in[0][0], hs}, nil
+		},
+		FLOPs: func(in []tensor.Shape, out tensor.Shape) int64 {
+			// Scores S·S·hs plus the value product S·S·hs.
+			return 2 * int64(seq) * int64(seq) * int64(hs)
+		},
+		Backward: 2.0,
+	}
+}
+
+// TransformerShard builds one MP shard of the decoder LM: the per-layer
+// tensor-parallel slice each GPU of a Megatron-LM MP group executes. With
+// mp == 1 it is the full model in sharded form (decomposed attention, no
+// collectives). The attention block becomes a column-parallel QKV
+// projection, the weightless core, and a row-parallel output projection;
+// the MLP becomes a column-parallel expansion and a row-parallel
+// contraction; hidden slices round up when mp does not divide the width.
+// TransformerShard panics on non-positive mp (a programming bug, matching
+// the other builders).
+func TransformerShard(cfg TransformerConfig, mp int) *Shard {
+	if mp < 1 {
+		panic(fmt.Sprintf("model %s: non-positive MP factor %d", cfg.Name, mp))
+	}
+	hs := ceilDiv(cfg.Hidden, mp)   // per-shard attention/head width
+	fs := ceilDiv(4*cfg.Hidden, mp) // per-shard MLP expansion width
+	vs := ceilDiv(cfg.Vocab, mp)    // per-shard vocabulary slice
+	name := cfg.Name
+	if mp > 1 {
+		name = fmt.Sprintf("%s/mp%d", cfg.Name, mp)
+	}
+	g := graph.New(name)
+	sh := &Shard{Graph: g, Config: cfg, MP: mp, EmbedAllReduce: -1}
+	id := g.Add(&layer.Input{LayerName: "tokens", Shape: tensor.Vec(cfg.Seq)})
+	id = g.Add(&layer.Embedding{LayerName: "embed", Vocab: vs, Dim: cfg.Hidden}, id)
+	if mp > 1 {
+		sh.EmbedAllReduce = id
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		p := fmt.Sprintf("layer%d", l)
+		ln1 := g.Add(&layer.LayerNorm{LayerName: p + ".ln1"}, id)
+		qkv := g.Add(&layer.Dense{LayerName: p + ".attn.qkv", OutFeatures: 3 * hs}, ln1)
+		core := g.Add(attentionCore(p+".attn.core", cfg.Seq, hs), qkv)
+		proj := g.Add(&layer.Dense{LayerName: p + ".attn.proj", OutFeatures: cfg.Hidden}, core)
+		if mp > 1 {
+			sh.AllReduce = append(sh.AllReduce, proj)
+		}
+		res1 := g.Add(&layer.Add{LayerName: p + ".res1"}, id, proj)
+		ln2 := g.Add(&layer.LayerNorm{LayerName: p + ".ln2"}, res1)
+		ff1 := g.Add(&layer.Dense{LayerName: p + ".ff1", OutFeatures: fs}, ln2)
+		gelu := g.Add(&layer.GELU{LayerName: p + ".gelu"}, ff1)
+		ff2 := g.Add(&layer.Dense{LayerName: p + ".ff2", OutFeatures: cfg.Hidden}, gelu)
+		if mp > 1 {
+			sh.AllReduce = append(sh.AllReduce, ff2)
+		}
+		id = g.Add(&layer.Add{LayerName: p + ".res2"}, res1, ff2)
+	}
+	id = g.Add(&layer.LayerNorm{LayerName: "final.ln"}, id)
+	g.Add(&layer.Softmax{LayerName: "lm-head"}, id)
+	finish(g)
+	return sh
+}
+
 // MegatronConfigs returns the five Megatron-LM configurations of Table IV.
 func MegatronConfigs() []TransformerConfig {
 	const seq, vocab = 1024, 50304

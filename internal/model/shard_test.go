@@ -1,0 +1,125 @@
+package model
+
+import (
+	"testing"
+
+	"karma/internal/graph"
+)
+
+// shardConfig is a transformer small enough to build at several MP
+// degrees in microseconds.
+func shardConfig() TransformerConfig {
+	return TransformerConfig{
+		Name: "shard-lm", Hidden: 512, Heads: 8, Layers: 6, Seq: 128, Vocab: 8192,
+	}
+}
+
+// TestTransformerShardConservation: summing the per-shard parameter and
+// forward-FLOP counts over the MP group must reproduce the unsharded
+// model to within the bias/rounding slack of the decomposition — the
+// invariant that makes the shard a true 1/mp slice.
+func TestTransformerShardConservation(t *testing.T) {
+	cfg := shardConfig()
+	full := TransformerShard(cfg, 1).Graph
+	for _, mp := range []int{2, 4, 8} {
+		sh := TransformerShard(cfg, mp)
+		gotP := int64(mp) * sh.Graph.ParamCount()
+		wantP := full.ParamCount()
+		// Biases replicate per shard; allow 1% slack.
+		if diff := gotP - wantP; diff < 0 || float64(diff) > 0.01*float64(wantP) {
+			t.Errorf("mp=%d: %d params x %d = %d, want ~%d", mp, sh.Graph.ParamCount(), mp, gotP, wantP)
+		}
+		gotF := int64(mp) * sh.Graph.FwdFLOPs()
+		wantF := full.FwdFLOPs()
+		// Full-width LayerNorm/softmax/embedding-gather work replicates
+		// per shard; allow 5% slack.
+		if gotF < wantF || float64(gotF-wantF) > 0.05*float64(wantF) {
+			t.Errorf("mp=%d: fwd FLOPs x mp = %d, want ~%d", mp, gotF, wantF)
+		}
+	}
+}
+
+// TestTransformerShardMatchesTransformer: at mp=1 the decomposed shard
+// must agree with the monolithic Transformer builder on parameters and
+// FLOPs (same model, finer layer granularity).
+func TestTransformerShardMatchesTransformer(t *testing.T) {
+	cfg := shardConfig()
+	mono := Transformer(cfg)
+	sh := TransformerShard(cfg, 1)
+	if got, want := sh.Graph.ParamCount(), mono.ParamCount(); got < want || float64(got-want) > 0.01*float64(want) {
+		t.Errorf("mp=1 shard params %d, monolithic %d", got, want)
+	}
+	if got, want := sh.Graph.FwdFLOPs(), mono.FwdFLOPs(); float64(got) < 0.99*float64(want) || float64(got) > 1.05*float64(want) {
+		t.Errorf("mp=1 shard FLOPs %d, monolithic %d", got, want)
+	}
+	if len(sh.AllReduce) != 0 || sh.EmbedAllReduce != -1 {
+		t.Errorf("mp=1 shard must mark no collectives, got %d + embed %d", len(sh.AllReduce), sh.EmbedAllReduce)
+	}
+}
+
+// TestTransformerShardMarks: an mp>1 shard marks exactly the two
+// row-parallel boundaries of every transformer layer plus the
+// vocab-parallel embedding, and every marked output is the full-width
+// {seq, hidden} boundary tensor.
+func TestTransformerShardMarks(t *testing.T) {
+	cfg := shardConfig()
+	sh := TransformerShard(cfg, 4)
+	if got, want := len(sh.AllReduce), 2*cfg.Layers; got != want {
+		t.Fatalf("marked %d all-reduces, want %d", got, want)
+	}
+	if sh.EmbedAllReduce < 0 {
+		t.Fatal("vocab-parallel embedding must be marked")
+	}
+	check := func(id graph.NodeID) {
+		s := sh.Graph.Node(id).OutShape
+		if s.Rank() != 2 || s[0] != cfg.Seq || s[1] != cfg.Hidden {
+			t.Errorf("marked node %d has shape %v, want {%d,%d}", id, s, cfg.Seq, cfg.Hidden)
+		}
+	}
+	for _, id := range sh.AllReduce {
+		check(id)
+	}
+	check(sh.EmbedAllReduce)
+}
+
+// TestTransformerShardShrinksMemory: the shard's per-sample stored
+// activations and parameters must shrink monotonically with mp (the
+// intermediate tensors split even though boundaries stay full-width).
+func TestTransformerShardShrinksMemory(t *testing.T) {
+	cfg := shardConfig()
+	prevP := int64(1 << 62)
+	for _, mp := range []int{1, 2, 4, 8} {
+		sh := TransformerShard(cfg, mp)
+		if p := sh.Graph.ParamCount(); p >= prevP {
+			t.Errorf("mp=%d: %d params did not shrink below %d", mp, p, prevP)
+		} else {
+			prevP = p
+		}
+	}
+}
+
+// TestTransformerShardValidates: every built shard passes graph
+// validation at the degrees the paper uses, including a non-divisible
+// width (Turing-NLG's 28 heads at MP=16 shard by hidden slices).
+func TestTransformerShardValidates(t *testing.T) {
+	for _, mp := range []int{1, 2, 16} {
+		sh := TransformerShard(TuringNLG(), mp)
+		if err := sh.Graph.Validate(); err != nil {
+			t.Errorf("mp=%d: %v", mp, err)
+		}
+		if sh.MP != mp {
+			t.Errorf("shard records MP=%d, want %d", sh.MP, mp)
+		}
+	}
+}
+
+// TestTransformerShardBadMP: a non-positive MP factor is a programming
+// bug and must panic like the other builders' structural errors.
+func TestTransformerShardBadMP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TransformerShard(cfg, 0) should panic")
+		}
+	}()
+	TransformerShard(shardConfig(), 0)
+}

@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"karma/internal/sim"
+	"karma/internal/unit"
+)
+
+// simDeps returns the compiled dependency list of the op at (stage, idx).
+func simDeps(t *testing.T, c *Compiled, stage, idx int) []int {
+	t.Helper()
+	for i, r := range c.Refs {
+		if r.Stage == stage && r.Index == idx {
+			return c.Ops[i].Deps
+		}
+	}
+	t.Fatalf("no op at stage %d idx %d", stage, idx)
+	return nil
+}
+
+func hasDep(deps []int, want int) bool {
+	for _, d := range deps {
+		if d == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestValidateMPAllReduceNeedsCompute: a collective with no prior
+// compute op of its block has nothing to reduce.
+func TestValidateMPAllReduceNeedsCompute(t *testing.T) {
+	p := &Plan{Name: "t", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: MPAllReduce, Block: 0, Duration: 1}}},
+	}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "before any compute") {
+		t.Errorf("want producer error, got %v", err)
+	}
+	p = &Plan{Name: "t", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: MPAllReduceLocal, Block: 0, Duration: 1}}},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("collective after forward should validate: %v", err)
+	}
+}
+
+// TestCompileMPAllReduceConsumers: the forward of block b+1 and the
+// backward of block b-1 wait on block b's collective (the Megatron
+// blocking semantics), while unrelated ops do not.
+func TestCompileMPAllReduceConsumers(t *testing.T) {
+	p := &Plan{Name: "t", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: MPAllReduce, Block: 0, Duration: 1}}}, // stage 1
+		{Ops: []Op{{Kind: Fwd, Block: 1, Duration: 1}}},         // stage 2
+		{Ops: []Op{{Kind: Bwd, Block: 1, Duration: 1}}},
+		{Ops: []Op{{Kind: MPAllReduce, Block: 1, Duration: 1}}}, // stage 4
+		{Ops: []Op{{Kind: Bwd, Block: 0, Duration: 1}}},         // stage 5
+	}}
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arFwd := c.Refs[1].Sim
+	if deps := simDeps(t, c, 2, 0); !hasDep(deps, arFwd) {
+		t.Errorf("F1 deps %v missing Ar0 (%d)", deps, arFwd)
+	}
+	arBwd := c.Refs[4].Sim
+	if deps := simDeps(t, c, 5, 0); !hasDep(deps, arBwd) {
+		t.Errorf("B0 deps %v missing Ar1 (%d)", deps, arBwd)
+	}
+}
+
+// TestCollectiveOverlapsWgrad: with the backward split into dgrad and
+// wgrad halves, the input-gradient collective runs concurrently with
+// the wgrad half — the simulated makespan must beat full serialization.
+func TestCollectiveOverlapsWgrad(t *testing.T) {
+	p := &Plan{Name: "t", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: Fwd, Block: 1, Duration: 1}}},
+		{Ops: []Op{{Kind: Bwd, Block: 1, Duration: 1}}}, // dgrad half
+		{Ops: []Op{{Kind: MPAllReduce, Block: 1, Duration: 3}}},
+		{Ops: []Op{{Kind: Bwd, Block: 1, Duration: 1}}}, // wgrad half
+		{Ops: []Op{{Kind: Bwd, Block: 0, Duration: 1}}},
+	}}
+	c, tl, err := p.Simulate(unit.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+	// Serial would be 1+1+1+3+1+1 = 8; with the collective overlapping
+	// the wgrad half the makespan is 7.
+	if got, want := float64(tl.Makespan), 7.0; got != want {
+		t.Errorf("makespan %v, want %v (wgrad overlapped)", got, want)
+	}
+}
+
+// TestParamGatherFeedsForward: a forward waits for its block's gather,
+// and gathers do not gate unrelated stages.
+func TestParamGatherFeedsForward(t *testing.T) {
+	p := &Plan{Name: "t", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: ParamGather, Block: 0, Duration: 5}}},
+		{Ops: []Op{{Kind: ParamGather, Block: 1, Duration: 1}}},
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: Fwd, Block: 1, Duration: 1}}},
+	}}
+	c, tl, err := p.Simulate(unit.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag0 := c.Refs[0].Sim
+	if deps := simDeps(t, c, 2, 0); !hasDep(deps, ag0) {
+		t.Errorf("F0 deps %v missing Ag0 (%d)", deps, ag0)
+	}
+	// F0 waits for its 5s gather; F1's 1s gather drained behind it on the
+	// network stream, so F1 follows F0 immediately: makespan 7.
+	if got, want := float64(tl.Makespan), 7.0; got != want {
+		t.Errorf("makespan %v, want %v", got, want)
+	}
+}
+
+// TestLocalCollectiveLeavesNetworkFree: an NVLink collective and a
+// network exchange of equal length overlap fully instead of queueing on
+// one stream.
+func TestLocalCollectiveLeavesNetworkFree(t *testing.T) {
+	p := &Plan{Name: "t", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: Fwd, Block: 1, Duration: 1}}},
+		{Ops: []Op{{Kind: Bwd, Block: 1, Duration: 1}}},
+		{Ops: []Op{{Kind: MPAllReduceLocal, Block: 1, Duration: 4}}},
+		{Ops: []Op{{Kind: GradExchange, Block: 1, Duration: 4}}},
+		{Ops: []Op{{Kind: Bwd, Block: 0, Duration: 1}}},
+	}}
+	c, tl, err := p.Simulate(unit.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Busy[sim.NVLink] != 4 || tl.Busy[sim.Network] != 4 {
+		t.Fatalf("stream busy: nvlink=%v net=%v", tl.Busy[sim.NVLink], tl.Busy[sim.Network])
+	}
+	_ = c
+	// B0 waits for the NVLink collective (3..7); the exchange runs
+	// concurrently on the network: makespan 8, not 12.
+	if got, want := float64(tl.Makespan), 8.0; got != want {
+		t.Errorf("makespan %v, want %v (streams overlap)", got, want)
+	}
+}
+
+// TestUpdateWaitsForExchange: the device-side optimizer step must not
+// start before its block's gradient exchange has drained.
+func TestUpdateWaitsForExchange(t *testing.T) {
+	p := &Plan{Name: "t", NumBlocks: 1, Stages: []Stage{
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: Bwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: GradExchange, Block: 0, Duration: 5}}},
+		{Ops: []Op{{Kind: UpdateGPU, Block: 0, Duration: 1}}},
+	}}
+	_, tl, err := p.Simulate(unit.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := float64(tl.Makespan), 8.0; got != want {
+		t.Errorf("makespan %v, want %v (update after exchange)", got, want)
+	}
+}
+
+// TestNewKindsRoundTripJSON: the collective kinds survive the wire
+// format.
+func TestNewKindsRoundTripJSON(t *testing.T) {
+	p := &Plan{Name: "t", NumBlocks: 2, Stages: []Stage{
+		{Ops: []Op{{Kind: ParamGather, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: MPAllReduce, Block: 0, Duration: 1}}},
+		{Ops: []Op{{Kind: Fwd, Block: 1, Duration: 1}}},
+		{Ops: []Op{{Kind: MPAllReduceLocal, Block: 1, Duration: 1}}},
+	}}
+	var sb strings.Builder
+	if err := p.Encode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != p.String() {
+		t.Errorf("round trip %q != %q", got.String(), p.String())
+	}
+}

@@ -28,6 +28,7 @@ type jsonPlan struct {
 var kindNames = map[Kind]string{
 	Fwd: "F", Bwd: "B", Recompute: "R", SwapOut: "Sout", SwapIn: "Sin",
 	GradExchange: "Ex", UpdateCPU: "Ucpu", UpdateGPU: "Ugpu",
+	MPAllReduce: "Ar", MPAllReduceLocal: "ArL", ParamGather: "Ag",
 }
 
 var kindByName = func() map[string]Kind {

@@ -32,6 +32,20 @@ const (
 	GradExchange             // inter-node all-reduce of a block's gradients
 	UpdateCPU                // weight update on the host (§III-G stage 5)
 	UpdateGPU                // weight update on the device
+	// MPAllReduce is the blocking model-parallel all-reduce of a
+	// Megatron-style MP group spanning nodes: it reduces the partial sums
+	// its block's latest compute op produced, and the compiler stalls the
+	// consumer on it — the next block's forward, or the previous block's
+	// backward (which may overlap it with its own weight-gradient work).
+	MPAllReduce
+	// MPAllReduceLocal is the same collective for an MP group packed
+	// inside one node: it runs over NVLink and leaves the network stream
+	// free for the data-parallel exchange.
+	MPAllReduceLocal
+	// ParamGather is ZeRO's parameter all-gather prefetch: in steady state
+	// the gather of freshly-updated shards overlaps the forward pass that
+	// consumes them, so it occupies the network stream without gating.
+	ParamGather
 )
 
 // String returns the paper-style op mnemonic.
@@ -53,6 +67,12 @@ func (k Kind) String() string {
 		return "Ucpu"
 	case UpdateGPU:
 		return "Ugpu"
+	case MPAllReduce:
+		return "Ar"
+	case MPAllReduceLocal:
+		return "ArL"
+	case ParamGather:
+		return "Ag"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -67,8 +87,10 @@ func (k Kind) stream() sim.Stream {
 		return sim.D2H
 	case SwapIn:
 		return sim.H2D
-	case GradExchange:
+	case GradExchange, MPAllReduce, ParamGather:
 		return sim.Network
+	case MPAllReduceLocal:
+		return sim.NVLink
 	case UpdateCPU:
 		return sim.HostCPU
 	default:
@@ -121,7 +143,7 @@ func (p *Plan) String() string {
 
 // Validate checks structural sanity: block indices in range, and every
 // consumer op preceded by its producer (Bwd by Fwd, GradExchange by Bwd,
-// UpdateCPU by GradExchange).
+// updates by Bwd, MP all-reduces by some compute op of their block).
 func (p *Plan) Validate() error {
 	type seenKey struct {
 		k Kind
@@ -150,6 +172,10 @@ func (p *Plan) Validate() error {
 				if !seen[seenKey{Bwd, op.Block}] {
 					return fmt.Errorf("plan %s: update of block %d before B%d", p.Name, op.Block, op.Block)
 				}
+			case MPAllReduce, MPAllReduceLocal:
+				if !seen[seenKey{Fwd, op.Block}] && !seen[seenKey{Bwd, op.Block}] && !seen[seenKey{Recompute, op.Block}] {
+					return fmt.Errorf("plan %s: %s%d before any compute of block %d", p.Name, op.Kind, op.Block, op.Block)
+				}
 			}
 			seen[seenKey{op.Kind, op.Block}] = true
 		}
@@ -176,15 +202,21 @@ type Compiled struct {
 //
 // Launch dependencies: every op in stage s depends on the last
 // compute-stream op of the nearest earlier stage that has one (stages
-// gate on processing, copies are asynchronous).
+// gate on processing; copies and collectives are asynchronous).
 //
-// Data dependencies (auto-derived, keyed by most recent occurrence):
+// Data dependencies (auto-derived, keyed by most recent occurrence;
+// MPAllReduce below stands for MPAllReduceLocal too):
 //
-//	Fwd(b), Bwd(b)  ← latest SwapIn(b), Recompute(b) of the block
+//	Fwd(b), Bwd(b)  ← latest SwapIn(b), Recompute(b), ParamGather(b)
+//	Fwd(b)          ← latest MPAllReduce(b-1) (reduced boundary input)
+//	Bwd(b)          ← latest MPAllReduce(b+1) (reduced gradient input)
 //	Recompute(b)    ← latest SwapIn(b) and SwapIn(b-1) (boundary/weights)
+//	Recompute(b)    ← latest MPAllReduce(b-1) (replayed boundary)
 //	SwapOut(b)      ← latest compute op of the block
+//	MPAllReduce(b)  ← latest compute op of the block (partial-sum source)
 //	GradExchange(b) ← latest SwapOut(b) (if any) else Bwd(b)
-//	UpdateCPU(b)    ← latest GradExchange(b) (if any) else SwapOut/Bwd
+//	UpdateCPU(b),
+//	UpdateGPU(b)    ← latest GradExchange(b) (if any) else SwapOut/Bwd
 //	SwapIn(b)       ← latest UpdateCPU(b) (next-iteration reload)
 func (p *Plan) Compile() (*Compiled, error) {
 	if err := p.Validate(); err != nil {
@@ -227,19 +259,40 @@ func (p *Plan) Compile() (*Compiled, error) {
 				if i, ok := get(Recompute, op.Block); ok {
 					addDep(i)
 				}
+				if i, ok := get(ParamGather, op.Block); ok {
+					addDep(i)
+				}
+				// A blocking MP collective feeds the consumer of the tensor
+				// it reduces: the next block's forward, or the previous
+				// block's backward.
+				nb := op.Block - 1
+				if op.Kind == Bwd {
+					nb = op.Block + 1
+				}
+				for _, k := range []Kind{MPAllReduce, MPAllReduceLocal} {
+					if i, ok := get(k, nb); ok {
+						addDep(i)
+					}
+				}
 			case Recompute:
 				// A recompute replays from its predecessor's boundary
 				// activation; when that predecessor was swapped out, the
 				// replay must wait for its prefetch (§III-F: recompute
 				// interleaved with the swap stream). Under weight
 				// streaming the replay also needs the block's own weights
-				// back on the device.
+				// back on the device, and under model parallelism a
+				// just-replayed predecessor boundary must be re-reduced.
 				if i, ok := get(SwapIn, op.Block); ok {
 					addDep(i)
 				}
 				if op.Block > 0 {
 					if i, ok := get(SwapIn, op.Block-1); ok {
 						addDep(i)
+					}
+					for _, k := range []Kind{MPAllReduce, MPAllReduceLocal} {
+						if i, ok := get(k, op.Block-1); ok {
+							addDep(i)
+						}
 					}
 				}
 			case SwapOut:
@@ -249,16 +302,34 @@ func (p *Plan) Compile() (*Compiled, error) {
 						break
 					}
 				}
+			case MPAllReduce, MPAllReduceLocal:
+				// The most recent compute op of the block produced the
+				// partial sums the collective reduces.
+				latest := -1
+				for _, k := range []Kind{Fwd, Bwd, Recompute} {
+					if i, ok := get(k, op.Block); ok && i > latest {
+						latest = i
+					}
+				}
+				if latest >= 0 {
+					addDep(latest)
+				}
 			case GradExchange:
 				if i, ok := get(SwapOut, op.Block); ok {
 					addDep(i)
 				} else if i, ok := get(Bwd, op.Block); ok {
 					addDep(i)
 				}
-			case UpdateCPU:
+			case UpdateCPU, UpdateGPU:
 				found := false
-				for _, k := range []Kind{GradExchange, UpdateGPU, SwapOut} {
+				for _, k := range []Kind{GradExchange, SwapOut} {
 					if i, ok := get(k, op.Block); ok {
+						addDep(i)
+						found = true
+					}
+				}
+				if op.Kind == UpdateCPU {
+					if i, ok := get(UpdateGPU, op.Block); ok {
 						addDep(i)
 						found = true
 					}

@@ -27,7 +27,8 @@ const (
 	H2D                   // host-to-device copies (swap-in)
 	D2H                   // device-to-host copies (swap-out)
 	HostCPU               // CPU-side compute (weight updates)
-	Network               // collective communication
+	Network               // inter-node collective communication
+	NVLink                // intra-node collective communication
 	numStreams
 )
 
@@ -44,6 +45,8 @@ func (s Stream) String() string {
 		return "cpu"
 	case Network:
 		return "net"
+	case NVLink:
+		return "nvlink"
 	default:
 		return fmt.Sprintf("stream(%d)", int(s))
 	}
