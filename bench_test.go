@@ -136,7 +136,7 @@ func benchFig8Megatron(b *testing.B, cfgIdx int, gpus []int) {
 		var panel *experiments.Fig8Panel
 		var err error
 		for i := 0; i < b.N; i++ {
-			panel, err = experiments.Figure8Megatron(cl, cfgIdx, gpus, ev, true)
+			panel, err = experiments.Figure8Megatron(cl, cfgIdx, gpus, ev, experiments.FamilyOptions{Ckpt: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -159,7 +159,7 @@ func BenchmarkFigure8Turing(b *testing.B) {
 		var panel *experiments.Fig8Panel
 		var err error
 		for i := 0; i < b.N; i++ {
-			panel, err = experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev, true)
+			panel, err = experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev, experiments.FamilyOptions{Ckpt: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -193,7 +193,7 @@ func BenchmarkTableIV(b *testing.B) {
 		var rows []experiments.TableIVRow
 		var err error
 		for i := 0; i < b.N; i++ {
-			rows, err = experiments.TableIV(cl, ev, true)
+			rows, err = experiments.TableIV(cl, ev, experiments.FamilyOptions{Ckpt: true})
 			if err != nil {
 				b.Fatal(err)
 			}

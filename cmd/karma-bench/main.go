@@ -21,6 +21,7 @@ import (
 	"karma/internal/dist"
 	"karma/internal/experiments"
 	"karma/internal/hw"
+	"karma/internal/tensor"
 )
 
 func main() {
@@ -29,22 +30,31 @@ func main() {
 	backend := flag.String("backend", "analytic",
 		"cluster-model backend for fig8/table4/table5/ablations: "+strings.Join(dist.BackendNames(), "|"))
 	ckpt := flag.Bool("ckpt", true,
-		"activation checkpointing in the MP+DP/ZeRO baselines of fig8/table4 (the regime real deployments train in; off shows the smaller no-recompute capacity)")
+		"activation checkpointing in the MP+DP/ZeRO/pipeline baselines of fig8/table4 (the regime real deployments train in; off shows the smaller no-recompute capacity)")
+	precision := flag.String("precision", "fp32",
+		"training regime for fig8/table4: fp32, or fp16 (mixed precision with an fp32 master — halves memory and traffic, calibrating the Fig. 8 right panel toward the paper's ~1.35x)")
+	pipeline := flag.Bool("pipeline", false,
+		"add the GPipe-style pipeline-parallel baseline family to fig8/table4")
 	flag.Parse()
 
-	if err := run(*exp, *modelName, *backend, *ckpt); err != nil {
+	if err := run(*exp, *modelName, *backend, *precision, *ckpt, *pipeline); err != nil {
 		fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, modelName, backend string, ckpt bool) error {
+func run(exp, modelName, backend, precision string, ckpt, pipeline bool) error {
 	node := hw.ABCINode()
 	cl := hw.ABCI()
 	ev, err := dist.ByName(backend)
 	if err != nil {
 		return err
 	}
+	prec, err := tensor.ParsePrecision(precision)
+	if err != nil {
+		return err
+	}
+	fo := experiments.FamilyOptions{Ckpt: ckpt, Precision: prec, Pipeline: pipeline}
 	all := exp == "all"
 
 	if all || exp == "table1" {
@@ -108,7 +118,7 @@ func run(exp, modelName, backend string, ckpt bool) error {
 			{2, []int{128, 256, 512, 1024, 2048}}, // 2.5B
 			{4, []int{512, 1024, 2048}},           // 8.3B
 		} {
-			panel, err := experiments.Figure8Megatron(cl, cfg.idx, cfg.gpus, ev, ckpt)
+			panel, err := experiments.Figure8Megatron(cl, cfg.idx, cfg.gpus, ev, fo)
 			if err != nil {
 				return err
 			}
@@ -117,7 +127,7 @@ func run(exp, modelName, backend string, ckpt bool) error {
 			}
 			fmt.Println()
 		}
-		turing, err := experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev, ckpt)
+		turing, err := experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev, fo)
 		if err != nil {
 			return err
 		}
@@ -128,7 +138,7 @@ func run(exp, modelName, backend string, ckpt bool) error {
 	}
 
 	if all || exp == "table4" {
-		rows, err := experiments.TableIV(cl, ev, ckpt)
+		rows, err := experiments.TableIV(cl, ev, fo)
 		if err != nil {
 			return err
 		}

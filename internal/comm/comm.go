@@ -211,3 +211,17 @@ func ReduceScatter(n unit.Bytes, p int, bw unit.BytesPerSec, b Backend) unit.Sec
 func AllGather(n unit.Bytes, p int, bw unit.BytesPerSec, b Backend) unit.Seconds {
 	return ReduceScatter(n, p, bw, b) // identical cost structure
 }
+
+// PointToPoint returns the time to move n bytes between two endpoints
+// over per-endpoint bandwidth bw — the stage-boundary send/recv of
+// pipeline (inter-layer) parallelism. One message, one latency.
+func PointToPoint(n unit.Bytes, bw unit.BytesPerSec, b Backend) unit.Seconds {
+	if n == 0 {
+		return 0
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("comm: negative size %d", n))
+	}
+	eff := unit.BytesPerSec(float64(bw) * b.BWEfficiency)
+	return unit.TransferTime(n, eff, b.Latency)
+}

@@ -2,8 +2,12 @@
 // five-stage out-of-core data-parallel pipeline (swap-in, compute,
 // swap-out, phased gradient exchange, host-side weight update), the
 // Megatron-LM model+data-parallel hybrid it is compared against (Fig. 8,
-// Table IV), ZeRO-style sharded data parallelism, and conventional
-// in-core data parallelism (Table V).
+// Table IV), ZeRO-style sharded data parallelism, GPipe-style pipeline
+// (inter-layer) parallelism, and conventional in-core data parallelism
+// (Table V). Every family evaluates at fp32 or mixed precision
+// (tensor.Precision): fp16 tensors halve the swap, collective and
+// activation bytes while the optimizer's fp32 master state stays
+// resident, sharded, or host-side depending on the family.
 //
 // Two Evaluator backends cost each configuration:
 //
@@ -49,6 +53,7 @@ import (
 	"karma/internal/graph"
 	"karma/internal/hw"
 	"karma/internal/profiler"
+	"karma/internal/tensor"
 	"karma/internal/unit"
 )
 
@@ -98,6 +103,14 @@ type KARMAOptions struct {
 	// optimizer state partition across the replicas, shrinking the
 	// out-of-core footprint each GPU must stream (Fig. 8 right panel).
 	ZeROShard bool
+	// Precision selects the training regime (fp32 default, or mixed
+	// fp16-with-fp32-master). Mixed precision halves the weight,
+	// gradient and activation bytes the replica streams and exchanges;
+	// the fp32 master copy lives with the host-side update (far memory)
+	// in every KARMA regime, so it never costs device capacity. Compute
+	// rates are deliberately held constant across regimes (see
+	// tensor.Precision).
+	Precision tensor.Precision
 }
 
 // infeasible returns a non-viable Result carrying the configuration's
@@ -255,9 +268,11 @@ func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) 
 	}
 	if o.UpdateOnDevice {
 		// Forcing streamed blocks to update on the GPU round-trips their
-		// momentum buffers and serializes the update kernel (A4). ZeRO
-		// partitions the momentum like the rest of the optimizer state.
-		momentum := f * float64(weights)
+		// momentum buffers and serializes the update kernel (A4). The
+		// buffers are fp32 in both regimes, so under mixed precision they
+		// cost twice the fp16 weight bytes. ZeRO partitions the momentum
+		// like the rest of the optimizer state.
+		momentum := f * float64(o.Precision.OptimBytes(weights))
 		if o.ZeROShard {
 			momentum /= float64(gpus)
 		}
@@ -319,7 +334,7 @@ func KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, sam
 	if total := cl.TotalDevices(); gpus > total {
 		return infeasible(gpus, global, "cluster %s has %d devices, need %d", cl.Name, total, gpus), nil
 	}
-	p, err := profiler.New(g, cl.Node, profiler.Options{Batch: perReplicaBatch})
+	p, err := profiler.New(g, cl.Node, profiler.Options{Batch: perReplicaBatch, DType: o.Precision.DType()})
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,11 @@ type Evaluator interface {
 	MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error)
 	// ZeRO evaluates the ZeRO-sharded hybrid.
 	ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error)
+	// Pipeline evaluates the GPipe-style pipeline-parallel baseline:
+	// `stages` inter-layer stages per replica, gpus/stages data-parallel
+	// replicas, `micro` micro-batches filling and draining the pipeline
+	// per iteration.
+	Pipeline(cfg model.TransformerConfig, cl hw.Cluster, stages, gpus, perReplicaBatch, micro, samples int, o HybridOptions) (*Result, error)
 }
 
 // Analytic is the closed-form backend: every method delegates to the
@@ -63,6 +68,11 @@ func (Analytic) MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, g
 // ZeRO implements Evaluator.
 func (Analytic) ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error) {
 	return ZeRO(cfg, cl, mp, gpus, perReplicaBatch, samples, o)
+}
+
+// Pipeline implements Evaluator.
+func (Analytic) Pipeline(cfg model.TransformerConfig, cl hw.Cluster, stages, gpus, perReplicaBatch, micro, samples int, o HybridOptions) (*Result, error) {
+	return Pipeline(cfg, cl, stages, gpus, perReplicaBatch, micro, samples, o)
 }
 
 // BackendNames lists the selectable evaluator backends.

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"testing"
+
+	"karma/internal/hw"
+	"karma/internal/model"
+)
+
+// The planned evaluator's fallback contract: when the simulator cannot
+// cost a configuration the shared precheck deems feasible, the result
+// falls back to the analytic closed form and must carry the SAME fields
+// a planned result would — Ckpt, GPUs, GlobalBatch — with only the
+// Backend tag marking the fallback ("analytic", the documented signal
+// sweep tooling uses to detect silent degradation). These are the
+// regression tests for that contract, driven through the failSim hook.
+
+func TestAnalyticFallbackTagging(t *testing.T) {
+	cl := hw.ABCI()
+	cfg := model.TuringNLG()
+	o := HybridOptions{Phased: true, Checkpoint: true}
+
+	pe := NewPlanned()
+	pe.failSim = true
+	real := NewPlanned()
+
+	type variant struct {
+		name string
+		run  func(pe *Planned) (*Result, error)
+	}
+	variants := []variant{
+		{"megatron", func(pe *Planned) (*Result, error) {
+			return pe.MegatronHybrid(cfg, cl, 16, 512, 2, samples, o)
+		}},
+		{"zero", func(pe *Planned) (*Result, error) {
+			return pe.ZeRO(cfg, cl, 16, 512, 2, samples, o)
+		}},
+		{"pipeline", func(pe *Planned) (*Result, error) {
+			return pe.Pipeline(cfg, cl, 16, 512, 8, 8, samples, o)
+		}},
+	}
+	for _, v := range variants {
+		fb, err := v.run(pe)
+		if err != nil {
+			t.Fatalf("%s fallback: %v", v.name, err)
+		}
+		pl, err := v.run(real)
+		if err != nil {
+			t.Fatalf("%s planned: %v", v.name, err)
+		}
+		if !fb.Feasible || !pl.Feasible {
+			t.Fatalf("%s: both paths must be feasible: %q %q", v.name, fb.Reason, pl.Reason)
+		}
+		if fb.Backend != "analytic" {
+			t.Errorf("%s: fallback Backend = %q, want the explicit analytic tag", v.name, fb.Backend)
+		}
+		if pl.Backend != "planned" {
+			t.Errorf("%s: live path Backend = %q", v.name, pl.Backend)
+		}
+		// The regression: the fallback result must carry the same Ckpt and
+		// identity fields as the planned path, not a half-initialized
+		// Result.
+		if fb.Ckpt != pl.Ckpt {
+			t.Errorf("%s: fallback Ckpt = %v, planned path has %v", v.name, fb.Ckpt, pl.Ckpt)
+		}
+		if fb.GPUs != pl.GPUs || fb.GlobalBatch != pl.GlobalBatch {
+			t.Errorf("%s: fallback identity (%d gpus, %d batch) differs from planned (%d, %d)",
+				v.name, fb.GPUs, fb.GlobalBatch, pl.GPUs, pl.GlobalBatch)
+		}
+		if fb.IterTime <= 0 || fb.EpochTime <= 0 {
+			t.Errorf("%s: fallback carries no timing", v.name)
+		}
+	}
+
+	// KARMA's planned path falls back to the package-level closed form;
+	// the analytic tag and identity fields follow the same contract.
+	g := model.Transformer(cfg)
+	fb, err := pe.KARMADataParallel(g, cl, 512, 2, samples, KARMAOptions{ZeROShard: true})
+	if err != nil {
+		t.Fatalf("karma fallback: %v", err)
+	}
+	if !fb.Feasible || fb.Backend != "analytic" {
+		t.Errorf("karma fallback: feasible=%v Backend=%q", fb.Feasible, fb.Backend)
+	}
+	if fb.GPUs != 512 || fb.GlobalBatch != 1024 {
+		t.Errorf("karma fallback identity: gpus=%d batch=%d", fb.GPUs, fb.GlobalBatch)
+	}
+
+	// Infeasible verdicts are produced by the shared precheck, not the
+	// simulator, so they keep the live "planned" tag even under failSim.
+	bad, err := pe.MegatronHybrid(cfg, cl, 3, 512, 2, samples, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Feasible || bad.Backend != "planned" {
+		t.Errorf("infeasible under failSim: feasible=%v Backend=%q", bad.Feasible, bad.Backend)
+	}
+	if !bad.Ckpt {
+		t.Error("infeasible verdict must still record the checkpoint regime")
+	}
+}

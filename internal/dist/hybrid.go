@@ -10,6 +10,7 @@ import (
 	"karma/internal/karma"
 	"karma/internal/model"
 	"karma/internal/profiler"
+	"karma/internal/tensor"
 	"karma/internal/unit"
 )
 
@@ -26,6 +27,16 @@ type HybridOptions struct {
 	// larger capacity batches real Megatron-LM and ZeRO deployments train
 	// at.
 	Checkpoint bool
+	// Precision selects the training regime (fp32 default, or mixed
+	// fp16-with-fp32-master). Under mixed precision the shard's weights,
+	// gradients and activations are fp16 — halving the MP collectives,
+	// the data-parallel exchange and the activation footprint that bounds
+	// the capacity batch — while the optimizer holds an fp32 master copy
+	// on the device: resident per GPU in the plain hybrid, partitioned
+	// across the replicas under ZeRO (the sharded state that gave the
+	// real Turing-NLG run its batch headroom). Compute rates are held
+	// constant across regimes (see tensor.Precision).
+	Precision tensor.Precision
 }
 
 // validateTransformer rejects degenerate configurations before the model
@@ -47,10 +58,10 @@ func shardRingBW(cl hw.Cluster) unit.BytesPerSec {
 
 // profileFn builds (or recalls) a profile; the planned backend injects
 // its cache here so both backends share one setup path.
-type profileFn func(g *graph.Graph, node hw.Node, batch int) (*profiler.Profile, error)
+type profileFn func(g *graph.Graph, node hw.Node, batch int, dt tensor.DType) (*profiler.Profile, error)
 
-func defaultProfile(g *graph.Graph, node hw.Node, batch int) (*profiler.Profile, error) {
-	return profiler.New(g, node, profiler.Options{Batch: batch})
+func defaultProfile(g *graph.Graph, node hw.Node, batch int, dt tensor.DType) (*profiler.Profile, error) {
+	return profiler.New(g, node, profiler.Options{Batch: batch, DType: dt})
 }
 
 // hybridSetup validates the shared MP+DP argument set, profiles the
@@ -92,20 +103,23 @@ func hybridSetup(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplic
 	if prof == nil {
 		prof = defaultProfile
 	}
-	p, err := prof(shard.Graph, cl.Node, perReplicaBatch)
+	p, err := prof(shard.Graph, cl.Node, perReplicaBatch, o.Precision.DType())
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	// Each GPU keeps its shard's weights and gradients resident; under
-	// ZeRO the gradient+optimizer shard further divides across the
+	// Each GPU keeps its shard's weights and gradients resident (fp16
+	// under mixed precision), plus the optimizer's fp32 master copy;
+	// under ZeRO the gradient+optimizer shard further divides across the
 	// replicas and only 1/replicas of it stays resident per GPU.
 	weights := p.TotalWeightBytes
 	grads := weights
+	master := o.Precision.MasterBytes(weights)
 	if zero {
 		grads = unit.Bytes(math.Ceil(float64(weights) / float64(replicas)))
+		master = unit.Bytes(math.Ceil(float64(master) / float64(replicas)))
 	}
 	m := budget(cl)
-	actBudget := m - weights - grads
+	actBudget := m - weights - grads - master
 	// The schedule construction IS the capacity verdict (one scan, shared
 	// by both backends); its failure is re-rendered below as the stable
 	// memory Reason carrying the minimal activation footprint the regime
@@ -125,7 +139,7 @@ func hybridSetup(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplic
 		}
 		return nil, nil, nil, bad(
 			"MP=%d shard needs %v of %v device memory; increase the MP factor or go out-of-core",
-			mp, weights+grads+actNeed, m), nil
+			mp, weights+grads+master+actNeed, m), nil
 	}
 	return shard, p, s, nil, nil
 }

@@ -163,35 +163,10 @@ func TestResultBackendTagged(t *testing.T) {
 // Cross-backend properties of the per-layer hybrid path
 // ---------------------------------------------------------------------------
 
-// TestHybridBackendsAgreeOnFeasibility: both backends run the shared
-// shard setup, so their feasibility verdicts — including the Reason
-// strings — must match everywhere.
-func TestHybridBackendsAgreeOnFeasibility(t *testing.T) {
-	an := Analytic{}
-	pe := NewPlanned()
-	for _, cfg := range []model.TransformerConfig{smallLM(), model.TuringNLG()} {
-		for _, mp := range []int{1, 2, 8, 16} {
-			for _, batch := range []int{2, 32, 512} {
-				for _, ckpt := range []bool{false, true} {
-					cl := hw.ABCI()
-					o := HybridOptions{Phased: true, Checkpoint: ckpt}
-					ra, erra := an.ZeRO(cfg, cl, mp, 64, batch, samples, o)
-					rp, errp := pe.ZeRO(cfg, cl, mp, 64, batch, samples, o)
-					if (erra != nil) != (errp != nil) {
-						t.Fatalf("%s mp=%d b=%d ckpt=%v: error mismatch %v vs %v", cfg.Name, mp, batch, ckpt, erra, errp)
-					}
-					if erra != nil {
-						continue
-					}
-					if ra.Feasible != rp.Feasible || ra.Reason != rp.Reason {
-						t.Errorf("%s mp=%d b=%d ckpt=%v: analytic (%v %q) vs planned (%v %q)",
-							cfg.Name, mp, batch, ckpt, ra.Feasible, ra.Reason, rp.Feasible, rp.Reason)
-					}
-				}
-			}
-		}
-	}
-}
+// The hand-picked backend feasibility-agreement sweep that used to live
+// here is subsumed by the randomized harness in property_test.go
+// (TestBackendProperties), which draws every family, both precision
+// regimes and the pipeline baseline from one seeded generator.
 
 // TestHybridBoundedDivergence: on feasible configurations the per-layer
 // simulation refines the closed form without wandering from it — the

@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"karma/internal/hw"
+	"karma/internal/model"
+	"karma/internal/unit"
+)
+
+func TestPipelineArgumentErrors(t *testing.T) {
+	cl := hw.ABCI()
+	cfg := smallLM()
+	if _, err := Pipeline(cfg, cl, 0, 16, 8, 2, samples, HybridOptions{}); err == nil {
+		t.Error("zero stages should error")
+	}
+	if _, err := Pipeline(cfg, cl, 4, 16, 8, 0, samples, HybridOptions{}); err == nil {
+		t.Error("zero micro-batches should error")
+	}
+	if _, err := Pipeline(model.TransformerConfig{}, cl, 4, 16, 8, 2, samples, HybridOptions{}); err == nil {
+		t.Error("degenerate transformer config should error")
+	}
+	if _, err := Pipeline(cfg, cl, 4, 0, 8, 2, samples, HybridOptions{}); err == nil {
+		t.Error("zero GPUs should error")
+	}
+}
+
+// TestPipelineReasonStrings pins the feasibility Reason strings of the
+// pipeline family — like the hybrids', they are part of the package's
+// contract, and both backends must emit them identically (the harness in
+// property_test.go checks agreement; this pins the wording).
+func TestPipelineReasonStrings(t *testing.T) {
+	cl := hw.ABCI()
+	cfg := smallLM()
+	pe := NewPlanned()
+	for _, ev := range []Evaluator{Analytic{}, pe} {
+		r, err := ev.Pipeline(cfg, cl, 3, 16, 8, 2, samples, HybridOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Feasible || r.Reason != "16 GPUs do not divide into pipelines of 3 stages" {
+			t.Errorf("%s: stages∤gpus Reason = %q", ev.Name(), r.Reason)
+		}
+		r, err = ev.Pipeline(cfg, cl, 4, 16, 6, 4, samples, HybridOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Feasible || r.Reason != "4 micro-batches do not divide the per-replica batch 6" {
+			t.Errorf("%s: micro∤batch Reason = %q", ev.Name(), r.Reason)
+		}
+		r, err = ev.Pipeline(model.TuringNLG(), cl, 16, 512, 128, 8, samples, HybridOptions{Checkpoint: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Feasible || !strings.Contains(r.Reason, "pipeline stage") || !strings.Contains(r.Reason, "device memory") {
+			t.Errorf("%s: capacity Reason = %q", ev.Name(), r.Reason)
+		}
+	}
+}
+
+// TestPipelineMicroBatchingShrinksBubble: at a fixed per-replica batch,
+// more micro-batches mean a smaller fill/drain bubble — the epoch never
+// gets slower as micro grows, under either backend (GPipe's defining
+// trade).
+func TestPipelineMicroBatchingShrinksBubble(t *testing.T) {
+	cl := hw.ABCI()
+	cfg := smallLM()
+	pe := NewPlanned()
+	for _, ev := range []Evaluator{Analytic{}, pe} {
+		prev := unit.Seconds(0)
+		for i, micro := range []int{1, 2, 4, 8} {
+			r, err := ev.Pipeline(cfg, cl, 4, 64, 16, micro, samples, HybridOptions{Phased: true})
+			if err != nil {
+				t.Fatalf("%s micro=%d: %v", ev.Name(), micro, err)
+			}
+			if !r.Feasible {
+				t.Fatalf("%s micro=%d infeasible: %s", ev.Name(), micro, r.Reason)
+			}
+			if r.Backend != ev.Name() {
+				t.Fatalf("%s micro=%d: backend tag %q (silent fallback?)", ev.Name(), micro, r.Backend)
+			}
+			if i > 0 && float64(r.IterTime) > 1.01*float64(prev) {
+				t.Errorf("%s: micro=%d iteration %v regressed from %v", ev.Name(), micro, r.IterTime, prev)
+			}
+			prev = r.IterTime
+		}
+	}
+}
+
+// TestPipelineCheckpointRaisesCapacity: Turing-NLG at 16 stages cannot
+// hold 8 in-flight micro-batches resident, but GPipe rematerialization
+// fits it — and the largest feasible batch strictly grows.
+func TestPipelineCheckpointRaisesCapacity(t *testing.T) {
+	cl := hw.ABCI()
+	cfg := model.TuringNLG()
+	plain, err := Pipeline(cfg, cl, 16, 512, 8, 8, samples, HybridOptions{Phased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Feasible {
+		t.Fatal("8 resident micro-batches of Turing-NLG should not fit a V100 stage")
+	}
+	ck, err := Pipeline(cfg, cl, 16, 512, 8, 8, samples, HybridOptions{Phased: true, Checkpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ck.Feasible {
+		t.Fatalf("rematerialization should fit 8 micro-batches: %s", ck.Reason)
+	}
+	if !ck.Ckpt {
+		t.Error("checkpointed pipeline result must record Ckpt")
+	}
+	b1, r1, err := PipelineCapacityBatch(cfg, cl, 16, 512, 8, samples, Analytic{}, HybridOptions{Phased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, r2, err := PipelineCapacityBatch(cfg, cl, 16, 512, 8, samples, Analytic{}, HybridOptions{Phased: true, Checkpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Feasible && !r2.Feasible {
+		t.Fatal("checkpointing lost capacity")
+	}
+	if r2.Feasible && b2 <= b1 {
+		t.Errorf("checkpointed capacity batch %d should exceed the resident one %d", b2, b1)
+	}
+	if r2.Feasible && r2.GlobalBatch != b2*(512/16) {
+		t.Errorf("GlobalBatch %d inconsistent with batch %d at 32 replicas", r2.GlobalBatch, b2)
+	}
+}
+
+// TestPipelineDegenerateCoincides: one stage and one micro-batch is a
+// serial iteration with no boundary, no bubble and no recompute — the
+// simulated plan is a chain and both backends must land on the same
+// number exactly.
+func TestPipelineDegenerateCoincides(t *testing.T) {
+	cl := hw.ABCI()
+	cfg := smallLM()
+	an, err := Pipeline(cfg, cl, 1, 8, 8, 1, samples, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := NewPlanned()
+	pl, err := pe.Pipeline(cfg, cl, 1, 8, 8, 1, samples, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Feasible || !pl.Feasible {
+		t.Fatalf("degenerate pipeline must fit: %q %q", an.Reason, pl.Reason)
+	}
+	if pl.Backend != "planned" {
+		t.Fatalf("backend tag %q (silent fallback?)", pl.Backend)
+	}
+	if an.IterTime != pl.IterTime {
+		t.Errorf("degenerate pipeline diverges: analytic %v, planned %v", an.IterTime, pl.IterTime)
+	}
+}
+
+// TestPipelineGlobalBatchAccounting: one per-replica batch per pipeline
+// of `stages` GPUs, not per GPU.
+func TestPipelineGlobalBatchAccounting(t *testing.T) {
+	cl := hw.ABCI()
+	r, err := Pipeline(smallLM(), cl, 4, 64, 8, 4, samples, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Fatal(r.Reason)
+	}
+	if want := (64 / 4) * 8; r.GlobalBatch != want {
+		t.Errorf("GlobalBatch = %d, want %d", r.GlobalBatch, want)
+	}
+	if r.GPUs != 64 {
+		t.Errorf("GPUs = %d, want 64", r.GPUs)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"karma/internal/model"
 	"karma/internal/plan"
 	"karma/internal/profiler"
+	"karma/internal/tensor"
 	"karma/internal/unit"
 )
 
@@ -52,12 +53,20 @@ type Planned struct {
 	profiles  map[profileKey]*profiler.Profile
 	schedules map[schedKey]*schedEntry
 	shards    map[shardKey]*model.Shard
+	graphs    map[model.TransformerConfig]*graph.Graph
+
+	// failSim, when set, makes every simulation attempt report an error,
+	// forcing the analytic fallback paths. It exists only so the fallback
+	// tagging contract (Backend stays "analytic", Ckpt still recorded)
+	// can be regression-tested; nothing outside the tests sets it.
+	failSim bool
 }
 
 type profileKey struct {
 	g     *graph.Graph
 	node  hw.Node
 	batch int
+	dt    tensor.DType
 }
 
 type schedKey struct {
@@ -81,21 +90,39 @@ func NewPlanned() *Planned {
 		profiles:  map[profileKey]*profiler.Profile{},
 		schedules: map[schedKey]*schedEntry{},
 		shards:    map[shardKey]*model.Shard{},
+		graphs:    map[model.TransformerConfig]*graph.Graph{},
 	}
+}
+
+// errForcedFallback is returned by the simulation paths under the
+// failSim test hook.
+var errForcedFallback = fmt.Errorf("dist: simulation disabled (test hook)")
+
+// graph returns the cached full-model build for cfg (the pipeline
+// baseline partitions the unsharded transformer).
+func (pe *Planned) graph(cfg model.TransformerConfig) *graph.Graph {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if g, ok := pe.graphs[cfg]; ok {
+		return g
+	}
+	g := model.Transformer(cfg)
+	pe.graphs[cfg] = g
+	return g
 }
 
 // Name implements Evaluator.
 func (*Planned) Name() string { return "planned" }
 
 // profile returns the cached per-replica profile.
-func (pe *Planned) profile(g *graph.Graph, node hw.Node, batch int) (*profiler.Profile, error) {
+func (pe *Planned) profile(g *graph.Graph, node hw.Node, batch int, dt tensor.DType) (*profiler.Profile, error) {
 	pe.mu.Lock()
 	defer pe.mu.Unlock()
-	key := profileKey{g: g, node: node, batch: batch}
+	key := profileKey{g: g, node: node, batch: batch, dt: dt}
 	if p, ok := pe.profiles[key]; ok {
 		return p, nil
 	}
-	p, err := profiler.New(g, node, profiler.Options{Batch: batch})
+	p, err := profiler.New(g, node, profiler.Options{Batch: batch, DType: dt})
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +157,7 @@ func (pe *Planned) KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perRep
 	if total := cl.TotalDevices(); gpus > total {
 		return stamp(infeasible(gpus, global, "cluster %s has %d devices, need %d", cl.Name, total, gpus)), nil
 	}
-	p, err := pe.profile(g, cl.Node, perReplicaBatch)
+	p, err := pe.profile(g, cl.Node, perReplicaBatch, o.Precision.DType())
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +201,9 @@ func (pe *Planned) KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perRep
 // plannedIter plans one replica and simulates its iteration with the
 // phased gradient exchange overlapped.
 func (pe *Planned) plannedIter(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions, gs float64) (unit.Seconds, error) {
+	if pe.failSim {
+		return 0, errForcedFallback
+	}
 	// Prefer the single-GPU residency regime (weights resident, only
 	// activations stream); when weights cannot stay resident, plan the
 	// §III-G weight-streaming regime instead.
@@ -190,7 +220,7 @@ func (pe *Planned) plannedIter(p *profiler.Profile, cl hw.Cluster, gpus int, o K
 		return 0, err
 	}
 	if o.UpdateOnDevice {
-		addMomentumTraffic(pl, s, cl, o.ZeROShard, gpus)
+		addMomentumTraffic(pl, s, cl, o, gpus)
 	}
 	if gpus > 1 {
 		injectExchange(pl, s, cl, gpus)
@@ -229,9 +259,10 @@ func updateCost(s *karma.Schedule, cl hw.Cluster, o KARMAOptions, gs float64) un
 // addMomentumTraffic models ablation A4 on a planned schedule: forcing
 // streamed blocks to update on the GPU round-trips their momentum
 // buffers over the link, inflating the backward weight refetch and the
-// gradient drain of every streamed block (ZeRO partitions momentum like
-// the rest of the optimizer state).
-func addMomentumTraffic(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, zero bool, gpus int) {
+// gradient drain of every streamed block. The buffers are fp32 in both
+// precision regimes (ZeRO partitions momentum like the rest of the
+// optimizer state).
+func addMomentumTraffic(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, o KARMAOptions, gpus int) {
 	swapBW := hw.SwapThroughput(cl.Node)
 	lat := cl.Node.Link.Latency
 	lastIn := map[int]*plan.Op{}
@@ -251,8 +282,8 @@ func addMomentumTraffic(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, zero bo
 		if blk.Policy == karma.Keep || blk.WBytes == 0 {
 			continue
 		}
-		mom := float64(blk.WBytes)
-		if zero {
+		mom := float64(o.Precision.OptimBytes(blk.WBytes))
+		if o.ZeROShard {
 			mom /= float64(gpus)
 		}
 		t := unit.TransferTime(unit.Bytes(mom), swapBW, lat)

@@ -65,6 +65,9 @@ func (pe *Planned) hybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, 
 // hybridIter lowers the shard schedule to a plan, injects the exchange
 // and the MP collectives, and simulates one iteration.
 func (pe *Planned) hybridIter(cfg model.TransformerConfig, shard *model.Shard, p *profiler.Profile, s *karma.Schedule, cl hw.Cluster, mp, replicas int, zero bool, o HybridOptions) (unit.Seconds, error) {
+	if pe.failSim {
+		return 0, errForcedFallback
+	}
 	pl, err := karma.BuildPlan(s)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,197 @@
+package dist
+
+import (
+	"testing"
+
+	"karma/internal/hw"
+	"karma/internal/model"
+	"karma/internal/profiler"
+	"karma/internal/tensor"
+	"karma/internal/unit"
+)
+
+// mixed is the fp16-with-fp32-master regime under test.
+var mixed = tensor.MixedFP16
+
+// TestMixedPrecisionRaisesZeROCapacityBatch: the tentpole effect — fp16
+// tensors halve the activation footprint and the sharded optimizer
+// state, so ZeRO's capacity batch at the shipped MP=16 grows materially
+// (the batch headroom the real Turing-NLG run had and the fp32-only
+// model denied it).
+func TestMixedPrecisionRaisesZeROCapacityBatch(t *testing.T) {
+	cl := hw.ABCI()
+	cfg := model.TuringNLG()
+	capacity := func(prec tensor.Precision) int {
+		o := HybridOptions{Phased: true, Checkpoint: true, Precision: prec}
+		batch := 0
+		for b := 1; b <= 1<<10; b *= 2 {
+			r, err := ZeRO(cfg, cl, 16, 512, b, samples, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Feasible {
+				break
+			}
+			batch = b
+		}
+		return batch
+	}
+	fp32, fp16 := capacity(tensor.FP32Training), capacity(mixed)
+	t.Logf("ZeRO capacity batch at MP=16, 512 GPUs: fp32=%d fp16=%d", fp32, fp16)
+	if fp32 < 1 {
+		t.Fatal("fp32 ZeRO must fit some batch")
+	}
+	if fp16 < 2*fp32 {
+		t.Errorf("fp16 capacity batch %d should at least double the fp32 one %d", fp16, fp32)
+	}
+}
+
+// TestMixedPrecisionNeverSlower: with compute rates held constant and
+// every byte quantity halved, no family's iteration gets slower under
+// mixed precision, under either backend.
+func TestMixedPrecisionNeverSlower(t *testing.T) {
+	cl := hw.ABCI()
+	cfg := smallLM()
+	g := model.Transformer(cfg)
+	pe := NewPlanned()
+	for _, ev := range []Evaluator{Analytic{}, pe} {
+		eval := func(prec tensor.Precision) map[string]*Result {
+			out := map[string]*Result{}
+			o := HybridOptions{Phased: true, Precision: prec}
+			var err error
+			if out["megatron"], err = ev.MegatronHybrid(cfg, cl, 4, 64, 8, samples, o); err != nil {
+				t.Fatal(err)
+			}
+			if out["zero"], err = ev.ZeRO(cfg, cl, 4, 64, 8, samples, o); err != nil {
+				t.Fatal(err)
+			}
+			if out["pipeline"], err = ev.Pipeline(cfg, cl, 4, 64, 8, 4, samples, o); err != nil {
+				t.Fatal(err)
+			}
+			if out["karma"], err = ev.KARMADataParallel(g, cl, 64, 8, samples, KARMAOptions{Precision: prec}); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		fp32, fp16 := eval(tensor.FP32Training), eval(mixed)
+		for name, r32 := range fp32 {
+			r16 := fp16[name]
+			if !r32.Feasible || !r16.Feasible {
+				t.Fatalf("%s %s: infeasible: %q %q", ev.Name(), name, r32.Reason, r16.Reason)
+			}
+			if r16.IterTime > r32.IterTime {
+				t.Errorf("%s %s: fp16 iteration (%v) slower than fp32 (%v)",
+					ev.Name(), name, r16.IterTime, r32.IterTime)
+			}
+		}
+	}
+}
+
+// TestMixedPrecisionMasterCosts: the fp32 master is not free — a plain
+// (unsharded) Megatron shard pays 2+2+4 bytes per parameter resident, so
+// a configuration can exist that fits at fp32 (4+4) but has LESS
+// activation headroom at fp16 only if the master were mis-accounted.
+// Pin the direction that must hold: at identical batch the fp16 shard's
+// activation budget is strictly larger (activations halve; weights+
+// grads+master total the same 8 bytes/param), so fp16 feasibility is a
+// superset for the plain hybrid.
+func TestMixedPrecisionMasterCosts(t *testing.T) {
+	cl := hw.ABCI()
+	cfg := model.MegatronConfigs()[2]
+	for _, batch := range []int{1, 2, 4, 8, 16} {
+		o32 := HybridOptions{Checkpoint: true}
+		o16 := HybridOptions{Checkpoint: true, Precision: mixed}
+		r32, err := MegatronHybrid(cfg, cl, 4, 64, batch, samples, o32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r16, err := MegatronHybrid(cfg, cl, 4, 64, batch, samples, o16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r32.Feasible && !r16.Feasible {
+			t.Errorf("batch %d fits at fp32 but not fp16: %s", batch, r16.Reason)
+		}
+	}
+}
+
+// TestMixedPrecisionKARMAStreaming: the out-of-core replica's streamed
+// bytes halve, so on a saturated link the fp16 iteration is strictly
+// faster (the karma-side thread of the tentpole: WBytes/GBytes scale
+// with the profile's dtype).
+func TestMixedPrecisionKARMAStreaming(t *testing.T) {
+	cl := slowLinkCluster()
+	g := model.Transformer(model.MegatronConfigs()[2])
+	pe := NewPlanned()
+	for _, ev := range []Evaluator{Analytic{}, pe} {
+		r32, err := ev.KARMADataParallel(g, cl, 16, 4, samples, KARMAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r16, err := ev.KARMADataParallel(g, cl, 16, 4, samples, KARMAOptions{Precision: mixed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r32.Feasible || !r16.Feasible {
+			t.Fatalf("%s: infeasible: %q %q", ev.Name(), r32.Reason, r16.Reason)
+		}
+		if r16.IterTime >= r32.IterTime {
+			t.Errorf("%s: fp16 streaming (%v) not faster than fp32 (%v) on a saturated link",
+				ev.Name(), r16.IterTime, r32.IterTime)
+		}
+	}
+}
+
+// TestParamBytesMatchesProfiledWeights pins the model-level byte
+// accounting (TransformerConfig.ParamBytes) to the profiled weight
+// footprint the cluster models actually size from, in both regimes —
+// the two may not drift apart (Params() is the 12LH²+VH approximation;
+// the profiler counts real layer parameters, so a 10% band covers the
+// layer-norm and bias remainder).
+func TestParamBytesMatchesProfiledWeights(t *testing.T) {
+	cfg := smallLM()
+	for _, prec := range []tensor.Precision{tensor.FP32Training, mixed} {
+		p, err := profiler.New(model.Transformer(cfg), hw.ABCINode(),
+			profiler.Options{Batch: 1, DType: prec.DType()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb := cfg.ParamBytes(prec)
+		ratio := float64(pb) / float64(p.TotalWeightBytes)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%v: ParamBytes %v vs profiled %v (ratio %.3f) — the accountings drifted",
+				prec, pb, p.TotalWeightBytes, ratio)
+		}
+	}
+	if 2*cfg.ParamBytes(mixed) != cfg.ParamBytes(tensor.FP32Training) {
+		t.Error("mixed-precision weights must be exactly half the fp32 bytes")
+	}
+}
+
+// TestPrecisionParsing: the karma-bench surface round-trips.
+func TestPrecisionParsing(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want tensor.Precision
+		ok   bool
+	}{
+		{"fp32", tensor.FP32Training, true},
+		{"fp16", tensor.MixedFP16, true},
+		{"mixed", tensor.MixedFP16, true},
+		{"bf16", tensor.FP32Training, false},
+	} {
+		got, err := tensor.ParsePrecision(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if tensor.MixedFP16.DType() != tensor.FP16 || tensor.FP32Training.DType() != tensor.FP32 {
+		t.Error("precision element types wrong")
+	}
+	if tensor.MixedFP16.MasterBytes(10) != 20 || tensor.FP32Training.MasterBytes(10) != 0 {
+		t.Error("master-copy accounting wrong")
+	}
+	if tensor.MixedFP16.OptimBytes(10) != 20 || tensor.FP32Training.OptimBytes(10) != unit.Bytes(10) {
+		t.Error("optimizer-state accounting wrong")
+	}
+}

@@ -13,7 +13,7 @@ func TestFigure8Megatron8B(t *testing.T) {
 		t.Skip("large-scale sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	panel, err := Figure8Megatron(cl, 4, []int{512, 1024, 2048}, dist.Analytic{}, true)
+	panel, err := Figure8Megatron(cl, 4, []int{512, 1024, 2048}, dist.Analytic{}, FamilyOptions{Ckpt: true})
 	if err != nil {
 		t.Fatalf("Figure8Megatron: %v", err)
 	}
@@ -53,7 +53,7 @@ func TestFigure8Turing(t *testing.T) {
 		t.Skip("large-scale sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	panel, err := Figure8Turing(cl, []int{512, 1024, 2048}, dist.Analytic{}, true)
+	panel, err := Figure8Turing(cl, []int{512, 1024, 2048}, dist.Analytic{}, FamilyOptions{Ckpt: true})
 	if err != nil {
 		t.Fatalf("Figure8Turing: %v", err)
 	}
@@ -86,7 +86,7 @@ func TestZeROBestConfigTuning(t *testing.T) {
 	cl := hw.ABCI()
 	cfg := model.TuringNLG()
 	ev := dist.Analytic{}
-	mp, batch, best, err := ZeROBestConfig(cfg, cl, 512, ev, true)
+	mp, batch, best, err := ZeROBestConfig(cfg, cl, 512, ev, FamilyOptions{Ckpt: true})
 	if err != nil {
 		t.Fatalf("ZeROBestConfig: %v", err)
 	}
@@ -99,7 +99,7 @@ func TestZeROBestConfigTuning(t *testing.T) {
 	if batch*(512/mp) != best.GlobalBatch {
 		t.Errorf("global batch %d inconsistent with mp=%d batch=%d", best.GlobalBatch, mp, batch)
 	}
-	mpPlain, _, plain, err := ZeROBestConfig(cfg, cl, 512, ev, false)
+	mpPlain, _, plain, err := ZeROBestConfig(cfg, cl, 512, ev, FamilyOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestTableIVPerformance(t *testing.T) {
 		t.Skip("five-config sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	rows, err := TableIV(cl, dist.Analytic{}, true)
+	rows, err := TableIV(cl, dist.Analytic{}, FamilyOptions{Ckpt: true})
 	if err != nil {
 		t.Fatalf("TableIV: %v", err)
 	}

@@ -7,10 +7,50 @@ import (
 	"karma/internal/dist"
 	"karma/internal/hw"
 	"karma/internal/model"
+	"karma/internal/tensor"
 )
 
 // openWTSamples is the OpenWebText sample count of Table III.
 const openWTSamples = 7_200_000
+
+// FamilyOptions configures the baseline families of the scaling panels
+// and Table IV: the checkpointing regime and training precision thread
+// through to every hybrid evaluation, and Pipeline adds the GPipe-style
+// pipeline-parallel family as a fourth curve.
+type FamilyOptions struct {
+	// Ckpt enables activation checkpointing in the hybrid shards and
+	// pipeline stages (the regime real deployments train in).
+	Ckpt bool
+	// Precision selects fp32 or mixed fp16-with-fp32-master training for
+	// every family (dist.HybridOptions.Precision / KARMAOptions.Precision).
+	Precision tensor.Precision
+	// Pipeline adds the pipeline-parallel baseline to the panels, with
+	// stage count matched to the panel's MP degree.
+	Pipeline bool
+	// PipelineMicro is the micro-batch count per pipeline iteration
+	// (clamped to the per-replica batch). Zero means 8.
+	PipelineMicro int
+}
+
+func (o FamilyOptions) hybrid(phased bool) dist.HybridOptions {
+	return dist.HybridOptions{Phased: phased, Checkpoint: o.Ckpt, Precision: o.Precision}
+}
+
+func (o FamilyOptions) karma() dist.KARMAOptions {
+	return dist.KARMAOptions{Precision: o.Precision}
+}
+
+// micro returns the pipeline micro-batch count for a per-replica batch.
+func (o FamilyOptions) micro(perReplicaBatch int) int {
+	m := o.PipelineMicro
+	if m <= 0 {
+		m = 8
+	}
+	if m > perReplicaBatch {
+		m = perReplicaBatch
+	}
+	return m
+}
 
 // Fig8Row is one GPU count of one Fig. 8 panel.
 type Fig8Row struct {
@@ -29,11 +69,13 @@ type Fig8Panel struct {
 // the hybrid with the optimized (phased) gradient exchange, and
 // data-parallel KARMA at GPU parity, all evaluated by ev. cfgIdx selects
 // the Table IV configuration (2 = 2.5B, 4 = 8.3B); the per-replica batch
-// and MP factor follow Table IV. ckpt enables activation checkpointing
+// and MP factor follow Table IV. o.Ckpt enables activation checkpointing
 // in the hybrid shards — the regime Megatron-LM actually trains these
 // configurations in, and the one the per-layer shard profile needs to
-// fit Table IV's per-replica batch on a V100.
-func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int, ev dist.Evaluator, ckpt bool) (*Fig8Panel, error) {
+// fit Table IV's per-replica batch on a V100 — o.Precision selects the
+// training regime, and o.Pipeline adds a GPipe-style pipeline curve with
+// as many stages as the hybrid has MP ways.
+func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int, ev dist.Evaluator, o FamilyOptions) (*Fig8Panel, error) {
 	cfgs := model.MegatronConfigs()
 	if cfgIdx < 0 || cfgIdx >= len(cfgs) {
 		return nil, fmt.Errorf("fig8: bad config index %d", cfgIdx)
@@ -46,23 +88,33 @@ func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int, ev dist.Evaluato
 		Model:   cfg.Name,
 		Methods: []string{"mp+dp", "mp+dp-opt", "karma-dp"},
 	}
+	if o.Pipeline {
+		panel.Methods = append(panel.Methods, "pipeline")
+	}
 	for _, gpus := range gpusList {
 		row := Fig8Row{GPUs: gpus, Results: map[string]*dist.Result{}}
-		plain, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, dist.HybridOptions{Checkpoint: ckpt})
+		plain, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, o.hybrid(false))
 		if err != nil {
 			return nil, err
 		}
 		row.Results["mp+dp"] = plain
-		opt, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, dist.HybridOptions{Phased: true, Checkpoint: ckpt})
+		opt, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, o.hybrid(true))
 		if err != nil {
 			return nil, err
 		}
 		row.Results["mp+dp-opt"] = opt
-		karma, err := ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, dist.KARMAOptions{})
+		karma, err := ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, o.karma())
 		if err != nil {
 			return nil, err
 		}
 		row.Results["karma-dp"] = karma
+		if o.Pipeline {
+			pipe, err := ev.Pipeline(cfg, cl, mp, gpus, perReplicaBatch, o.micro(perReplicaBatch), openWTSamples, o.hybrid(true))
+			if err != nil {
+				return nil, err
+			}
+			row.Results["pipeline"] = pipe
+		}
 		panel.Rows = append(panel.Rows, row)
 	}
 	return panel, nil
@@ -74,18 +126,19 @@ func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int, ev dist.Evaluato
 // the per-GPU batch), and the "true global batch" calibration of the
 // Fig. 8 right panel: comparing epoch times against an artificially
 // small ZeRO batch inflates KARMA's advantage to ~4.5x where the paper
-// reports ~1.35x. When no batch fits, the batch-1 infeasible Result is
-// returned so sweeps can render the cell; errors are reserved for
-// invalid arguments.
-func ZeROCapacityBatch(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus int, ev dist.Evaluator, ckpt bool) (int, *dist.Result, error) {
-	o := dist.HybridOptions{Checkpoint: ckpt}
+// reports ~1.35x. Under o.Precision == MixedFP16 the capacity batch is
+// the fp16 one — the batch headroom the real Turing-NLG run had. When no
+// batch fits, the batch-1 infeasible Result is returned so sweeps can
+// render the cell; errors are reserved for invalid arguments.
+func ZeROCapacityBatch(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus int, ev dist.Evaluator, o FamilyOptions) (int, *dist.Result, error) {
+	ho := o.hybrid(true)
 	batch := 1
-	best, err := ev.ZeRO(cfg, cl, mp, gpus, batch, openWTSamples, o)
+	best, err := ev.ZeRO(cfg, cl, mp, gpus, batch, openWTSamples, ho)
 	if err != nil {
 		return 0, nil, err
 	}
 	for b := 2; best.Feasible && b <= 1<<12; b *= 2 {
-		r, err := ev.ZeRO(cfg, cl, mp, gpus, b, openWTSamples, o)
+		r, err := ev.ZeRO(cfg, cl, mp, gpus, b, openWTSamples, ho)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -104,14 +157,14 @@ func ZeROCapacityBatch(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus int,
 // checkpointing to fit), takes each at its capacity batch, and keeps the
 // fastest feasible epoch. Without checkpointing only MP=16 fits, which
 // degenerates to ZeROCapacityBatch.
-func ZeROBestConfig(cfg model.TransformerConfig, cl hw.Cluster, gpus int, ev dist.Evaluator, ckpt bool) (int, int, *dist.Result, error) {
+func ZeROBestConfig(cfg model.TransformerConfig, cl hw.Cluster, gpus int, ev dist.Evaluator, o FamilyOptions) (int, int, *dist.Result, error) {
 	var bestMP, bestBatch int
 	var best *dist.Result
 	for _, mp := range []int{2, 4, 8, 16} {
 		if gpus%mp != 0 || gpus/mp < 2 {
 			continue
 		}
-		batch, r, err := ZeROCapacityBatch(cfg, cl, mp, gpus, ev, ckpt)
+		batch, r, err := ZeROCapacityBatch(cfg, cl, mp, gpus, ev, o)
 		if err != nil {
 			return 0, 0, nil, err
 		}
@@ -121,7 +174,7 @@ func ZeROBestConfig(cfg model.TransformerConfig, cl hw.Cluster, gpus int, ev dis
 	}
 	if best == nil {
 		// Nothing fits at any degree: report the shipped MP=16 verdict.
-		batch, r, err := ZeROCapacityBatch(cfg, cl, 16, gpus, ev, ckpt)
+		batch, r, err := ZeROCapacityBatch(cfg, cl, 16, gpus, ev, o)
 		return 16, batch, r, err
 	}
 	return bestMP, bestBatch, best, nil
@@ -130,33 +183,49 @@ func ZeROBestConfig(cfg model.TransformerConfig, cl hw.Cluster, gpus int, ev dis
 // Figure8Turing reproduces the right panel: ZeRO (hybrid reference, at
 // its best MP and capacity batch — see ZeROBestConfig), data-parallel
 // KARMA, and KARMA on top of ZeRO for the 17B Turing-NLG, all evaluated
-// by ev. ckpt applies activation checkpointing to the ZeRO baseline (the
-// regime real ZeRO deployments train in; the calibrated panel).
-func Figure8Turing(cl hw.Cluster, gpusList []int, ev dist.Evaluator, ckpt bool) (*Fig8Panel, error) {
+// by ev. o.Ckpt applies activation checkpointing to the ZeRO baseline
+// (the regime real ZeRO deployments train in; the calibrated panel),
+// o.Precision runs every family at the chosen regime (the fp16 panel is
+// the calibration toward the paper's ~1.35x ratio), and o.Pipeline adds
+// a 16-stage GPipe curve at its own capacity batch.
+func Figure8Turing(cl hw.Cluster, gpusList []int, ev dist.Evaluator, o FamilyOptions) (*Fig8Panel, error) {
 	cfg := model.TuringNLG()
 	const perReplicaBatch = 2
+	const pipeStages = 16 // matches the shipped MP=16 device split
 	g := model.Transformer(cfg)
 	panel := &Fig8Panel{
 		Model:   cfg.Name,
 		Methods: []string{"zero", "karma-dp", "zero+karma"},
 	}
+	if o.Pipeline {
+		panel.Methods = append(panel.Methods, "pipeline")
+	}
 	for _, gpus := range gpusList {
 		row := Fig8Row{GPUs: gpus, Results: map[string]*dist.Result{}}
-		_, _, zero, err := ZeROBestConfig(cfg, cl, gpus, ev, ckpt)
+		_, _, zero, err := ZeROBestConfig(cfg, cl, gpus, ev, o)
 		if err != nil {
 			return nil, err
 		}
 		row.Results["zero"] = zero
-		karma, err := ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, dist.KARMAOptions{})
+		karma, err := ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, o.karma())
 		if err != nil {
 			return nil, err
 		}
 		row.Results["karma-dp"] = karma
-		combo, err := ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, dist.KARMAOptions{ZeROShard: true})
+		combo, err := ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples,
+			dist.KARMAOptions{ZeROShard: true, Precision: o.Precision})
 		if err != nil {
 			return nil, err
 		}
 		row.Results["zero+karma"] = combo
+		if o.Pipeline {
+			micro := o.micro(perReplicaBatch * pipeStages) // capacity sweep floor
+			_, pipe, err := dist.PipelineCapacityBatch(cfg, cl, pipeStages, gpus, micro, openWTSamples, ev, o.hybrid(true))
+			if err != nil {
+				return nil, err
+			}
+			row.Results["pipeline"] = pipe
+		}
 		panel.Rows = append(panel.Rows, row)
 	}
 	return panel, nil

@@ -5,6 +5,7 @@ import (
 
 	"karma/internal/dist"
 	"karma/internal/hw"
+	"karma/internal/tensor"
 )
 
 // The golden tests pin the *orderings* of the reproduced artifacts —
@@ -23,12 +24,16 @@ func goldenBackends() map[string]dist.Evaluator {
 }
 
 // TestGoldenFig8MegatronOrdering: at every plotted GPU count of both
-// Megatron panels, data-parallel KARMA strictly beats both hybrids, and
-// the phased exchange never meaningfully loses to bulk (paper Fig. 8
-// left/middle). "Meaningfully" carries a 2% tolerance: under the
-// per-layer simulation the MP=16 backward phase is network-bound, where
-// phased and bulk drain the same collective volume and only
-// per-collective latency jitter separates them.
+// Megatron panels, data-parallel KARMA strictly beats both hybrids and
+// the pipeline family, and the phased exchange never meaningfully loses
+// to bulk (paper Fig. 8 left/middle). "Meaningfully" carries a 2%
+// tolerance: under the per-layer simulation the MP=16 backward phase is
+// network-bound, where phased and bulk drain the same collective volume
+// and only per-collective latency jitter separates them. The GPipe
+// curve is bubble-bound at the panels' per-replica batch of 4 (at most
+// 4 micro-batches against mp stages of fill/drain), so it never beats
+// the phased hybrid here but stays within 1.5x of the plain one — a
+// credible baseline, not a degenerate cell.
 func TestGoldenFig8MegatronOrdering(t *testing.T) {
 	cl := hw.ABCI()
 	panels := []struct {
@@ -40,7 +45,7 @@ func TestGoldenFig8MegatronOrdering(t *testing.T) {
 	}
 	for name, ev := range goldenBackends() {
 		for _, pc := range panels {
-			panel, err := Figure8Megatron(cl, pc.cfgIdx, pc.gpus, ev, true)
+			panel, err := Figure8Megatron(cl, pc.cfgIdx, pc.gpus, ev, FamilyOptions{Ckpt: true, Pipeline: true})
 			if err != nil {
 				t.Fatalf("%s: Figure8Megatron(%d): %v", name, pc.cfgIdx, err)
 			}
@@ -54,6 +59,7 @@ func TestGoldenFig8MegatronOrdering(t *testing.T) {
 				karma := row.Results["karma-dp"]
 				opt := row.Results["mp+dp-opt"]
 				plain := row.Results["mp+dp"]
+				pipe := row.Results["pipeline"]
 				if karma.EpochTime >= opt.EpochTime || karma.EpochTime >= plain.EpochTime {
 					t.Errorf("%s %s@%d GPUs: KARMA (%v) does not beat the hybrids (%v opt, %v plain)",
 						name, panel.Model, row.GPUs, karma.EpochTime, opt.EpochTime, plain.EpochTime)
@@ -62,6 +68,18 @@ func TestGoldenFig8MegatronOrdering(t *testing.T) {
 					t.Errorf("%s %s@%d GPUs: phased exchange (%v) loses to bulk (%v) beyond tolerance",
 						name, panel.Model, row.GPUs, opt.EpochTime, plain.EpochTime)
 				}
+				if karma.EpochTime >= pipe.EpochTime {
+					t.Errorf("%s %s@%d GPUs: KARMA (%v) does not beat the pipeline (%v)",
+						name, panel.Model, row.GPUs, karma.EpochTime, pipe.EpochTime)
+				}
+				if float64(pipe.EpochTime) < float64(opt.EpochTime) {
+					t.Errorf("%s %s@%d GPUs: bubble-bound pipeline (%v) beats the phased hybrid (%v)",
+						name, panel.Model, row.GPUs, pipe.EpochTime, opt.EpochTime)
+				}
+				if float64(pipe.EpochTime) > 1.5*float64(plain.EpochTime) {
+					t.Errorf("%s %s@%d GPUs: pipeline (%v) degenerates beyond 1.5x of the plain hybrid (%v)",
+						name, panel.Model, row.GPUs, pipe.EpochTime, plain.EpochTime)
+				}
 			}
 		}
 	}
@@ -69,11 +87,14 @@ func TestGoldenFig8MegatronOrdering(t *testing.T) {
 
 // TestGoldenFig8TuringOrdering: on the right panel, ZeRO+KARMA is never
 // slower than plain KARMA, and both beat the capacity-batch ZeRO
-// reference at every plotted GPU count.
+// reference at every plotted GPU count. The 16-stage GPipe curve (at its
+// own capacity batch) stays feasible but never beats the tuned ZeRO
+// reference — fill/drain at 16 stages is a worse trade than ZeRO's
+// overlapped sharded exchange on this machine.
 func TestGoldenFig8TuringOrdering(t *testing.T) {
 	cl := hw.ABCI()
 	for name, ev := range goldenBackends() {
-		panel, err := Figure8Turing(cl, []int{512, 2048}, ev, true)
+		panel, err := Figure8Turing(cl, []int{512, 2048}, ev, FamilyOptions{Ckpt: true, Pipeline: true})
 		if err != nil {
 			t.Fatalf("%s: Figure8Turing: %v", name, err)
 		}
@@ -81,7 +102,8 @@ func TestGoldenFig8TuringOrdering(t *testing.T) {
 			zero := row.Results["zero"]
 			karma := row.Results["karma-dp"]
 			combo := row.Results["zero+karma"]
-			if !zero.Feasible || !karma.Feasible || !combo.Feasible {
+			pipe := row.Results["pipeline"]
+			if !zero.Feasible || !karma.Feasible || !combo.Feasible || !pipe.Feasible {
 				t.Fatalf("%s @%d GPUs: infeasible result", name, row.GPUs)
 			}
 			if combo.EpochTime > karma.EpochTime {
@@ -91,6 +113,10 @@ func TestGoldenFig8TuringOrdering(t *testing.T) {
 			if karma.EpochTime >= zero.EpochTime {
 				t.Errorf("%s @%d: KARMA (%v) does not beat ZeRO (%v)",
 					name, row.GPUs, karma.EpochTime, zero.EpochTime)
+			}
+			if pipe.EpochTime <= zero.EpochTime {
+				t.Errorf("%s @%d: bubble-bound pipeline (%v) beats the tuned ZeRO reference (%v)",
+					name, row.GPUs, pipe.EpochTime, zero.EpochTime)
 			}
 		}
 	}
@@ -104,40 +130,57 @@ func TestGoldenFig8TuringOrdering(t *testing.T) {
 // all-gather under forward), the ZeRO/ZeRO+KARMA epoch-time ratio lands
 // in a band around the paper's ~1.35x. History: the uncalibrated
 // comparison (ZeRO pinned to the combo's tiny per-replica batch) sat at
-// ~4.4x, the closed-form capacity-batch fix at ~2.35x; the per-layer
-// hybrid path measures ~1.86x. The band [1.0, 2.0] locks both the
-// ordering (KARMA wins) and the magnitude (no silent drift back toward
-// the closed-form gap or below parity); the residual vs the paper is
-// the fp32-only footprint model, which denies ZeRO the fp16 batch
-// headroom the real Turing-NLG run had.
+// ~4.4x, the closed-form capacity-batch fix at ~2.35x, the per-layer
+// fp32 hybrid path at ~1.86x; under mixed precision — the regime the
+// real Turing-NLG run trained in, whose absence was the documented fp32
+// residual — ZeRO gains the fp16 capacity-batch headroom and the ratio
+// tightens to ~1.57x. The fp32 band [1.0, 2.0] and the fp16 band
+// [1.0, 1.6] lock both the ordering (KARMA wins) and the magnitudes (no
+// silent drift back toward the closed-form gap or below parity); the
+// bands are recorded in ROADMAP's calibration table.
 func TestGoldenFig8ZeROCalibration(t *testing.T) {
 	cl := hw.ABCI()
-	ev := dist.NewPlanned()
-	panel, err := Figure8Turing(cl, []int{512}, ev, true)
-	if err != nil {
-		t.Fatalf("Figure8Turing: %v", err)
+	bands := []struct {
+		prec     tensor.Precision
+		lo, hi   float64
+		minBatch int // ZeRO's capacity global batch floor at 512 GPUs
+	}{
+		{tensor.FP32Training, 1.0, 2.0, 512},
+		{tensor.MixedFP16, 1.0, 1.6, 1024},
 	}
-	row := panel.Rows[0]
-	zero := row.Results["zero"]
-	combo := row.Results["zero+karma"]
-	if !zero.Feasible || !combo.Feasible {
-		t.Fatalf("infeasible: zero=%v combo=%v", zero, combo)
-	}
-	if zero.Backend != "planned" || combo.Backend != "planned" {
-		t.Fatalf("backend tags %q/%q: the per-layer path silently fell back", zero.Backend, combo.Backend)
-	}
-	if !zero.Ckpt {
-		t.Error("calibrated ZeRO baseline must run checkpointed")
-	}
-	// The calibrated ZeRO baseline must run a materially larger global
-	// batch than the combo's per-GPU parity would naively give it.
-	if zero.GlobalBatch < 8*row.GPUs/16 {
-		t.Errorf("ZeRO global batch %d below its capacity batch", zero.GlobalBatch)
-	}
-	ratio := float64(zero.EpochTime) / float64(combo.EpochTime)
-	t.Logf("ZeRO/ZeRO+KARMA epoch ratio at %d GPUs: %.2fx (paper ~1.35x)", row.GPUs, ratio)
-	if ratio < 1.0 || ratio > 2.0 {
-		t.Errorf("epoch ratio %.2fx outside the calibrated band [1.0, 2.0] (paper ~1.35x)", ratio)
+	for _, band := range bands {
+		t.Run(band.prec.String(), func(t *testing.T) {
+			ev := dist.NewPlanned()
+			panel, err := Figure8Turing(cl, []int{512}, ev, FamilyOptions{Ckpt: true, Precision: band.prec})
+			if err != nil {
+				t.Fatalf("Figure8Turing: %v", err)
+			}
+			row := panel.Rows[0]
+			zero := row.Results["zero"]
+			combo := row.Results["zero+karma"]
+			if !zero.Feasible || !combo.Feasible {
+				t.Fatalf("infeasible: zero=%v combo=%v", zero, combo)
+			}
+			if zero.Backend != "planned" || combo.Backend != "planned" {
+				t.Fatalf("backend tags %q/%q: the per-layer path silently fell back", zero.Backend, combo.Backend)
+			}
+			if !zero.Ckpt {
+				t.Error("calibrated ZeRO baseline must run checkpointed")
+			}
+			// The calibrated ZeRO baseline must run its true capacity batch
+			// — materially larger than the combo's per-GPU parity, and under
+			// fp16 at least double the fp32 headroom.
+			if zero.GlobalBatch < band.minBatch {
+				t.Errorf("ZeRO global batch %d below its %s capacity floor %d",
+					zero.GlobalBatch, band.prec, band.minBatch)
+			}
+			ratio := float64(zero.EpochTime) / float64(combo.EpochTime)
+			t.Logf("%s ZeRO/ZeRO+KARMA epoch ratio at %d GPUs: %.2fx (paper ~1.35x)", band.prec, row.GPUs, ratio)
+			if ratio < band.lo || ratio > band.hi {
+				t.Errorf("%s epoch ratio %.2fx outside the calibrated band [%.1f, %.1f] (paper ~1.35x)",
+					band.prec, ratio, band.lo, band.hi)
+			}
+		})
 	}
 }
 
@@ -145,12 +188,13 @@ func TestGoldenFig8ZeROCalibration(t *testing.T) {
 // backends: KARMA's iteration rate decreases monotonically with model
 // size, and the hybrid-vs-KARMA winner crosses over exactly once — KARMA
 // (on half the GPUs) wins the small configurations, the hybrid wins from
-// 2.5B up.
+// 2.5B up. The pipeline column stays feasible on every row (the family
+// always has a memory regime that fits at Table IV's batch).
 func TestGoldenTableIVOrdering(t *testing.T) {
 	cl := hw.ABCI()
 	const wantCrossover = 2 // index of megatron-2.5B
 	for name, ev := range goldenBackends() {
-		rows, err := TableIV(cl, ev, true)
+		rows, err := TableIV(cl, ev, FamilyOptions{Ckpt: true, Pipeline: true})
 		if err != nil {
 			t.Fatalf("%s: TableIV: %v", name, err)
 		}
@@ -162,6 +206,9 @@ func TestGoldenTableIVOrdering(t *testing.T) {
 		for i, r := range rows {
 			if !r.Hybrid.Feasible || !r.KARMA.Feasible {
 				t.Fatalf("%s %s: infeasible row", name, r.Config.Name)
+			}
+			if r.Pipeline == nil || !r.Pipeline.Feasible {
+				t.Fatalf("%s %s: pipeline column infeasible: %v", name, r.Config.Name, r.Pipeline)
 			}
 			if i > 0 && r.KARMA.IterPerSec >= prev {
 				t.Errorf("%s %s: KARMA rate %.3f did not drop below %.3f",

@@ -44,13 +44,18 @@ type TableIVRow struct {
 	// hybrid); KARMA holds that result.
 	KARMAGPUs int
 	KARMA     *dist.Result
+	// Pipeline is the GPipe-style baseline at the hybrid's scale with
+	// MPGPUs stages per replica; nil unless FamilyOptions.Pipeline.
+	Pipeline *dist.Result
 }
 
 // TableIV evaluates all five Megatron-LM configurations at the paper's
 // GPU counts with the given backend: hybrid at {64,128,256,512,1024}x,
-// KARMA at half. ckpt applies activation checkpointing to the hybrid
-// shards (Megatron-LM's own training regime).
-func TableIV(cl hw.Cluster, ev dist.Evaluator, ckpt bool) ([]TableIVRow, error) {
+// KARMA at half. o.Ckpt applies activation checkpointing to the hybrid
+// shards (Megatron-LM's own training regime), o.Precision selects the
+// training regime, and o.Pipeline adds the pipeline-parallel family at
+// the hybrid's scale.
+func TableIV(cl hw.Cluster, ev dist.Evaluator, o FamilyOptions) ([]TableIVRow, error) {
 	cfgs := model.MegatronConfigs()
 	hybridGPUs := []int{64, 128, 256, 512, 1024}
 	karmaGPUs := []int{32, 64, 128, 256, 512}
@@ -58,20 +63,28 @@ func TableIV(cl hw.Cluster, ev dist.Evaluator, ckpt bool) ([]TableIVRow, error) 
 	var rows []TableIVRow
 	for i, cfg := range cfgs {
 		mp := 1 << i
-		h, err := ev.MegatronHybrid(cfg, cl, mp, hybridGPUs[i], perReplicaBatch, openWTSamples, dist.HybridOptions{Checkpoint: ckpt})
+		h, err := ev.MegatronHybrid(cfg, cl, mp, hybridGPUs[i], perReplicaBatch, openWTSamples, o.hybrid(false))
 		if err != nil {
 			return nil, err
 		}
 		g := model.Transformer(cfg)
-		k, err := ev.KARMADataParallel(g, cl, karmaGPUs[i], perReplicaBatch, openWTSamples, dist.KARMAOptions{})
+		k, err := ev.KARMADataParallel(g, cl, karmaGPUs[i], perReplicaBatch, openWTSamples, o.karma())
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, TableIVRow{
+		row := TableIVRow{
 			Config: cfg, MPGPUs: mp,
 			HybridGPUs: hybridGPUs[i], Hybrid: h,
 			KARMAGPUs: karmaGPUs[i], KARMA: k,
-		})
+		}
+		if o.Pipeline {
+			p, err := ev.Pipeline(cfg, cl, mp, hybridGPUs[i], perReplicaBatch, o.micro(perReplicaBatch), openWTSamples, o.hybrid(true))
+			if err != nil {
+				return nil, err
+			}
+			row.Pipeline = p
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -80,12 +93,17 @@ func TableIV(cl hw.Cluster, ev dist.Evaluator, ckpt bool) ([]TableIVRow, error) 
 // re-measurable without OpenWebText and full training runs; the
 // equivalence experiment (§IV-D reproduction) substitutes for it.
 func TableIVTable(rows []TableIVRow) *Table {
+	withPipe := len(rows) > 0 && rows[0].Pipeline != nil
+	headers := []string{
+		"H", "A", "L", "P", "MP", "MP+DP gpus", "hybrid perf (iter/s)", "ckpt", "karma gpus", "karma perf (iter/s)",
+	}
+	if withPipe {
+		headers = append(headers, "pipeline perf (iter/s)")
+	}
 	t := &Table{
-		ID:    "table4",
-		Title: "data-parallel KARMA configurations and performance for Megatron-LM",
-		Headers: []string{
-			"H", "A", "L", "P", "MP", "MP+DP gpus", "hybrid perf (iter/s)", "ckpt", "karma gpus", "karma perf (iter/s)",
-		},
+		ID:      "table4",
+		Title:   "data-parallel KARMA configurations and performance for Megatron-LM",
+		Headers: headers,
 	}
 	for _, r := range rows {
 		hybrid := "-"
@@ -100,7 +118,7 @@ func TableIVTable(rows []TableIVRow) *Table {
 		if r.KARMA.Feasible {
 			karma = fmt.Sprintf("%.3f", r.KARMA.IterPerSec)
 		}
-		t.Rows = append(t.Rows, []string{
+		cells := []string{
 			fmt.Sprintf("%d", r.Config.Hidden),
 			fmt.Sprintf("%d", r.Config.Heads),
 			fmt.Sprintf("%d", r.Config.Layers),
@@ -111,7 +129,15 @@ func TableIVTable(rows []TableIVRow) *Table {
 			ckpt,
 			fmt.Sprintf("%d", r.KARMAGPUs),
 			karma,
-		})
+		}
+		if withPipe {
+			pipe := "-"
+			if r.Pipeline != nil && r.Pipeline.Feasible {
+				pipe = fmt.Sprintf("%.3f", r.Pipeline.IterPerSec)
+			}
+			cells = append(cells, pipe)
+		}
+		t.Rows = append(t.Rows, cells)
 	}
 	t.Notes = append(t.Notes,
 		"PPL column omitted: requires OpenWebText training to convergence; see the equivalence experiment (EXPERIMENTS.md)")

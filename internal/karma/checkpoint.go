@@ -129,13 +129,20 @@ func checkpointRuns(p *profiler.Profile, budget unit.Bytes, runs int) (*Schedule
 	// A checkpoint must land on a block that physically stores its
 	// boundary (see checkpointPrefix); shift left inside the run when the
 	// nominal end cannot anchor. Unanchorable runs merge with their
-	// successor.
+	// successor. The final prefix block never anchors: its boundary feeds
+	// the resident suffix, which is never replayed, so a checkpoint there
+	// would stay resident forever without a consumer (the leak the
+	// FuzzCheckpointSegments corpus pins).
 	canAnchor := func(i int) bool {
 		return s.Blocks[i].Cost.ActBytes >= s.Blocks[i].Cost.OutBytes &&
 			s.Blocks[i].Cost.OutBytes > 0
 	}
 	for _, rg := range solve.Ranges(cuts, r) {
-		for j := rg[1] - 1; j >= rg[0]; j-- {
+		j := rg[1] - 1
+		if j == r-1 {
+			j--
+		}
+		for ; j >= rg[0]; j-- {
 			if canAnchor(j) {
 				s.Blocks[j].Ckpt = true
 				break

@@ -15,6 +15,7 @@ import (
 	"karma/internal/graph"
 	"karma/internal/layer"
 	"karma/internal/tensor"
+	"karma/internal/unit"
 )
 
 func finish(g *graph.Graph) *graph.Graph {
@@ -240,6 +241,15 @@ type TransformerConfig struct {
 func (c TransformerConfig) Params() int64 {
 	h := int64(c.Hidden)
 	return 12*int64(c.Layers)*h*h + int64(c.Vocab)*h
+}
+
+// ParamBytes returns the model-weight footprint at the given training
+// precision — Params() at the regime's element size. The fp32 master
+// copy of mixed precision is optimizer state, not model weights; add
+// prec.MasterBytes of this quantity where the optimizer's residency
+// matters (see internal/dist).
+func (c TransformerConfig) ParamBytes(prec tensor.Precision) unit.Bytes {
+	return unit.Bytes(c.Params()) * prec.DType().Size()
 }
 
 // Transformer builds the decoder LM graph for the configuration.

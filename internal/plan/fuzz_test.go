@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validSeedPlans are wire-form plans covering every op kind (including
+// the pipeline Send/Recv family) and the structural shapes BuildPlan
+// emits; they seed the fuzzer alongside the committed corpus under
+// testdata/fuzz.
+var validSeedPlans = []string{
+	`{"name":"mini","num_blocks":2,"stages":[[{"kind":"F","block":0,"duration_sec":0.001,"alloc_bytes":1024}],[{"kind":"F","block":1,"duration_sec":0.002},{"kind":"Sout","block":0,"duration_sec":0.0005,"free_bytes":1024}],[{"kind":"B","block":1,"duration_sec":0.004},{"kind":"Sin","block":0,"duration_sec":0.0005,"alloc_bytes":1024}],[{"kind":"B","block":0,"duration_sec":0.002,"free_bytes":1024}],[{"kind":"Ex","block":0,"duration_sec":0.001}],[{"kind":"Ugpu","block":0,"duration_sec":0.0001}]]}`,
+	`{"name":"mp","num_blocks":2,"stages":[[{"kind":"F","block":0,"duration_sec":0.001}],[{"kind":"Ar","block":0,"duration_sec":0.0002}],[{"kind":"F","block":1,"duration_sec":0.001}],[{"kind":"ArL","block":1,"duration_sec":0.0001}],[{"kind":"B","block":1,"duration_sec":0.002}],[{"kind":"R","block":0,"duration_sec":0.001}],[{"kind":"B","block":0,"duration_sec":0.002}],[{"kind":"Ag","block":0,"duration_sec":0.0003}],[{"kind":"Ucpu","block":0,"duration_sec":0.001}]]}`,
+	`{"name":"pipe","num_blocks":3,"stages":[[{"kind":"Rx","block":0,"duration_sec":0.0001}],[{"kind":"F","block":0,"duration_sec":0.001,"alloc_bytes":64},{"kind":"Rx","block":1,"duration_sec":0.0001}],[{"kind":"Tx","block":0,"duration_sec":0.0001}],[{"kind":"F","block":1,"duration_sec":0.001,"alloc_bytes":64},{"kind":"RxL","block":2,"duration_sec":0.0001}],[{"kind":"F","block":2,"duration_sec":0.001,"alloc_bytes":64}],[{"kind":"TxL","block":2,"duration_sec":0.0001}],[{"kind":"B","block":2,"duration_sec":0.002,"free_bytes":64}],[{"kind":"B","block":1,"duration_sec":0.002,"free_bytes":64}],[{"kind":"B","block":0,"duration_sec":0.002,"free_bytes":64}]]}`,
+	`{"name":"empty","num_blocks":1,"stages":[]}`,
+}
+
+// FuzzPlanJSONRoundTrip guards the plan wire format PR 3's artifacts
+// (and karma-plan's -o output) rely on: every JSON the decoder accepts
+// must re-encode to a byte-equivalent plan — same structure, same
+// validation verdict — and decoding must never panic on arbitrary
+// input. Seeds live in testdata/fuzz/FuzzPlanJSONRoundTrip.
+func FuzzPlanJSONRoundTrip(f *testing.F) {
+	for _, s := range validSeedPlans {
+		f.Add([]byte(s))
+	}
+	f.Add([]byte(`{"name":"bad","num_blocks":1,"stages":[[{"kind":"B","block":0,"duration_sec":1}]]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		// Accepted plans are valid by Decode's contract.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Decode returned an invalid plan: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
+			t.Fatalf("Encode of a decoded plan failed: %v", err)
+		}
+		q, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Decode of encoded plan failed: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(normalize(p), normalize(q)) {
+			t.Fatalf("round trip changed the plan:\nfirst:  %+v\nsecond: %+v", p, q)
+		}
+	})
+}
+
+// normalize maps nil and empty op slices to one form: the wire format
+// does not distinguish them, so the round-trip equality must not either.
+func normalize(p *Plan) *Plan {
+	out := &Plan{Name: p.Name, NumBlocks: p.NumBlocks}
+	for _, st := range p.Stages {
+		ops := append([]Op{}, st.Ops...)
+		out.Stages = append(out.Stages, Stage{Ops: ops})
+	}
+	return out
+}
+
+// TestFuzzSeedsRoundTrip keeps the seed corpus exercised in plain `go
+// test` runs (the nightly job additionally runs the fuzzer itself).
+func TestFuzzSeedsRoundTrip(t *testing.T) {
+	for i, s := range validSeedPlans {
+		p, err := Decode(strings.NewReader(s))
+		if err != nil {
+			t.Fatalf("seed %d does not decode: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
+			t.Fatalf("seed %d does not encode: %v", i, err)
+		}
+		q, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d does not re-decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(p), normalize(q)) {
+			t.Fatalf("seed %d round trip diverged", i)
+		}
+	}
+}

@@ -29,6 +29,7 @@ var kindNames = map[Kind]string{
 	Fwd: "F", Bwd: "B", Recompute: "R", SwapOut: "Sout", SwapIn: "Sin",
 	GradExchange: "Ex", UpdateCPU: "Ucpu", UpdateGPU: "Ugpu",
 	MPAllReduce: "Ar", MPAllReduceLocal: "ArL", ParamGather: "Ag",
+	Send: "Tx", Recv: "Rx", SendLocal: "TxL", RecvLocal: "RxL",
 }
 
 var kindByName = func() map[string]Kind {

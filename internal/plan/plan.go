@@ -46,6 +46,21 @@ const (
 	// the gather of freshly-updated shards overlaps the forward pass that
 	// consumes them, so it occupies the network stream without gating.
 	ParamGather
+	// Send is a pipeline-parallel stage-boundary transfer leaving this
+	// device over the network: the boundary activation of a forward
+	// micro-batch (or the boundary gradient of a backward one) bound for
+	// the neighbouring stage. It launches once its block's latest compute
+	// op has produced the tensor and proceeds asynchronously.
+	Send
+	// Recv is the matching arrival from a neighbouring stage: the block's
+	// forward (or backward) compute gates on it — a micro-batch cannot
+	// start before its input crosses the wire.
+	Recv
+	// SendLocal / RecvLocal are the same transfers for pipeline stages
+	// packed inside one node, riding NVLink and leaving the network
+	// stream to the data-parallel exchange.
+	SendLocal
+	RecvLocal
 )
 
 // String returns the paper-style op mnemonic.
@@ -73,6 +88,14 @@ func (k Kind) String() string {
 		return "ArL"
 	case ParamGather:
 		return "Ag"
+	case Send:
+		return "Tx"
+	case Recv:
+		return "Rx"
+	case SendLocal:
+		return "TxL"
+	case RecvLocal:
+		return "RxL"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -87,9 +110,9 @@ func (k Kind) stream() sim.Stream {
 		return sim.D2H
 	case SwapIn:
 		return sim.H2D
-	case GradExchange, MPAllReduce, ParamGather:
+	case GradExchange, MPAllReduce, ParamGather, Send, Recv:
 		return sim.Network
-	case MPAllReduceLocal:
+	case MPAllReduceLocal, SendLocal, RecvLocal:
 		return sim.NVLink
 	case UpdateCPU:
 		return sim.HostCPU
@@ -172,7 +195,11 @@ func (p *Plan) Validate() error {
 				if !seen[seenKey{Bwd, op.Block}] {
 					return fmt.Errorf("plan %s: update of block %d before B%d", p.Name, op.Block, op.Block)
 				}
-			case MPAllReduce, MPAllReduceLocal:
+			case MPAllReduce, MPAllReduceLocal, Send, SendLocal:
+				// A collective reduces — and a Send ships — a tensor some
+				// compute of the block must first have produced; a Recv has
+				// no local producer (its source is another device) and may
+				// appear anywhere.
 				if !seen[seenKey{Fwd, op.Block}] && !seen[seenKey{Bwd, op.Block}] && !seen[seenKey{Recompute, op.Block}] {
 					return fmt.Errorf("plan %s: %s%d before any compute of block %d", p.Name, op.Kind, op.Block, op.Block)
 				}
@@ -208,8 +235,11 @@ type Compiled struct {
 // MPAllReduce below stands for MPAllReduceLocal too):
 //
 //	Fwd(b), Bwd(b)  ← latest SwapIn(b), Recompute(b), ParamGather(b)
+//	Fwd(b), Bwd(b)  ← latest Recv(b) (stage-boundary arrival; RecvLocal too)
 //	Fwd(b)          ← latest MPAllReduce(b-1) (reduced boundary input)
 //	Bwd(b)          ← latest MPAllReduce(b+1) (reduced gradient input)
+//	Send(b)         ← latest compute op of the block (boundary source;
+//	                  SendLocal too)
 //	Recompute(b)    ← latest SwapIn(b) and SwapIn(b-1) (boundary/weights)
 //	Recompute(b)    ← latest MPAllReduce(b-1) (replayed boundary)
 //	SwapOut(b)      ← latest compute op of the block
@@ -262,6 +292,11 @@ func (p *Plan) Compile() (*Compiled, error) {
 				if i, ok := get(ParamGather, op.Block); ok {
 					addDep(i)
 				}
+				for _, k := range []Kind{Recv, RecvLocal} {
+					if i, ok := get(k, op.Block); ok {
+						addDep(i)
+					}
+				}
 				// A blocking MP collective feeds the consumer of the tensor
 				// it reduces: the next block's forward, or the previous
 				// block's backward.
@@ -302,9 +337,10 @@ func (p *Plan) Compile() (*Compiled, error) {
 						break
 					}
 				}
-			case MPAllReduce, MPAllReduceLocal:
+			case MPAllReduce, MPAllReduceLocal, Send, SendLocal:
 				// The most recent compute op of the block produced the
-				// partial sums the collective reduces.
+				// partial sums the collective reduces — or, for a Send, the
+				// boundary tensor crossing to the neighbouring stage.
 				latest := -1
 				for _, k := range []Kind{Fwd, Bwd, Recompute} {
 					if i, ok := get(k, op.Block); ok && i > latest {

@@ -49,6 +49,86 @@ func (d DType) String() string {
 	}
 }
 
+// Precision is a training numeric regime: the element type model tensors
+// (weights, gradients, activations) are held in, plus whatever master
+// state the optimizer keeps at full precision. The memory model
+// distinguishes two regimes:
+//
+//   - FP32: pure single precision, the seed model's default — every
+//     tensor is 4 bytes per element and the optimizer updates the
+//     weights in place.
+//   - Mixed: fp16 compute with an fp32 master copy — model weights,
+//     gradients and activations are 2 bytes per element (halving swap
+//     payloads, collective volumes and the activation footprint that
+//     bounds the capacity batch), while the optimizer keeps a 4-byte
+//     master weight and momentum per parameter (the state ZeRO shards
+//     and KARMA's host-side update holds in far memory).
+//
+// Precision deliberately scales only bytes, never FLOP rates: the
+// cluster models hold the device's sustained compute rate constant
+// across regimes so precision sweeps isolate the memory effects (batch
+// headroom, traffic) the paper's Fig. 8 calibration turns on.
+type Precision int
+
+// Supported training regimes.
+const (
+	// FP32 training: 4-byte weights, gradients, activations; in-place
+	// update, no separate master state.
+	FP32Training Precision = iota
+	// Mixed precision: fp16 weights/gradients/activations with an fp32
+	// master copy held by the optimizer.
+	MixedFP16
+)
+
+// DType returns the element type of model tensors under the regime.
+func (p Precision) DType() DType {
+	if p == MixedFP16 {
+		return FP16
+	}
+	return FP32
+}
+
+// String returns the conventional regime name.
+func (p Precision) String() string {
+	if p == MixedFP16 {
+		return "fp16"
+	}
+	return "fp32"
+}
+
+// ParsePrecision maps the conventional names to regimes.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "fp32":
+		return FP32Training, nil
+	case "fp16", "mixed":
+		return MixedFP16, nil
+	default:
+		return FP32Training, fmt.Errorf("tensor: unknown precision %q (have fp32, fp16)", s)
+	}
+}
+
+// MasterBytes returns the fp32 master-copy footprint the optimizer holds
+// alongside compute-precision weights occupying w bytes: zero under FP32
+// (the weights are their own master) and 2w under mixed precision (a
+// 4-byte master per 2-byte parameter).
+func (p Precision) MasterBytes(w unit.Bytes) unit.Bytes {
+	if p == MixedFP16 {
+		return 2 * w
+	}
+	return 0
+}
+
+// OptimBytes returns the per-state optimizer buffer footprint (momentum,
+// held at fp32 in both regimes) for compute-precision weights occupying
+// w bytes: w under FP32 and 2w under mixed precision.
+func (p Precision) OptimBytes(w unit.Bytes) unit.Bytes {
+	if p == MixedFP16 {
+		return 2 * w
+	}
+	return w
+}
+
 // Shape is a tensor extent per dimension. By convention the batch dimension
 // is NOT part of a Shape: the planner scales per-sample footprints by the
 // mini-batch size, mirroring the paper's projection of memory requirements
