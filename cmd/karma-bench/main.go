@@ -10,6 +10,7 @@
 //	karma-bench -exp fig5 -model resnet50
 //	karma-bench -exp fig8           # multi-node scaling
 //	karma-bench -exp fig8 -backend planned   # planner-backed cluster models
+//	karma-bench -exp topo -topo abci         # interconnect sensitivity panel
 package main
 
 import (
@@ -22,10 +23,11 @@ import (
 	"karma/internal/experiments"
 	"karma/internal/hw"
 	"karma/internal/tensor"
+	"karma/internal/topo"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table4|table5|equiv|ablations|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|table4|table5|equiv|ablations|topo|all")
 	modelName := flag.String("model", "", "restrict fig5 to one model")
 	backend := flag.String("backend", "analytic",
 		"cluster-model backend for fig8/table4/table5/ablations: "+strings.Join(dist.BackendNames(), "|"))
@@ -35,17 +37,24 @@ func main() {
 		"training regime for fig8/table4: fp32, or fp16 (mixed precision with an fp32 master — halves memory and traffic, calibrating the Fig. 8 right panel toward the paper's ~1.35x)")
 	pipeline := flag.Bool("pipeline", false,
 		"add the GPipe-style pipeline-parallel baseline family to fig8/table4")
+	topoFlag := flag.String("topo", "flat",
+		"interconnect model collectives route over (internal/topo): flat (the seed's single contended ring), abci (Table II's 2-NIC rail-optimized fat tree), or fattree:<ratio> (leaf uplinks oversubscribed ratio:1)")
 	flag.Parse()
 
-	if err := run(*exp, *modelName, *backend, *precision, *ckpt, *pipeline); err != nil {
+	if err := run(*exp, *modelName, *backend, *precision, *topoFlag, *ckpt, *pipeline); err != nil {
 		fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, modelName, backend, precision string, ckpt, pipeline bool) error {
+func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline bool) error {
 	node := hw.ABCINode()
 	cl := hw.ABCI()
+	tp, err := topo.Parse(topoName)
+	if err != nil {
+		return err
+	}
+	cl = cl.WithTopology(tp)
 	ev, err := dist.ByName(backend)
 	if err != nil {
 		return err
@@ -183,8 +192,23 @@ func run(exp, modelName, backend, precision string, ckpt, pipeline bool) error {
 		fmt.Println()
 	}
 
+	if all || exp == "topo" {
+		// The sensitivity panel sweeps the preset ladder regardless of
+		// -topo (which pins the fabric of the other experiments), so the
+		// flat row always anchors against the calibrated Fig. 8 numbers.
+		const gpus = 512
+		rows, err := experiments.TopologySweep(cl, gpus, experiments.TopoLadder(), ev, fo)
+		if err != nil {
+			return err
+		}
+		if _, err := experiments.TopoTable(rows, gpus, ev.Name()).WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
 	switch exp {
-	case "all", "fig5", "fig6", "fig7", "fig8", "table1", "table4", "table5", "equiv", "ablations":
+	case "all", "fig5", "fig6", "fig7", "fig8", "table1", "table4", "table5", "equiv", "ablations", "topo":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -1,14 +1,21 @@
 // Package comm models the collective-communication substrate of the
-// multi-node evaluation (§III-G, Fig. 3 stage 4): ring and hierarchical
-// all-reduce cost, communication backends (NCCL vs the MPI backend the
-// paper fell back to at >1,000 GPUs), and the phased gradient exchange —
-// the layer-grouping scheme of Shi et al. the paper adopts for blocks.
+// multi-node evaluation (§III-G, Fig. 3 stage 4): communication backends
+// (NCCL vs the MPI backend the paper fell back to at >1,000 GPUs) and the
+// phased gradient exchange — the layer-grouping scheme of Shi et al. the
+// paper adopts for blocks. Collective costs are a thin façade over the
+// hierarchical interconnect engine of internal/topo: every ring,
+// hierarchical, reduce-scatter/all-gather and point-to-point transfer is
+// routed over the cluster's Topology (rails, switch hops,
+// oversubscription, contention), and the legacy explicit-bandwidth entry
+// points route over a degenerate flat link so pre-computed shares keep
+// their exact seed-model cost.
 package comm
 
 import (
 	"fmt"
 
 	"karma/internal/hw"
+	"karma/internal/topo"
 	"karma/internal/unit"
 )
 
@@ -23,6 +30,12 @@ type Backend struct {
 	// unstable (0 = unlimited). The paper reports NCCL instability beyond
 	// ~1,000 GPUs (§III-H) and switches to MPI.
 	MaxReliableGPUs int
+}
+
+// Xfer returns the backend's envelope in the form the topology engine
+// costs routes under.
+func (b Backend) Xfer() topo.Xfer {
+	return topo.Xfer{Latency: b.Latency, Eff: b.BWEfficiency}
 }
 
 // NCCL returns the NCCL-like backend: low latency, high efficiency,
@@ -50,48 +63,42 @@ func Pick(gpus int) Backend {
 	return MPI()
 }
 
+// ClusterEngine returns the routing engine for one collective with sole
+// use of the cluster's interconnect (KARMA's single data-parallel
+// exchange spanning every device).
+func ClusterEngine(c hw.Cluster) topo.Engine {
+	return topo.Engine{T: c.Topo()}
+}
+
+// linkEngine wraps a pre-computed per-endpoint bandwidth as a degenerate
+// single-link topology, preserving the seed-model cost of the legacy
+// explicit-bandwidth entry points.
+func linkEngine(bw unit.BytesPerSec) topo.Engine {
+	return topo.Engine{T: topo.Flat(bw)}
+}
+
 // RingAllReduce returns the ring all-reduce time for n bytes among p
 // endpoints over per-endpoint bandwidth bw: 2(p-1) steps each moving n/p
 // bytes.
 func RingAllReduce(n unit.Bytes, p int, bw unit.BytesPerSec, b Backend) unit.Seconds {
-	if p <= 1 || n == 0 {
-		return 0
-	}
-	if n < 0 {
-		panic(fmt.Sprintf("comm: negative size %d", n))
-	}
-	eff := unit.BytesPerSec(float64(bw) * b.BWEfficiency)
-	steps := 2 * (p - 1)
-	chunk := unit.Bytes(float64(n) / float64(p))
-	per := unit.TransferTime(chunk, eff, b.Latency)
-	return unit.Seconds(float64(steps)) * per
+	return RingAllReduceOver(linkEngine(bw), n, p, b)
 }
 
-// HierarchicalAllReduce composes the collective over a cluster topology:
-// intra-node reduce over NVLink, inter-node ring over the network, then
-// intra-node broadcast — the standard multi-rail scheme on ABCI-like
-// machines. gpus is the total participating device count.
+// RingAllReduceOver is RingAllReduce routed over a topology engine: each
+// step crosses the engine's inter-node route, paying its bottleneck
+// bandwidth (after rail aggregation, oversubscription and contention)
+// and per-hop latency.
+func RingAllReduceOver(e topo.Engine, n unit.Bytes, p int, b Backend) unit.Seconds {
+	return e.Ring(n, p, b.Xfer())
+}
+
+// HierarchicalAllReduce composes the collective over the cluster's
+// topology: intra-node reduce over the device tier, inter-node ring over
+// the node routes, then intra-node broadcast — the standard multi-rail
+// scheme on ABCI-like machines. gpus is the total participating device
+// count.
 func HierarchicalAllReduce(n unit.Bytes, c hw.Cluster, gpus int, b Backend) unit.Seconds {
-	if gpus <= 1 || n == 0 {
-		return 0
-	}
-	perNode := c.Node.Devices
-	if gpus < perNode {
-		perNode = gpus
-	}
-	nodes := (gpus + c.Node.Devices - 1) / c.Node.Devices
-	var t unit.Seconds
-	if perNode > 1 {
-		// Intra-node reduce + broadcast: (perNode-1)/perNode of the
-		// payload each way over NVLink.
-		frac := unit.Bytes(float64(n) * float64(perNode-1) / float64(perNode))
-		eff := unit.BytesPerSec(float64(c.Node.IntraBW) * b.BWEfficiency)
-		t += 2 * unit.TransferTime(frac, eff, b.Latency)
-	}
-	if nodes > 1 {
-		t += RingAllReduce(n, nodes, c.NetBW, b)
-	}
-	return t
+	return ClusterEngine(c).Hierarchical(n, gpus, b.Xfer())
 }
 
 // Group is one phase of the phased gradient exchange: consecutive blocks
@@ -137,45 +144,41 @@ func mergeGroups(sizes []unit.Bytes, threshold unit.Bytes, cost func(unit.Bytes)
 // paper adopts (§III-G): merging amortizes per-collective latency, but a
 // group must stay small enough that communication still overlaps the
 // remaining backward work. Blocks merge while a group's payload is below
-// the latency-bandwidth product threshold of the collective.
+// the latency-bandwidth product threshold of the collective; each group
+// is costed as a hierarchical all-reduce over the cluster's topology.
 func PhasedGroups(sizes []unit.Bytes, c hw.Cluster, gpus int, b Backend) []Group {
 	if len(sizes) == 0 {
 		return nil
 	}
-	// Threshold: the payload at which the bandwidth term matches the
-	// aggregated latency term of a ring step — below it, merging is free.
+	e := ClusterEngine(c)
 	nodes := (gpus + c.Node.Devices - 1) / c.Node.Devices
-	steps := 2 * (nodes - 1)
-	if steps <= 0 {
-		steps = 2
-	}
-	eff := unit.BytesPerSec(float64(c.NetBW) * b.BWEfficiency)
-	threshold := unit.Bytes(float64(steps) * float64(b.Latency) * float64(eff))
+	threshold := e.MergeThreshold(nodes, b.Xfer())
 	return mergeGroups(sizes, threshold, func(n unit.Bytes) unit.Seconds {
-		return HierarchicalAllReduce(n, c, gpus, b)
+		return e.Hierarchical(n, gpus, b.Xfer())
 	})
 }
 
 // RingPhasedGroups merges per-block payloads (in backward completion
 // order) into exchange phases for a flat ring over p endpoints at
-// per-endpoint bandwidth bw — the PhasedGroups rule applied to the
-// contended ring of the in-core hybrids' data-parallel exchange, where
-// one replica per node participates and the node bandwidth divides among
-// concurrent shard collectives. Each group's Time is the ring all-reduce
+// per-endpoint bandwidth bw — the PhasedGroups rule applied to a
+// pre-computed contended share. Each group's Time is the ring all-reduce
 // of its payload; a reduce-scatter or all-gather phase costs exactly
 // half (half the ring steps).
 func RingPhasedGroups(sizes []unit.Bytes, p int, bw unit.BytesPerSec, b Backend) []Group {
+	return RingPhasedGroupsOver(linkEngine(bw), sizes, p, b)
+}
+
+// RingPhasedGroupsOver is RingPhasedGroups routed over a topology
+// engine — the contended ring of the in-core hybrids' data-parallel
+// exchange, where one replica per node participates in each of the
+// node's concurrent shard collectives.
+func RingPhasedGroupsOver(e topo.Engine, sizes []unit.Bytes, p int, b Backend) []Group {
 	if len(sizes) == 0 {
 		return nil
 	}
-	steps := 2 * (p - 1)
-	if steps <= 0 {
-		steps = 2
-	}
-	eff := unit.BytesPerSec(float64(bw) * b.BWEfficiency)
-	threshold := unit.Bytes(float64(steps) * float64(b.Latency) * float64(eff))
+	threshold := e.MergeThreshold(p, b.Xfer())
 	return mergeGroups(sizes, threshold, func(n unit.Bytes) unit.Seconds {
-		return RingAllReduce(n, p, bw, b)
+		return e.Ring(n, p, b.Xfer())
 	})
 }
 
@@ -194,34 +197,28 @@ func BulkTime(sizes []unit.Bytes, c hw.Cluster, gpus int, b Backend) unit.Second
 // p endpoints with its n/p shard: (p-1) ring steps of n/p bytes — half an
 // all-reduce. ZeRO-style sharded optimizers build on this primitive.
 func ReduceScatter(n unit.Bytes, p int, bw unit.BytesPerSec, b Backend) unit.Seconds {
-	if p <= 1 || n == 0 {
-		return 0
-	}
-	if n < 0 {
-		panic(fmt.Sprintf("comm: negative size %d", n))
-	}
-	eff := unit.BytesPerSec(float64(bw) * b.BWEfficiency)
-	chunk := unit.Bytes(float64(n) / float64(p))
-	per := unit.TransferTime(chunk, eff, b.Latency)
-	return unit.Seconds(float64(p-1)) * per
+	return linkEngine(bw).ReduceScatter(n, p, b.Xfer())
 }
 
 // AllGather returns the time for each endpoint to collect all p shards of
 // n total bytes: (p-1) ring steps of n/p bytes — the other half.
 func AllGather(n unit.Bytes, p int, bw unit.BytesPerSec, b Backend) unit.Seconds {
-	return ReduceScatter(n, p, bw, b) // identical cost structure
+	return linkEngine(bw).AllGather(n, p, b.Xfer())
 }
 
 // PointToPoint returns the time to move n bytes between two endpoints
 // over per-endpoint bandwidth bw — the stage-boundary send/recv of
 // pipeline (inter-layer) parallelism. One message, one latency.
 func PointToPoint(n unit.Bytes, bw unit.BytesPerSec, b Backend) unit.Seconds {
-	if n == 0 {
-		return 0
+	return linkEngine(bw).PointToPoint(n, b.Xfer())
+}
+
+// PointToPointOver routes a two-endpoint transfer over a topology
+// engine's inter-node route (local == false) or its intra-node device
+// tier (local == true) — the pipeline's stage-boundary wire.
+func PointToPointOver(e topo.Engine, n unit.Bytes, local bool, b Backend) unit.Seconds {
+	if local {
+		return e.PointToPointIntra(n, b.Xfer())
 	}
-	if n < 0 {
-		panic(fmt.Sprintf("comm: negative size %d", n))
-	}
-	eff := unit.BytesPerSec(float64(bw) * b.BWEfficiency)
-	return unit.TransferTime(n, eff, b.Latency)
+	return e.PointToPoint(n, b.Xfer())
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"karma/internal/hw"
+	"karma/internal/topo"
 	"karma/internal/unit"
 )
 
@@ -193,4 +194,73 @@ func TestReduceScatterEdgeCases(t *testing.T) {
 		}
 	}()
 	ReduceScatter(-1, 4, unit.GBps, b)
+}
+
+// --- topology-routed façade ---
+
+// TestOverVariantsMatchFlatLegacy: the engine-taking entry points agree
+// exactly with the legacy explicit-bandwidth ones when the engine is the
+// equivalent contended flat link — the façade contract that kept every
+// seed golden green across the topo refactor.
+func TestOverVariantsMatchFlatLegacy(t *testing.T) {
+	cl := hw.ABCI()
+	b := NCCL()
+	share := cl.NetBW / unit.BytesPerSec(float64(cl.Node.Devices))
+	e := topo.Engine{T: cl.Topo(), Concurrent: cl.Node.Devices}
+	n := unit.Bytes(200 << 20)
+	if got, want := RingAllReduceOver(e, n, 128, b), RingAllReduce(n, 128, share, b); got != want {
+		t.Errorf("RingAllReduceOver = %v, legacy %v", got, want)
+	}
+	sizes := []unit.Bytes{1 << 20, 64 << 20, 1 << 10, 128 << 20}
+	over := RingPhasedGroupsOver(e, sizes, 128, b)
+	legacy := RingPhasedGroups(sizes, 128, share, b)
+	if len(over) != len(legacy) {
+		t.Fatalf("group counts differ: %d vs %d", len(over), len(legacy))
+	}
+	for i := range over {
+		if over[i].Time != legacy[i].Time || over[i].Bytes != legacy[i].Bytes {
+			t.Errorf("group %d: %+v vs %+v", i, over[i], legacy[i])
+		}
+	}
+	if got, want := PointToPointOver(e, n, false, b), PointToPoint(n, share, b); got != want {
+		t.Errorf("PointToPointOver inter = %v, legacy %v", got, want)
+	}
+	if got, want := PointToPointOver(e, n, true, b), PointToPoint(n, cl.Node.IntraBW, b); got != want {
+		t.Errorf("PointToPointOver intra = %v, legacy NVLink %v", got, want)
+	}
+}
+
+// TestHierarchicalRidesClusterTopology: giving the cluster ABCI's 2-NIC
+// fabric speeds up the hierarchical collective's inter-node ring, and an
+// oversubscribed fat tree slows it back down.
+func TestHierarchicalRidesClusterTopology(t *testing.T) {
+	cl := hw.ABCI()
+	b := MPI()
+	n := unit.Bytes(256 << 20)
+	flat := HierarchicalAllReduce(n, cl, 512, b)
+	abci := HierarchicalAllReduce(n, cl.WithTopology(topo.ABCI()), 512, b)
+	over := HierarchicalAllReduce(n, cl.WithTopology(topo.FatTree(8)), 512, b)
+	if abci >= flat {
+		t.Errorf("abci (%v) should beat flat (%v): twice the egress", abci, flat)
+	}
+	if over <= flat {
+		t.Errorf("8:1 oversubscribed (%v) should lose to flat (%v)", over, flat)
+	}
+}
+
+// TestPhasedGroupsThresholdFollowsTopology: a fatter fabric raises the
+// merge threshold (bandwidth-latency product), so the same payloads form
+// fewer, larger groups.
+func TestPhasedGroupsThresholdFollowsTopology(t *testing.T) {
+	cl := hw.ABCI()
+	b := MPI()
+	sizes := make([]unit.Bytes, 48)
+	for i := range sizes {
+		sizes[i] = 3 << 20
+	}
+	flat := PhasedGroups(sizes, cl, 512, b)
+	abci := PhasedGroups(sizes, cl.WithTopology(topo.ABCI()), 512, b)
+	if len(abci) > len(flat) {
+		t.Errorf("abci formed %d groups, flat %d; more bandwidth should merge harder", len(abci), len(flat))
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"karma/internal/model"
 	"karma/internal/profiler"
 	"karma/internal/tensor"
+	"karma/internal/topo"
 	"karma/internal/unit"
 )
 
@@ -48,12 +49,22 @@ func validateTransformer(cfg model.TransformerConfig) error {
 	return nil
 }
 
-// shardRingBW is the per-collective network bandwidth available to the
-// hybrid's data-parallel exchange: each shard's replicas sit on distinct
-// nodes, so every node injects into Devices concurrent shard collectives
-// and the per-node bandwidth divides among them.
-func shardRingBW(cl hw.Cluster) unit.BytesPerSec {
-	return cl.NetBW / unit.BytesPerSec(float64(cl.Node.Devices))
+// shardEngine is the routing engine for the hybrids' data-parallel
+// exchange: each shard's replicas sit on distinct nodes, so every node
+// injects into Devices concurrent shard collectives that contend for the
+// node's egress. The per-collective share derives from the topology's
+// NIC tier — aggregate rail bandwidth divided among the concurrent
+// collectives (on the flat model this is exactly the seed's
+// NetBW/Devices split; on ABCI's 2-NIC nodes each collective gets twice
+// that) — not from dividing cl.NetBW by Node.Devices unconditionally.
+func shardEngine(cl hw.Cluster) topo.Engine {
+	return topo.Engine{T: cl.Topo(), Concurrent: cl.Node.Devices}
+}
+
+// nodeShareBW is the per-collective bottleneck bandwidth of the shard
+// exchange route (pinned by a flat-topology regression test).
+func nodeShareBW(cl hw.Cluster) unit.BytesPerSec {
+	return shardEngine(cl).InterRoute().Bottleneck()
 }
 
 // profileFn builds (or recalls) a profile; the planned backend injects
@@ -219,9 +230,10 @@ func megatronCost(cfg model.TransformerConfig, shard *model.Shard, p *profiler.P
 		}
 	}
 
-	// Data-parallel exchange of the shard's gradients across replicas on
-	// a flat contended ring (one participant per node per collective).
-	exT := comm.RingAllReduce(p.TotalWeightBytes, replicas, shardRingBW(cl), backend)
+	// Data-parallel exchange of the shard's gradients across replicas,
+	// routed over the topology's contended node egress (one participant
+	// per node per collective, Devices collectives per node).
+	exT := comm.RingAllReduceOver(shardEngine(cl), p.TotalWeightBytes, replicas, backend)
 
 	updWork := float64(updateFLOPs)
 	if zero {

@@ -78,16 +78,17 @@ func (st pipeStage) fixedBytes(o HybridOptions) unit.Bytes {
 	return 2*st.WeightBytes + o.Precision.MasterBytes(st.WeightBytes)
 }
 
-// pipeWireBW returns the bandwidth of one stage-boundary transfer and
-// whether it rides NVLink: a pipeline whose stages pack inside one node
-// crosses boundaries over NVLink; one spanning nodes pays the network,
-// contended like the hybrids' exchange (every device on a node drives a
-// concurrent pipeline).
-func pipeWireBW(cl hw.Cluster, stages int) (unit.BytesPerSec, bool) {
-	if stages <= cl.Node.Devices {
-		return cl.Node.IntraBW, true
-	}
-	return shardRingBW(cl), false
+// pipeWire returns the stage-boundary transfer cost function and whether
+// the boundary rides NVLink: a pipeline whose stages pack inside one
+// node crosses boundaries over the topology's device tier; one spanning
+// nodes pays the contended inter-node route, like the hybrids' exchange
+// (every device on a node drives a concurrent pipeline).
+func pipeWire(cl hw.Cluster, stages int, b comm.Backend) (func(unit.Bytes) unit.Seconds, bool) {
+	e := shardEngine(cl)
+	local := stages <= cl.Node.Devices
+	return func(n unit.Bytes) unit.Seconds {
+		return comm.PointToPointOver(e, n, local, b)
+	}, local
 }
 
 // pipelineSetup validates the argument set shared by both backends,
@@ -219,9 +220,8 @@ func (c pipeCost) iter() unit.Seconds {
 // replicas) overlap the drain of earlier stages under o.Phased, and the
 // slowest stage's update closes the iteration.
 func pipelineCost(sts []pipeStage, cl hw.Cluster, stages, replicas, micro int, o HybridOptions) pipeCost {
-	bw, _ := pipeWireBW(cl, stages)
 	backend := comm.Pick(stages * replicas)
-	wire := func(n unit.Bytes) unit.Seconds { return comm.PointToPoint(n, bw, backend) }
+	wire, _ := pipeWire(cl, stages, backend)
 
 	var c pipeCost
 	var bottleneck unit.Seconds
@@ -240,14 +240,14 @@ func pipelineCost(sts []pipeStage, cl hw.Cluster, stages, replicas, micro int, o
 	// they reduce, stages before it are still draining. Under o.Phased
 	// only the excess over that drain window stalls; bulk serializes.
 	if replicas > 1 {
-		ringBW := shardRingBW(cl)
+		ring := shardEngine(cl)
 		var window unit.Seconds
 		for s := range sts {
 			// Stage s's last backward retires while stages 0..s-1 are still
 			// draining; its exchange overlaps that window (backward ripples
 			// from the last stage toward stage 0, which finishes last and
 			// has no window at all).
-			exT := comm.RingAllReduce(sts[s].WeightBytes, replicas, ringBW, backend)
+			exT := comm.RingAllReduceOver(ring, sts[s].WeightBytes, replicas, backend)
 			stall := exT
 			if o.Phased {
 				stall = exT - window

@@ -185,7 +185,7 @@ func injectHybridExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, repli
 		return
 	}
 	backend := comm.Pick(gpus)
-	ringBW := shardRingBW(cl)
+	ring := shardEngine(cl)
 	k := len(s.Blocks)
 
 	if !zero && !o.Phased {
@@ -193,7 +193,7 @@ func injectHybridExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, repli
 		for _, b := range s.Blocks {
 			total += b.Cost.WeightBytes
 		}
-		if t := comm.RingAllReduce(total, replicas, ringBW, backend); t > 0 {
+		if t := comm.RingAllReduceOver(ring, total, replicas, backend); t > 0 {
 			// Attached to the first weighted block so the update op's
 			// GradExchange dependency (appendHybridUpdate) finds it.
 			pl.Stages = append(pl.Stages, plan.Stage{Ops: []plan.Op{{
@@ -210,7 +210,7 @@ func injectHybridExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, repli
 	// on the network FIFO instead of stalling behind a monolithic phase.
 	spread := func(sizes []unit.Bytes, half bool) map[int]unit.Seconds {
 		out := map[int]unit.Seconds{}
-		for _, g := range comm.RingPhasedGroups(sizes, replicas, ringBW, backend) {
+		for _, g := range comm.RingPhasedGroupsOver(ring, sizes, replicas, backend) {
 			t := g.Time
 			if half {
 				t /= 2 // reduce-scatter or all-gather: half the ring steps

@@ -56,9 +56,8 @@ func (pe *Planned) pipeIter(sts []pipeStage, cl hw.Cluster, stages, replicas, mi
 	if pe.failSim {
 		return 0, errForcedFallback
 	}
-	bw, local := pipeWireBW(cl, stages)
 	backend := comm.Pick(stages * replicas)
-	wire := func(n unit.Bytes) unit.Seconds { return comm.PointToPoint(n, bw, backend) }
+	wire, local := pipeWire(cl, stages, backend)
 
 	// The bottleneck stage under the same rate metric as the closed form.
 	sb, best := 0, unit.Seconds(-1)

@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"testing"
+
+	"karma/internal/hw"
+	"karma/internal/model"
+	"karma/internal/tensor"
+	"karma/internal/topo"
+	"karma/internal/unit"
+)
+
+// ---------------------------------------------------------------------------
+// Topology threading: the five families take their exchange and
+// collective times from the internal/topo engine.
+// ---------------------------------------------------------------------------
+
+// TestNodeShareBWFlatRegression pins the per-collective exchange share.
+// On the flat (default) topology it must equal the seed model's
+// NetBW/Devices split exactly — the regression guard for the nodeShareBW
+// fix — while the ABCI preset derives it from the NIC tier instead: two
+// EDR rails shared by four concurrent shard collectives.
+func TestNodeShareBWFlatRegression(t *testing.T) {
+	cl := hw.ABCI()
+	if got, want := nodeShareBW(cl), cl.NetBW/unit.BytesPerSec(float64(cl.Node.Devices)); got != want {
+		t.Fatalf("flat share = %v, want the seed's NetBW/Devices = %v", got, want)
+	}
+	abci := cl.WithTopology(topo.ABCI())
+	if got, want := nodeShareBW(abci), 6.25*unit.GBps; got != want {
+		t.Fatalf("abci share = %v, want 2x12.5/4 = %v", got, want)
+	}
+	over := cl.WithTopology(topo.FatTree(4))
+	if got, want := nodeShareBW(over), 6.25*unit.GBps/4; got != want {
+		t.Fatalf("fattree:4 share = %v, want %v", got, want)
+	}
+}
+
+// evalAll runs every family of one backend at a fixed shape and returns
+// the feasible iteration times keyed by family.
+func evalAll(t *testing.T, ev Evaluator, cl hw.Cluster) map[string]unit.Seconds {
+	t.Helper()
+	cfg := smallLM()
+	g := model.Transformer(cfg)
+	o := HybridOptions{Phased: true, Checkpoint: true}
+	out := map[string]unit.Seconds{}
+	add := func(name string, r *Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !r.Feasible {
+			t.Fatalf("%s infeasible: %s", name, r.Reason)
+		}
+		out[name] = r.IterTime
+	}
+	r, err := ev.MegatronHybrid(cfg, cl, 4, 64, 4, samples, o)
+	add("hybrid", r, err)
+	r, err = ev.ZeRO(cfg, cl, 4, 64, 4, samples, o)
+	add("zero", r, err)
+	r, err = ev.KARMADataParallel(g, cl, 64, 4, samples, KARMAOptions{})
+	add("karma", r, err)
+	r, err = ev.DataParallel(g, cl, 64, 2, samples)
+	add("dp", r, err)
+	r, err = ev.Pipeline(cfg, cl, 8, 64, 8, 4, samples, o)
+	add("pipeline", r, err)
+	return out
+}
+
+// TestABCITopologyNeverSlower: under both backends, every family's
+// iteration is at least as fast on ABCI's 2-NIC fat tree as on the flat
+// single-ring model (more egress, same everything else), and the
+// network-bound families are strictly faster.
+func TestABCITopologyNeverSlower(t *testing.T) {
+	for _, ev := range []Evaluator{Analytic{}, NewPlanned()} {
+		cl := hw.ABCI()
+		flat := evalAll(t, ev, cl)
+		abci := evalAll(t, ev, cl.WithTopology(topo.ABCI()))
+		for fam, ft := range flat {
+			if abci[fam] > ft {
+				t.Errorf("%s %s: ABCI iter %v slower than flat %v", ev.Name(), fam, abci[fam], ft)
+			}
+		}
+		for _, fam := range []string{"hybrid", "zero"} {
+			if abci[fam] >= flat[fam] {
+				t.Errorf("%s %s: exchange-bound family should strictly gain from the second rail (flat %v, abci %v)",
+					ev.Name(), fam, flat[fam], abci[fam])
+			}
+		}
+	}
+}
+
+// TestOversubscriptionMonotoneAcrossFamilies: iteration time never
+// improves as the fabric oversubscribes (fattree:1 -> 2 -> 4).
+func TestOversubscriptionMonotoneAcrossFamilies(t *testing.T) {
+	ev := Analytic{}
+	cl := hw.ABCI()
+	prev := evalAll(t, ev, cl.WithTopology(topo.FatTree(1)))
+	for _, ratio := range []float64{2, 4} {
+		cur := evalAll(t, ev, cl.WithTopology(topo.FatTree(ratio)))
+		for fam, ct := range cur {
+			if ct < prev[fam] {
+				t.Errorf("%s: fattree:%g iter %v faster than less oversubscribed %v", fam, ratio, ct, prev[fam])
+			}
+		}
+		prev = cur
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tensor-core satellite: the per-precision Efficiency override drops
+// fp16 iteration time when enabled and leaves fp32 untouched.
+// ---------------------------------------------------------------------------
+
+func TestTensorCoreBoostDropsFP16IterTime(t *testing.T) {
+	cfg := smallLM()
+	cl := hw.ABCI()
+	boosted := cl
+	boosted.Node.Device = boosted.Node.Device.WithTensorCores(4)
+	o := HybridOptions{Phased: true, Checkpoint: true, Precision: tensor.MixedFP16}
+
+	for _, ev := range []Evaluator{Analytic{}, NewPlanned()} {
+		base, err := ev.MegatronHybrid(cfg, cl, 4, 64, 4, samples, o)
+		if err != nil || !base.Feasible {
+			t.Fatalf("%s base: %v %+v", ev.Name(), err, base)
+		}
+		fast, err := ev.MegatronHybrid(cfg, boosted, 4, 64, 4, samples, o)
+		if err != nil || !fast.Feasible {
+			t.Fatalf("%s boosted: %v %+v", ev.Name(), err, fast)
+		}
+		if fast.IterTime >= base.IterTime {
+			t.Errorf("%s: fp16 iteration did not drop under tensor cores (%v -> %v)",
+				ev.Name(), base.IterTime, fast.IterTime)
+		}
+
+		// fp32 is unaffected: the boost only applies to fp16 math.
+		o32 := o
+		o32.Precision = tensor.FP32Training
+		b32, err := ev.MegatronHybrid(cfg, cl, 4, 64, 4, samples, o32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f32, err := ev.MegatronHybrid(cfg, boosted, 4, 64, 4, samples, o32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b32.IterTime != f32.IterTime {
+			t.Errorf("%s: tensor cores changed the fp32 iteration (%v -> %v)", ev.Name(), b32.IterTime, f32.IterTime)
+		}
+	}
+}

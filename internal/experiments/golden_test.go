@@ -6,6 +6,7 @@ import (
 	"karma/internal/dist"
 	"karma/internal/hw"
 	"karma/internal/tensor"
+	"karma/internal/topo"
 )
 
 // The golden tests pin the *orderings* of the reproduced artifacts —
@@ -134,24 +135,31 @@ func TestGoldenFig8TuringOrdering(t *testing.T) {
 // fp32 hybrid path at ~1.86x; under mixed precision — the regime the
 // real Turing-NLG run trained in, whose absence was the documented fp32
 // residual — ZeRO gains the fp16 capacity-batch headroom and the ratio
-// tightens to ~1.57x. The fp32 band [1.0, 2.0] and the fp16 band
-// [1.0, 1.6] lock both the ordering (KARMA wins) and the magnitudes (no
+// tightens to ~1.57x. Routing the collectives over the real ABCI
+// interconnect (topo.ABCI(): 2 NICs per node instead of the flat ring's
+// uniform share, the documented interconnect residual) moves the fp16
+// ratio to ~1.46x, toward the paper. The fp32 band [1.0, 2.0], the fp16
+// flat band [1.0, 1.6] and the deliberately retuned fp16 abci band
+// [1.0, 1.5] lock both the ordering (KARMA wins) and the magnitudes (no
 // silent drift back toward the closed-form gap or below parity); the
 // bands are recorded in ROADMAP's calibration table.
 func TestGoldenFig8ZeROCalibration(t *testing.T) {
 	cl := hw.ABCI()
 	bands := []struct {
+		name     string
 		prec     tensor.Precision
+		topo     topo.Topology // zero = the seed's flat contended ring
 		lo, hi   float64
 		minBatch int // ZeRO's capacity global batch floor at 512 GPUs
 	}{
-		{tensor.FP32Training, 1.0, 2.0, 512},
-		{tensor.MixedFP16, 1.0, 1.6, 1024},
+		{"fp32", tensor.FP32Training, topo.Topology{}, 1.0, 2.0, 512},
+		{"fp16", tensor.MixedFP16, topo.Topology{}, 1.0, 1.6, 1024},
+		{"fp16-abci", tensor.MixedFP16, topo.ABCI(), 1.0, 1.5, 1024},
 	}
 	for _, band := range bands {
-		t.Run(band.prec.String(), func(t *testing.T) {
+		t.Run(band.name, func(t *testing.T) {
 			ev := dist.NewPlanned()
-			panel, err := Figure8Turing(cl, []int{512}, ev, FamilyOptions{Ckpt: true, Precision: band.prec})
+			panel, err := Figure8Turing(cl.WithTopology(band.topo), []int{512}, ev, FamilyOptions{Ckpt: true, Precision: band.prec})
 			if err != nil {
 				t.Fatalf("Figure8Turing: %v", err)
 			}

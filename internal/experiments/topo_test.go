@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"karma/internal/dist"
+	"karma/internal/hw"
+	"karma/internal/topo"
+)
+
+// TestTopologySweepAnchorsOnFlat: the sensitivity panel's flat row must
+// reproduce the calibrated Fig. 8 right-panel numbers exactly — the
+// same trio through the same evaluator, differing only in that the
+// topology is spelled out. This is the experiments-layer face of the
+// topo engine's Flat-equivalence property.
+func TestTopologySweepAnchorsOnFlat(t *testing.T) {
+	cl := hw.ABCI()
+	ev := dist.Analytic{}
+	o := FamilyOptions{Ckpt: true}
+	rows, err := TopologySweep(cl, 512, TopoLadder(), ev, o)
+	if err != nil {
+		t.Fatalf("TopologySweep: %v", err)
+	}
+	if len(rows) != len(TopoLadder()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(TopoLadder()))
+	}
+	panel, err := Figure8Turing(cl, []int{512}, ev, o)
+	if err != nil {
+		t.Fatalf("Figure8Turing: %v", err)
+	}
+	ref := panel.Rows[0]
+	flat := rows[0]
+	if flat.Topo != "flat" {
+		t.Fatalf("first ladder row is %q, want flat", flat.Topo)
+	}
+	if flat.ZeRO.EpochTime != ref.Results["zero"].EpochTime ||
+		flat.KARMA.EpochTime != ref.Results["karma-dp"].EpochTime ||
+		flat.Combo.EpochTime != ref.Results["zero+karma"].EpochTime {
+		t.Errorf("flat row diverges from the calibrated panel: %+v vs %+v", flat, ref.Results)
+	}
+}
+
+// TestTopologySweepShapes pins the qualitative shape of the panel: every
+// cell feasible, KARMA ahead of ZeRO on every fabric (the paper's
+// conclusion is topology-robust), ABCI's second rail never slower than
+// flat, and oversubscription monotonically degrading.
+func TestTopologySweepShapes(t *testing.T) {
+	rows, err := TopologySweep(hw.ABCI(), 512, TopoLadder(), dist.Analytic{}, FamilyOptions{Ckpt: true})
+	if err != nil {
+		t.Fatalf("TopologySweep: %v", err)
+	}
+	byName := map[string]TopoRow{}
+	for _, r := range rows {
+		byName[r.Topo] = r
+		if !r.ZeRO.Feasible || !r.KARMA.Feasible || !r.Combo.Feasible {
+			t.Fatalf("%s: infeasible cell", r.Topo)
+		}
+		if r.Ratio <= 1 {
+			t.Errorf("%s: ZeRO/combo ratio %.2f at or below parity", r.Topo, r.Ratio)
+		}
+		if r.KARMA.EpochTime >= r.ZeRO.EpochTime {
+			t.Errorf("%s: KARMA (%v) does not beat ZeRO (%v)", r.Topo, r.KARMA.EpochTime, r.ZeRO.EpochTime)
+		}
+	}
+	for _, m := range []func(TopoRow) float64{
+		func(r TopoRow) float64 { return float64(r.ZeRO.EpochTime) },
+		func(r TopoRow) float64 { return float64(r.KARMA.EpochTime) },
+		func(r TopoRow) float64 { return float64(r.Combo.EpochTime) },
+	} {
+		if m(byName["abci"]) > m(byName["flat"]) {
+			t.Errorf("abci slower than flat: %+v vs %+v", byName["abci"], byName["flat"])
+		}
+		if m(byName["fattree:2"]) > m(byName["fattree:4"]) {
+			t.Errorf("fattree:2 slower than fattree:4")
+		}
+	}
+	tbl := TopoTable(rows, 512, "analytic")
+	if len(tbl.Rows) != len(rows) || len(tbl.Headers) != 5 {
+		t.Errorf("table shape %dx%d unexpected", len(tbl.Rows), len(tbl.Headers))
+	}
+}
+
+// TestTopologySweepPlanned runs the ladder's abci row under the planned
+// backend at a reduced scale, asserting the simulated path stays on the
+// planned tag and the ABCI fabric never loses to flat — the cheap
+// standing guard for the nightly's full panel.
+func TestTopologySweepPlanned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planned Turing-NLG sweep is a nightly-scale run")
+	}
+	ev := dist.NewPlanned()
+	rows, err := TopologySweep(hw.ABCI(), 512, []topo.Topology{{}, topo.ABCI()}, ev, FamilyOptions{Ckpt: true})
+	if err != nil {
+		t.Fatalf("TopologySweep: %v", err)
+	}
+	flat, abci := rows[0], rows[1]
+	for _, r := range rows {
+		if !r.ZeRO.Feasible || r.ZeRO.Backend != "planned" {
+			t.Fatalf("%s: zero cell %+v not planned-feasible", r.Topo, r.ZeRO)
+		}
+	}
+	if abci.ZeRO.EpochTime > flat.ZeRO.EpochTime {
+		t.Errorf("planned abci ZeRO (%v) slower than flat (%v)", abci.ZeRO.EpochTime, flat.ZeRO.EpochTime)
+	}
+	if abci.Combo.EpochTime > flat.Combo.EpochTime {
+		t.Errorf("planned abci combo (%v) slower than flat (%v)", abci.Combo.EpochTime, flat.Combo.EpochTime)
+	}
+}

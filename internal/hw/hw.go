@@ -7,6 +7,8 @@ package hw
 import (
 	"fmt"
 
+	"karma/internal/tensor"
+	"karma/internal/topo"
 	"karma/internal/unit"
 )
 
@@ -26,14 +28,41 @@ type Device struct {
 	Efficiency float64
 	// MemBW is the device (near) memory bandwidth.
 	MemBW unit.BytesPerSec
+	// TensorCoreBoost multiplies the sustained rate for fp16 math that
+	// can ride the tensor cores (SustainedFLOPSFor). Zero disables the
+	// boost — the seed model's behavior, where compute rates are held
+	// constant across precisions so precision sweeps isolate memory
+	// effects. Set it (e.g. ~4 for a V100's achievable mixed-precision
+	// speedup on transformer GEMMs) to model the tensor-core lever the
+	// ROADMAP names.
+	TensorCoreBoost float64
 }
 
 // UsableMem returns the capacity available for tensors.
 func (d Device) UsableMem() unit.Bytes { return d.MemCapacity - d.Reserved }
 
-// SustainedFLOPS returns the effective compute rate.
+// SustainedFLOPS returns the effective compute rate for full-precision
+// math.
 func (d Device) SustainedFLOPS() unit.FLOPSRate {
 	return unit.FLOPSRate(float64(d.PeakFLOPS) * d.Efficiency)
+}
+
+// SustainedFLOPSFor returns the effective compute rate for math at the
+// given element type: the fp32 sustained rate, scaled by TensorCoreBoost
+// for fp16 when the boost is enabled.
+func (d Device) SustainedFLOPSFor(dt tensor.DType) unit.FLOPSRate {
+	r := d.SustainedFLOPS()
+	if dt == tensor.FP16 && d.TensorCoreBoost > 0 {
+		r = unit.FLOPSRate(float64(r) * d.TensorCoreBoost)
+	}
+	return r
+}
+
+// WithTensorCores returns a copy of the device with the fp16 tensor-core
+// boost enabled at the given sustained-speedup factor.
+func (d Device) WithTensorCores(boost float64) Device {
+	d.TensorCoreBoost = boost
+	return d
 }
 
 // Validate reports configuration errors.
@@ -46,6 +75,9 @@ func (d Device) Validate() error {
 	}
 	if d.MemBW <= 0 {
 		return fmt.Errorf("hw: device %s: bad memory bandwidth", d.Name)
+	}
+	if d.TensorCoreBoost < 0 {
+		return fmt.Errorf("hw: device %s: negative tensor-core boost %g", d.Name, d.TensorCoreBoost)
 	}
 	return nil
 }
@@ -96,10 +128,37 @@ type Cluster struct {
 	NetBW unit.BytesPerSec
 	// NetLatency is the per-message network latency.
 	NetLatency unit.Seconds
+	// Topology is the hierarchical interconnect model collectives route
+	// over (internal/topo). The zero value keeps the seed behavior: a
+	// flat single-rail fabric at NetBW, costed exactly like the old
+	// contended-ring closed forms. Set it (topo.ABCI(), topo.FatTree(r),
+	// or a hand-built Topology) to model rails, switch hops and
+	// oversubscription.
+	Topology topo.Topology
 }
 
 // TotalDevices returns the device count across the cluster.
 func (c Cluster) TotalDevices() int { return c.Nodes * c.Node.Devices }
+
+// Topo returns the cluster's interconnect topology with the intra-node
+// tier filled in from the node shape — the single source the collective
+// engine routes over. An unset Topology derives the flat model from the
+// legacy NetBW field, reproducing the seed's contended-ring numbers
+// exactly.
+func (c Cluster) Topo() topo.Topology {
+	t := c.Topology
+	if t.IsZero() {
+		t = topo.Flat(c.NetBW)
+	}
+	return t.WithNode(c.Node.Devices, c.Node.IntraBW)
+}
+
+// WithTopology returns a copy of the cluster routing its collectives
+// over the given interconnect model.
+func (c Cluster) WithTopology(t topo.Topology) Cluster {
+	c.Topology = t
+	return c
+}
 
 // SwapThroughput returns the effective block swap throughput of Eq. (4):
 // the minimum of far-memory, near-memory and interconnect throughput.

@@ -3,6 +3,8 @@ package hw
 import (
 	"testing"
 
+	"karma/internal/tensor"
+	"karma/internal/topo"
 	"karma/internal/unit"
 )
 
@@ -93,5 +95,65 @@ func TestPCIeMatchesTableII(t *testing.T) {
 	l := PCIeGen3x16()
 	if l.BWPerDirection != 16*unit.GBps {
 		t.Errorf("PCIe bw = %v, want 16 GB/s", l.BWPerDirection)
+	}
+}
+
+func TestTensorCoreBoost(t *testing.T) {
+	d := V100()
+	if got := d.SustainedFLOPSFor(tensor.FP16); got != d.SustainedFLOPS() {
+		t.Errorf("boost off: fp16 rate %v should equal fp32 rate %v", got, d.SustainedFLOPS())
+	}
+	b := d.WithTensorCores(4)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got, want := b.SustainedFLOPSFor(tensor.FP16), unit.FLOPSRate(4*float64(d.SustainedFLOPS())); got != want {
+		t.Errorf("boosted fp16 rate = %v, want %v", got, want)
+	}
+	// fp32 math never rides the tensor cores in this model.
+	if got := b.SustainedFLOPSFor(tensor.FP32); got != d.SustainedFLOPS() {
+		t.Errorf("boosted fp32 rate = %v, want unchanged %v", got, d.SustainedFLOPS())
+	}
+	bad := d
+	bad.TensorCoreBoost = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative boost should fail validation")
+	}
+}
+
+func TestClusterTopoDefaultsToFlat(t *testing.T) {
+	c := ABCI()
+	tp := c.Topo()
+	if tp.Name != "flat" {
+		t.Fatalf("unset topology should derive flat, got %q", tp.Name)
+	}
+	if tp.NICs != 1 || tp.NICBW != c.NetBW {
+		t.Errorf("flat topology carries %d NICs at %v, want 1 at %v", tp.NICs, tp.NICBW, c.NetBW)
+	}
+	if tp.DevicesPerNode != c.Node.Devices || tp.IntraBW != c.Node.IntraBW {
+		t.Errorf("intra-node tier %d/%v not filled from node %d/%v",
+			tp.DevicesPerNode, tp.IntraBW, c.Node.Devices, c.Node.IntraBW)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Errorf("derived topology invalid: %v", err)
+	}
+}
+
+func TestClusterWithTopology(t *testing.T) {
+	c := ABCI().WithTopology(topo.ABCI())
+	tp := c.Topo()
+	if tp.Name != "abci" || tp.NICs != 2 {
+		t.Fatalf("Topo() = %+v, want the abci preset", tp)
+	}
+	// The node shape always comes from the cluster, never the preset.
+	if tp.DevicesPerNode != 4 || tp.IntraBW != 50*unit.GBps {
+		t.Errorf("intra tier %d/%v, want 4/50 GB/s", tp.DevicesPerNode, tp.IntraBW)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Errorf("abci topology invalid: %v", err)
+	}
+	// Resizing the cluster preserves the topology.
+	if got := c.WithDevices(512).Topo().Name; got != "abci" {
+		t.Errorf("WithDevices dropped the topology: %q", got)
 	}
 }

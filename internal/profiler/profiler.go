@@ -140,7 +140,10 @@ func New(g *graph.Graph, node hw.Node, opts Options) (*Profile, error) {
 		return nil, err
 	}
 	segs := g.Segments(opts.MaxOpen)
-	rate := node.Device.SustainedFLOPS()
+	// Compute times follow the training dtype: an fp16 profile rides the
+	// device's tensor-core rate when the boost is enabled (off by
+	// default, holding rates constant across precisions).
+	rate := node.Device.SustainedFLOPSFor(opts.DType)
 	swapBW := hw.SwapThroughput(node)
 	elem := int64(opts.DType.Size())
 	batch := int64(opts.Batch)

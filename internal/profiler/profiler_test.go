@@ -234,3 +234,38 @@ func TestFP16HalvesFootprints(t *testing.T) {
 		}
 	}
 }
+
+func TestTensorCoreBoostSpeedsUpFP16Profile(t *testing.T) {
+	g := model.SmallCNN()
+	plain := hw.ABCINode()
+	boosted := plain
+	boosted.Device = boosted.Device.WithTensorCores(4)
+
+	base, err := New(g, plain, Options{Batch: 32, DType: tensor.FP16})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fast, err := New(g, boosted, Options{Batch: 32, DType: tensor.FP16})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	bf, bb, _ := base.Totals()
+	ff, fb, _ := fast.Totals()
+	if ff*4 != bf || fb*4 != bb {
+		t.Errorf("4x boost should quarter fp16 compute: fwd %v->%v, bwd %v->%v", bf, ff, bb, fb)
+	}
+	// fp32 profiles never see the boost.
+	b32, err := New(g, plain, Options{Batch: 32})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	f32, err := New(g, boosted, Options{Batch: 32})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	gf, gb, _ := b32.Totals()
+	hf, hb, _ := f32.Totals()
+	if gf != hf || gb != hb {
+		t.Error("tensor-core boost must not change fp32 compute times")
+	}
+}

@@ -1,0 +1,240 @@
+package topo
+
+import (
+	"fmt"
+
+	"karma/internal/unit"
+)
+
+// Xfer is the communication-backend envelope a route is costed under:
+// the per-step software latency and the achieved fraction of link
+// bandwidth. It mirrors the performance fields of comm.Backend so the
+// topology layer stays free of the collective façade built on top of it.
+type Xfer struct {
+	Latency unit.Seconds
+	Eff     float64
+}
+
+// Hop is one link on a route: the bandwidth the route may use on it
+// (after contention and oversubscription) and the latency it adds beyond
+// the backend's per-step cost.
+type Hop struct {
+	Name    string
+	BW      unit.BytesPerSec
+	Latency unit.Seconds
+}
+
+// Route is the ordered sequence of links one transfer crosses. A
+// transfer is paced by the bottleneck hop and pays every hop's latency.
+type Route struct {
+	Hops []Hop
+}
+
+// Bottleneck returns the narrowest hop bandwidth (0 for an empty route).
+func (r Route) Bottleneck() unit.BytesPerSec {
+	var bw unit.BytesPerSec
+	for i, h := range r.Hops {
+		if i == 0 || h.BW < bw {
+			bw = h.BW
+		}
+	}
+	return bw
+}
+
+// Latency returns the summed hop latency of the route.
+func (r Route) Latency() unit.Seconds {
+	var l unit.Seconds
+	for _, h := range r.Hops {
+		l += h.Latency
+	}
+	return l
+}
+
+// Validate reports a malformed route: no hops, a repeated hop (a loop),
+// or a hop with non-positive bandwidth or negative latency. The fuzz
+// harness holds every route the engine emits to this contract.
+func (r Route) Validate() error {
+	if len(r.Hops) == 0 {
+		return fmt.Errorf("topo: empty route")
+	}
+	seen := map[string]bool{}
+	for _, h := range r.Hops {
+		if seen[h.Name] {
+			return fmt.Errorf("topo: route revisits hop %q (loop)", h.Name)
+		}
+		seen[h.Name] = true
+		if h.BW <= 0 {
+			return fmt.Errorf("topo: hop %q has non-positive bandwidth %v", h.Name, h.BW)
+		}
+		if h.Latency < 0 {
+			return fmt.Errorf("topo: hop %q has negative latency %v", h.Name, h.Latency)
+		}
+	}
+	return nil
+}
+
+// Engine routes collectives over a topology. Concurrent is the number of
+// collectives simultaneously driving each node's egress links — the
+// in-core hybrids run one shard collective per device, so every node
+// injects Concurrent rings at once and each gets a 1/Concurrent share.
+// Intra-node traffic does not contend: the device tier is a switched
+// per-device fabric (NVLink), not a shared bus.
+type Engine struct {
+	T Topology
+	// Concurrent collectives sharing the node egress; <= 0 means 1.
+	Concurrent int
+}
+
+func (e Engine) conc() float64 {
+	if e.Concurrent <= 1 {
+		return 1
+	}
+	return float64(e.Concurrent)
+}
+
+// devicesPerNode defends against presets whose intra-node tier was never
+// filled in (hw.Cluster.Topo() normally does).
+func (e Engine) devicesPerNode() int {
+	if e.T.DevicesPerNode < 1 {
+		return 1
+	}
+	return e.T.DevicesPerNode
+}
+
+// IntraRoute returns the device-to-device path inside one node.
+func (e Engine) IntraRoute() Route {
+	return Route{Hops: []Hop{{Name: "nvlink", BW: e.T.IntraBW}}}
+}
+
+// InterRoute returns the node-to-node path: the NIC tier at this
+// collective's share of the aggregate egress, then one hop per switch
+// traversal beyond the first, each paying the port-to-port latency and —
+// past the leaf — the oversubscribed uplink share.
+func (e Engine) InterRoute() Route {
+	share := unit.BytesPerSec(float64(e.T.NodeBW()) / e.conc())
+	hops := []Hop{{Name: "nic", BW: share}}
+	for h := 2; h <= e.T.SwitchHops; h++ {
+		hops = append(hops, Hop{
+			Name:    fmt.Sprintf("switch%d", h),
+			BW:      unit.BytesPerSec(float64(share) / e.T.Oversub),
+			Latency: e.T.HopLatency,
+		})
+	}
+	return Route{Hops: hops}
+}
+
+// effBW folds the backend's achieved fraction into a route's bottleneck.
+func effBW(r Route, x Xfer) unit.BytesPerSec {
+	return unit.BytesPerSec(float64(r.Bottleneck()) * x.Eff)
+}
+
+// stepLatency is the per-step latency of a collective over the route:
+// the backend's software latency plus every extra switch traversal.
+func stepLatency(r Route, x Xfer) unit.Seconds {
+	return x.Latency + r.Latency()
+}
+
+func checkSize(n unit.Bytes) {
+	if n < 0 {
+		panic(fmt.Sprintf("topo: negative size %d", n))
+	}
+}
+
+// Ring returns the ring all-reduce time for n bytes among p node-level
+// endpoints over the inter-node route: 2(p-1) steps each moving n/p
+// bytes across the route's bottleneck and paying its latency.
+func (e Engine) Ring(n unit.Bytes, p int, x Xfer) unit.Seconds {
+	if p <= 1 || n == 0 {
+		return 0
+	}
+	checkSize(n)
+	r := e.InterRoute()
+	steps := 2 * (p - 1)
+	chunk := unit.Bytes(float64(n) / float64(p))
+	per := unit.TransferTime(chunk, effBW(r, x), stepLatency(r, x))
+	return unit.Seconds(float64(steps)) * per
+}
+
+// ReduceScatter returns the time to reduce n bytes and leave each of the
+// p endpoints its n/p shard: (p-1) ring steps — half an all-reduce.
+func (e Engine) ReduceScatter(n unit.Bytes, p int, x Xfer) unit.Seconds {
+	if p <= 1 || n == 0 {
+		return 0
+	}
+	checkSize(n)
+	r := e.InterRoute()
+	chunk := unit.Bytes(float64(n) / float64(p))
+	per := unit.TransferTime(chunk, effBW(r, x), stepLatency(r, x))
+	return unit.Seconds(float64(p-1)) * per
+}
+
+// AllGather returns the time for each endpoint to collect all p shards
+// of n total bytes — the same cost structure as ReduceScatter.
+func (e Engine) AllGather(n unit.Bytes, p int, x Xfer) unit.Seconds {
+	return e.ReduceScatter(n, p, x)
+}
+
+// Hierarchical composes an all-reduce over the hierarchy: an intra-node
+// reduce over the device tier, a ring over the nodes' inter-node routes,
+// and an intra-node broadcast — the standard multi-rail scheme on
+// ABCI-like machines. gpus is the total participating device count.
+func (e Engine) Hierarchical(n unit.Bytes, gpus int, x Xfer) unit.Seconds {
+	if gpus <= 1 || n == 0 {
+		return 0
+	}
+	checkSize(n)
+	devs := e.devicesPerNode()
+	perNode := devs
+	if gpus < perNode {
+		perNode = gpus
+	}
+	nodes := (gpus + devs - 1) / devs
+	var t unit.Seconds
+	if perNode > 1 {
+		// Reduce + broadcast: (perNode-1)/perNode of the payload each way
+		// over the intra-node route.
+		frac := unit.Bytes(float64(n) * float64(perNode-1) / float64(perNode))
+		ir := e.IntraRoute()
+		t += 2 * unit.TransferTime(frac, effBW(ir, x), stepLatency(ir, x))
+	}
+	if nodes > 1 {
+		t += e.Ring(n, nodes, x)
+	}
+	return t
+}
+
+// PointToPoint returns the time to move n bytes between two nodes over
+// the inter-node route: one message, one backend latency, every switch
+// traversal paid.
+func (e Engine) PointToPoint(n unit.Bytes, x Xfer) unit.Seconds {
+	if n == 0 {
+		return 0
+	}
+	checkSize(n)
+	r := e.InterRoute()
+	return unit.TransferTime(n, effBW(r, x), stepLatency(r, x))
+}
+
+// PointToPointIntra returns the time to move n bytes between two devices
+// of one node over the device tier.
+func (e Engine) PointToPointIntra(n unit.Bytes, x Xfer) unit.Seconds {
+	if n == 0 {
+		return 0
+	}
+	checkSize(n)
+	r := e.IntraRoute()
+	return unit.TransferTime(n, effBW(r, x), stepLatency(r, x))
+}
+
+// MergeThreshold returns the payload at which a p-endpoint ring's
+// bandwidth term matches its aggregated per-step latency over the
+// inter-node route — the Shi et al. grouping rule's merge bound: below
+// it, merging blocks into one collective is free.
+func (e Engine) MergeThreshold(p int, x Xfer) unit.Bytes {
+	steps := 2 * (p - 1)
+	if steps <= 0 {
+		steps = 2
+	}
+	r := e.InterRoute()
+	return unit.Bytes(float64(steps) * float64(stepLatency(r, x)) * float64(effBW(r, x)))
+}

@@ -1,0 +1,71 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"karma/internal/unit"
+)
+
+// FuzzTopoRoute holds the routing engine to its structural contract for
+// arbitrary valid topologies: every route it emits is loop-free with
+// positive finite bandwidth on each hop, and every collective primitive
+// costed over it is non-negative and finite. The committed corpus seeds
+// the presets and the contended/oversubscribed corners; the nightly job
+// lets the fuzzer explore beyond them.
+func FuzzTopoRoute(f *testing.F) {
+	// Presets and corners.
+	f.Add(4, int64(50e9), 1, int64(12.5e9), 1, int64(0), 1.0, 1, int64(1<<20))     // flat
+	f.Add(4, int64(50e9), 2, int64(12.5e9), 3, int64(100), 1.0, 4, int64(256<<20)) // abci, contended
+	f.Add(4, int64(50e9), 2, int64(12.5e9), 3, int64(100), 4.0, 1, int64(1<<30))   // fattree:4
+	f.Add(8, int64(300e9), 4, int64(25e9), 2, int64(500), 2.5, 8, int64(1<<10))    // dense node
+	f.Add(1, int64(0), 1, int64(5e9), 1, int64(0), 1.0, 1, int64(0))               // single-device nodes
+	f.Fuzz(func(t *testing.T, devices int, intraBW int64, nics int, nicBW int64, hops int, hopLatNs int64, oversub float64, conc int, payload int64) {
+		tp := Topology{
+			Name:           "fuzz",
+			DevicesPerNode: devices,
+			IntraBW:        unit.BytesPerSec(intraBW),
+			NICs:           nics,
+			NICBW:          unit.BytesPerSec(nicBW),
+			SwitchHops:     hops,
+			HopLatency:     unit.Seconds(hopLatNs) * 1e-9,
+			Oversub:        oversub,
+		}
+		if tp.Validate() != nil {
+			t.Skip() // Validate rejects NaN/Inf ratios and every other malformation
+		}
+		if hops > 64 || conc < 1 || conc > 1<<16 || payload < 0 {
+			t.Skip() // cap the fabric depth and contention to plausible hardware
+		}
+		e := Engine{T: tp, Concurrent: conc}
+
+		inter := e.InterRoute()
+		if err := inter.Validate(); err != nil {
+			t.Fatalf("inter route of valid topology %+v invalid: %v", tp, err)
+		}
+		if len(inter.Hops) != tp.SwitchHops {
+			t.Fatalf("inter route crosses %d hops, want %d", len(inter.Hops), tp.SwitchHops)
+		}
+		if tp.DevicesPerNode > 1 {
+			if err := e.IntraRoute().Validate(); err != nil {
+				t.Fatalf("intra route invalid: %v", err)
+			}
+		}
+
+		n := unit.Bytes(payload)
+		x := Xfer{Latency: 5e-6, Eff: 0.9}
+		for name, got := range map[string]unit.Seconds{
+			"ring":         e.Ring(n, 16, x),
+			"rs":           e.ReduceScatter(n, 16, x),
+			"hierarchical": e.Hierarchical(n, 64, x),
+			"p2p":          e.PointToPoint(n, x),
+		} {
+			if got < 0 || math.IsNaN(float64(got)) || math.IsInf(float64(got), 0) {
+				t.Fatalf("%s over %+v = %v; want finite non-negative", name, tp, got)
+			}
+		}
+		if th := e.MergeThreshold(16, x); th < 0 {
+			t.Fatalf("negative merge threshold %v", th)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"karma/internal/unit"
+)
+
+// These property tests pin the refactor contract of the ROADMAP's
+// interconnect lever: (1) the Flat topology reproduces the seed's
+// contended-ring closed forms bit-for-bit, so every golden built on the
+// old comm package survives the topo rewrite unchanged; (2) the
+// hierarchical route never loses to the flat contended device-level ring
+// it replaced; (3) collective cost moves the right way along every
+// topology axis (rails, oversubscription, contention, payload).
+
+const propIters = 2000
+
+func iters(t *testing.T) int {
+	if testing.Short() {
+		return 200
+	}
+	return propIters
+}
+
+// --- the seed model's closed forms, reproduced verbatim ---
+
+// seedRingAllReduce is the pre-topo comm.RingAllReduce.
+func seedRingAllReduce(n unit.Bytes, p int, bw unit.BytesPerSec, lat unit.Seconds, beff float64) unit.Seconds {
+	if p <= 1 || n == 0 {
+		return 0
+	}
+	eff := unit.BytesPerSec(float64(bw) * beff)
+	steps := 2 * (p - 1)
+	chunk := unit.Bytes(float64(n) / float64(p))
+	per := unit.TransferTime(chunk, eff, lat)
+	return unit.Seconds(float64(steps)) * per
+}
+
+// seedReduceScatter is the pre-topo comm.ReduceScatter.
+func seedReduceScatter(n unit.Bytes, p int, bw unit.BytesPerSec, lat unit.Seconds, beff float64) unit.Seconds {
+	if p <= 1 || n == 0 {
+		return 0
+	}
+	eff := unit.BytesPerSec(float64(bw) * beff)
+	chunk := unit.Bytes(float64(n) / float64(p))
+	per := unit.TransferTime(chunk, eff, lat)
+	return unit.Seconds(float64(p-1)) * per
+}
+
+// seedHierarchical is the pre-topo comm.HierarchicalAllReduce over a
+// cluster with the given node shape and injection bandwidth.
+func seedHierarchical(n unit.Bytes, devices int, intraBW, netBW unit.BytesPerSec, gpus int, lat unit.Seconds, beff float64) unit.Seconds {
+	if gpus <= 1 || n == 0 {
+		return 0
+	}
+	perNode := devices
+	if gpus < perNode {
+		perNode = gpus
+	}
+	nodes := (gpus + devices - 1) / devices
+	var t unit.Seconds
+	if perNode > 1 {
+		frac := unit.Bytes(float64(n) * float64(perNode-1) / float64(perNode))
+		eff := unit.BytesPerSec(float64(intraBW) * beff)
+		t += 2 * unit.TransferTime(frac, eff, lat)
+	}
+	if nodes > 1 {
+		t += seedRingAllReduce(n, nodes, netBW, lat, beff)
+	}
+	return t
+}
+
+// seedPointToPoint is the pre-topo comm.PointToPoint.
+func seedPointToPoint(n unit.Bytes, bw unit.BytesPerSec, lat unit.Seconds, beff float64) unit.Seconds {
+	if n == 0 {
+		return 0
+	}
+	eff := unit.BytesPerSec(float64(bw) * beff)
+	return unit.TransferTime(n, eff, lat)
+}
+
+func randXfer(r *rand.Rand) Xfer {
+	return Xfer{
+		Latency: unit.Seconds(1e-6 + 20e-6*r.Float64()),
+		Eff:     0.7 + 0.25*r.Float64(),
+	}
+}
+
+// TestFlatEquivalenceExact: on a Flat topology the engine's every
+// primitive equals the seed closed form bit-for-bit — including the
+// contended share (NetBW/Devices) the hybrids' exchange used to hard
+// code. This is the backend-equivalence property the acceptance criteria
+// name: old ring numbers reproduced exactly.
+func TestFlatEquivalenceExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < iters(t); i++ {
+		x := randXfer(r)
+		bw := unit.BytesPerSec(1e9 + 30e9*r.Float64())
+		intraBW := unit.BytesPerSec(25e9 + 250e9*r.Float64())
+		devices := 1 + r.Intn(8)
+		p := 1 + r.Intn(512)
+		gpus := 1 + r.Intn(2048)
+		n := unit.Bytes(r.Int63n(1 << 30))
+		conc := 1 + r.Intn(8)
+
+		flat := Flat(bw).WithNode(devices, intraBW)
+		e := Engine{T: flat}
+		if got, want := e.Ring(n, p, x), seedRingAllReduce(n, p, bw, x.Latency, x.Eff); got != want {
+			t.Fatalf("Ring(%v, %d) = %v, seed %v", n, p, got, want)
+		}
+		if got, want := e.ReduceScatter(n, p, x), seedReduceScatter(n, p, bw, x.Latency, x.Eff); got != want {
+			t.Fatalf("ReduceScatter(%v, %d) = %v, seed %v", n, p, got, want)
+		}
+		if got, want := e.Hierarchical(n, gpus, x), seedHierarchical(n, devices, intraBW, bw, gpus, x.Latency, x.Eff); got != want {
+			t.Fatalf("Hierarchical(%v, %d) = %v, seed %v", n, gpus, got, want)
+		}
+		if got, want := e.PointToPoint(n, x), seedPointToPoint(n, bw, x.Latency, x.Eff); got != want {
+			t.Fatalf("PointToPoint(%v) = %v, seed %v", n, got, want)
+		}
+		// The contended share: Concurrent collectives over one NIC carry
+		// exactly the seed's bw/conc ring.
+		ce := Engine{T: flat, Concurrent: conc}
+		share := bw / unit.BytesPerSec(float64(conc))
+		if got, want := ce.Ring(n, p, x), seedRingAllReduce(n, p, share, x.Latency, x.Eff); got != want {
+			t.Fatalf("contended Ring(%v, %d, conc=%d) = %v, seed %v", n, p, conc, got, want)
+		}
+	}
+}
+
+// randTopology draws a hardware-plausible hierarchy: rails no faster in
+// aggregate than the intra-node fabric (NVLink outruns the NICs on every
+// machine this models).
+func randTopology(r *rand.Rand) Topology {
+	tp := Topology{
+		Name:       "rand",
+		NICs:       1 + r.Intn(4),
+		NICBW:      unit.BytesPerSec(5e9 + 20e9*r.Float64()),
+		SwitchHops: 1 + r.Intn(3),
+		HopLatency: unit.Seconds(500e-9 * r.Float64()),
+		Oversub:    1 + 3*r.Float64(),
+	}
+	devices := 2 + r.Intn(7)
+	node := float64(tp.NodeBW())
+	intra := unit.BytesPerSec(node * (1 + 5*r.Float64()))
+	return tp.WithNode(devices, intra)
+}
+
+// TestHierarchicalBeatsContendedDeviceRing: for any plausible topology
+// (intra-node fabric at least as fast as the aggregate rails) and any
+// multi-node payload, the hierarchical route — reduce intra, ring inter
+// at full node egress, broadcast intra — never loses to the seed's
+// approximation of a flat device-level ring in which every device is a
+// ring endpoint contending for its node's egress. Fewer, fatter network
+// steps plus NVLink staging dominate.
+func TestHierarchicalBeatsContendedDeviceRing(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < iters(t); i++ {
+		tp := randTopology(r)
+		x := randXfer(r)
+		nodes := 2 + r.Intn(255)
+		gpus := nodes * tp.DevicesPerNode
+		n := unit.Bytes(1 + r.Int63n(1<<30))
+		hier := Engine{T: tp}.Hierarchical(n, gpus, x)
+		flat := Engine{T: tp, Concurrent: tp.DevicesPerNode}.Ring(n, gpus, x)
+		if hier > flat {
+			t.Fatalf("topology %+v gpus=%d n=%v: hierarchical %v loses to contended flat ring %v",
+				tp, gpus, n, hier, flat)
+		}
+	}
+}
+
+// TestOversubMonotone: a more oversubscribed fabric is never faster, and
+// a non-blocking fabric (ratio 1) matches the un-throttled route.
+func TestOversubMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < iters(t); i++ {
+		tp := randTopology(r)
+		tp.SwitchHops = 3 // oversubscription only binds past the leaf
+		x := randXfer(r)
+		n := unit.Bytes(1 + r.Int63n(1<<28))
+		p := 2 + r.Intn(128)
+		lo, hi := tp, tp
+		lo.Oversub = 1 + 2*r.Float64()
+		hi.Oversub = lo.Oversub + 2*r.Float64()
+		tLo := Engine{T: lo}.Ring(n, p, x)
+		tHi := Engine{T: hi}.Ring(n, p, x)
+		if tHi < tLo {
+			t.Fatalf("oversub %g ring %v faster than oversub %g ring %v", hi.Oversub, tHi, lo.Oversub, tLo)
+		}
+	}
+}
+
+// TestRailsMonotone: adding NICs never slows a collective down, and
+// strictly speeds up a bandwidth-bound one.
+func TestRailsMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < iters(t); i++ {
+		tp := randTopology(r)
+		x := randXfer(r)
+		n := unit.Bytes(1 + r.Int63n(1<<28))
+		p := 2 + r.Intn(128)
+		more := tp
+		more.NICs = tp.NICs + 1 + r.Intn(3)
+		t1 := Engine{T: tp}.Ring(n, p, x)
+		t2 := Engine{T: more}.Ring(n, p, x)
+		if t2 > t1 {
+			t.Fatalf("%d rails ring %v slower than %d rails %v", more.NICs, t2, tp.NICs, t1)
+		}
+	}
+	// Strict case: a fat payload on one vs two ABCI rails.
+	one := abciNode(ABCI())
+	one.NICs = 1
+	fat := unit.Bytes(512 << 20)
+	if t1, t2 := (Engine{T: one}).Ring(fat, 64, nccl), (Engine{T: abciNode(ABCI())}).Ring(fat, 64, nccl); t2 >= t1 {
+		t.Errorf("second rail should strictly speed up a bandwidth-bound ring: 1 rail %v, 2 rails %v", t1, t2)
+	}
+}
+
+// TestContentionMonotone: more collectives sharing the egress never get
+// cheaper, and payload cost is monotone in size.
+func TestContentionMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < iters(t); i++ {
+		tp := randTopology(r)
+		x := randXfer(r)
+		n := unit.Bytes(1 + r.Int63n(1<<28))
+		p := 2 + r.Intn(128)
+		k := 1 + r.Intn(8)
+		tSole := Engine{T: tp, Concurrent: k}.Ring(n, p, x)
+		tMore := Engine{T: tp, Concurrent: k + 1 + r.Intn(4)}.Ring(n, p, x)
+		if tMore < tSole {
+			t.Fatalf("more contention got cheaper: %v < %v", tMore, tSole)
+		}
+		bigger := n + unit.Bytes(1+r.Int63n(1<<26))
+		sole := Engine{T: tp}
+		if sole.Hierarchical(bigger, p*2, x) < sole.Hierarchical(n, p*2, x) {
+			t.Fatalf("hierarchical not monotone in payload")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package topo models the cluster interconnect as a hierarchical graph:
+// a device tier inside each node (NVLink/PCIe), a node-egress tier of one
+// or more NICs (rails), and a switched fabric tier with per-hop latency
+// and a leaf-uplink oversubscription factor. The collective cost engine
+// (engine.go) routes ring, hierarchical, reduce-scatter/all-gather and
+// point-to-point transfers over this graph and accounts for contention
+// when concurrent collectives share a node's egress links.
+//
+// The seed model costed every collective against a single contended flat
+// ring over hw.Cluster.NetBW; Flat reproduces those numbers exactly (the
+// property tests pin bit-for-bit equivalence), so the presets below are a
+// strict generalization: ABCI is Table II's rail-optimized EDR InfiniBand
+// fat tree (2 NICs per 4-GPU node), and FatTree asks the oversubscribed
+// cloud-style what-if the paper's machine could not.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"karma/internal/unit"
+)
+
+// Topology describes the interconnect hierarchy of a cluster. The
+// intra-node fields are filled in from the owning hw.Node by
+// hw.Cluster.Topo(), so presets only specify the inter-node tiers; a
+// hand-built Topology may set them directly.
+type Topology struct {
+	// Name identifies the model ("flat", "abci", "fattree:2", ...).
+	Name string
+
+	// DevicesPerNode is the device count sharing one node's egress.
+	DevicesPerNode int
+	// IntraBW is the device-to-device bandwidth inside a node (NVLink).
+	IntraBW unit.BytesPerSec
+
+	// NICs is the number of injection rails per node; NICBW the bandwidth
+	// of each. A node's aggregate egress is NICs x NICBW.
+	NICs  int
+	NICBW unit.BytesPerSec
+
+	// SwitchHops is the number of switch traversals on a node-to-node
+	// path: 1 models a single shared switch (the flat seed model), 3 a
+	// leaf-spine-leaf fat tree. HopLatency is the port-to-port latency of
+	// each traversal beyond the first (the first is folded into the
+	// communication backend's per-step latency, matching the seed model).
+	SwitchHops int
+	HopLatency unit.Seconds
+
+	// Oversub is the leaf-uplink oversubscription ratio (>= 1): paths
+	// crossing more than one switch contend for uplinks provisioned at
+	// 1/Oversub of the downlink bandwidth. 1 is a non-blocking fabric.
+	Oversub float64
+}
+
+// IsZero reports whether the topology is unset (hw.Cluster.Topo() then
+// derives the flat model from the cluster's legacy NetBW field).
+func (t Topology) IsZero() bool { return t == Topology{} }
+
+// Validate reports configuration errors. The intra-node fields may be
+// zero (presets before hw.Cluster.Topo() fills them); everything else
+// must describe a usable fabric.
+func (t Topology) Validate() error {
+	if t.DevicesPerNode < 0 || t.IntraBW < 0 {
+		return fmt.Errorf("topo: %s: negative intra-node tier (devices=%d intra=%v)", t.Name, t.DevicesPerNode, t.IntraBW)
+	}
+	if t.DevicesPerNode > 1 && t.IntraBW == 0 {
+		return fmt.Errorf("topo: %s: %d devices per node need an intra-node link", t.Name, t.DevicesPerNode)
+	}
+	if t.NICs < 1 || t.NICBW <= 0 {
+		return fmt.Errorf("topo: %s: bad egress tier (%d NICs at %v)", t.Name, t.NICs, t.NICBW)
+	}
+	if t.SwitchHops < 1 {
+		return fmt.Errorf("topo: %s: a node-to-node path crosses at least one switch, got %d", t.Name, t.SwitchHops)
+	}
+	if !(t.HopLatency >= 0) {
+		return fmt.Errorf("topo: %s: bad hop latency %v", t.Name, t.HopLatency)
+	}
+	if !(t.Oversub >= 1) || math.IsInf(t.Oversub, 0) {
+		return fmt.Errorf("topo: %s: oversubscription ratio %g must be a finite value >= 1", t.Name, t.Oversub)
+	}
+	return nil
+}
+
+// NodeBW returns the aggregate injection bandwidth of one node's egress
+// tier (all rails together).
+func (t Topology) NodeBW() unit.BytesPerSec {
+	return unit.BytesPerSec(float64(t.NICs)) * t.NICBW
+}
+
+// WithNode returns a copy with the intra-node tier filled in from the
+// owning node's shape (hw.Cluster.Topo() calls this so the topology and
+// the cluster never disagree about the node).
+func (t Topology) WithNode(devices int, intraBW unit.BytesPerSec) Topology {
+	t.DevicesPerNode = devices
+	t.IntraBW = intraBW
+	return t
+}
+
+// Flat returns the seed model's degenerate topology: one NIC carrying the
+// whole injection bandwidth into a single non-blocking switch with no
+// extra hop latency. Collective costs over Flat reproduce the old
+// contended-ring closed forms exactly (pinned by the equivalence property
+// tests), which is what lets the existing goldens hold across the
+// refactor.
+func Flat(netBW unit.BytesPerSec) Topology {
+	return Topology{Name: "flat", NICs: 1, NICBW: netBW, SwitchHops: 1, Oversub: 1}
+}
+
+// ABCI returns the interconnect of the paper's evaluation machine
+// (Table II): each 4-GPU node injects over two EDR InfiniBand rails
+// (12.5 GB/s each) into a rail-optimized full-bisection fat tree —
+// leaf, spine, leaf, at ~100 ns port-to-port per extra hop. Against the
+// flat model this doubles the egress a node's concurrent shard
+// collectives contend for.
+func ABCI() Topology {
+	return Topology{
+		Name:       "abci",
+		NICs:       2,
+		NICBW:      12.5 * unit.GBps,
+		SwitchHops: 3,
+		HopLatency: 100e-9,
+		Oversub:    1,
+	}
+}
+
+// FatTree returns an ABCI-shaped fabric whose leaf uplinks are
+// oversubscribed by the given ratio — the cloud-style economy fabric the
+// paper's machine could not ask about. FatTree(1) is ABCI.
+func FatTree(ratio float64) Topology {
+	t := ABCI()
+	t.Name = fmt.Sprintf("fattree:%g", ratio)
+	t.Oversub = ratio
+	return t
+}
+
+// Parse maps a -topo flag value to a topology: "flat" (the zero value —
+// the cluster derives its legacy single-ring model), "abci", or
+// "fattree:<ratio>".
+func Parse(s string) (Topology, error) {
+	switch {
+	case s == "flat" || s == "":
+		return Topology{}, nil
+	case s == "abci":
+		return ABCI(), nil
+	case strings.HasPrefix(s, "fattree:"):
+		ratio, err := strconv.ParseFloat(strings.TrimPrefix(s, "fattree:"), 64)
+		if err != nil || !(ratio >= 1) || math.IsInf(ratio, 0) {
+			return Topology{}, fmt.Errorf("topo: bad fat-tree ratio in %q (want fattree:<ratio>, finite ratio >= 1)", s)
+		}
+		return FatTree(ratio), nil
+	default:
+		return Topology{}, fmt.Errorf("topo: unknown topology %q (have flat, abci, fattree:<ratio>)", s)
+	}
+}

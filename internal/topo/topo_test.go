@@ -1,0 +1,181 @@
+package topo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"karma/internal/unit"
+)
+
+var nccl = Xfer{Latency: 5e-6, Eff: 0.90}
+
+// abciNode fills the preset's intra-node tier the way hw.Cluster.Topo()
+// does for the paper's machine.
+func abciNode(t Topology) Topology { return t.WithNode(4, 50*unit.GBps) }
+
+func TestPresetsValidate(t *testing.T) {
+	for _, tp := range []Topology{
+		abciNode(Flat(12.5 * unit.GBps)),
+		abciNode(ABCI()),
+		abciNode(FatTree(3)),
+	} {
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s: %v", tp.Name, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := abciNode(ABCI())
+	cases := map[string]func(*Topology){
+		"no NICs":        func(tp *Topology) { tp.NICs = 0 },
+		"zero NIC bw":    func(tp *Topology) { tp.NICBW = 0 },
+		"no switch hops": func(tp *Topology) { tp.SwitchHops = 0 },
+		"hop latency":    func(tp *Topology) { tp.HopLatency = -1 },
+		"oversub < 1":    func(tp *Topology) { tp.Oversub = 0.5 },
+		"oversub NaN":    func(tp *Topology) { tp.Oversub = math.NaN() },
+		"oversub Inf":    func(tp *Topology) { tp.Oversub = math.Inf(1) },
+		"hop lat NaN":    func(tp *Topology) { tp.HopLatency = unit.Seconds(math.NaN()) },
+		"devices < 0":    func(tp *Topology) { tp.DevicesPerNode = -1 },
+		"multi-dev node": func(tp *Topology) { tp.IntraBW = 0 },
+	}
+	for name, mutate := range cases {
+		tp := base
+		mutate(&tp)
+		if err := tp.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestNodeBWAggregatesRails(t *testing.T) {
+	if got, want := ABCI().NodeBW(), 25*unit.GBps; got != want {
+		t.Errorf("ABCI node bandwidth = %v, want %v (2 EDR rails)", got, want)
+	}
+	if got := Flat(12.5 * unit.GBps).NodeBW(); got != 12.5*unit.GBps {
+		t.Errorf("flat node bandwidth = %v, want the injection bandwidth", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	if tp, err := Parse("flat"); err != nil || !tp.IsZero() {
+		t.Errorf("Parse(flat) = %+v, %v; want zero topology", tp, err)
+	}
+	if tp, err := Parse("abci"); err != nil || tp.Name != "abci" || tp.NICs != 2 {
+		t.Errorf("Parse(abci) = %+v, %v", tp, err)
+	}
+	tp, err := Parse("fattree:3")
+	if err != nil || tp.Oversub != 3 {
+		t.Errorf("Parse(fattree:3) = %+v, %v", tp, err)
+	}
+	for _, bad := range []string{"mesh", "fattree:x", "fattree:0.5", "fattree:nan", "fattree:inf", "fattree:-inf"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestInterRouteHopsAndShares(t *testing.T) {
+	e := Engine{T: abciNode(ABCI()), Concurrent: 4}
+	r := e.InterRoute()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hops) != 3 {
+		t.Fatalf("ABCI inter route crosses %d hops, want 3 (nic, leaf->spine, spine->leaf)", len(r.Hops))
+	}
+	// 2 rails x 12.5 GB/s shared by 4 concurrent collectives.
+	if got, want := r.Hops[0].BW, 6.25*unit.GBps; got != want {
+		t.Errorf("NIC share = %v, want %v", got, want)
+	}
+	if got, want := r.Latency(), unit.Seconds(200e-9); got != want {
+		t.Errorf("route latency = %v, want %v (two extra switch hops)", got, want)
+	}
+	if r.Bottleneck() != 6.25*unit.GBps {
+		t.Errorf("full-bisection bottleneck = %v, want the NIC share", r.Bottleneck())
+	}
+}
+
+func TestOversubThrottlesUplinkHops(t *testing.T) {
+	e := Engine{T: abciNode(FatTree(4))}
+	r := e.InterRoute()
+	if got, want := r.Bottleneck(), 25*unit.GBps/4; got != want {
+		t.Errorf("4:1 fat-tree bottleneck = %v, want %v", got, want)
+	}
+	// The NIC hop itself is not oversubscribed.
+	if got, want := r.Hops[0].BW, 25*unit.GBps; got != want {
+		t.Errorf("NIC hop = %v, want %v", got, want)
+	}
+}
+
+func TestRingZeroCases(t *testing.T) {
+	e := Engine{T: abciNode(ABCI())}
+	if e.Ring(1<<20, 1, nccl) != 0 {
+		t.Error("single participant needs no exchange")
+	}
+	if e.Ring(0, 8, nccl) != 0 {
+		t.Error("zero payload needs no exchange")
+	}
+	if e.Hierarchical(1<<20, 1, nccl) != 0 {
+		t.Error("one GPU needs no hierarchy")
+	}
+	if e.PointToPoint(0, nccl) != 0 || e.PointToPointIntra(0, nccl) != 0 {
+		t.Error("zero-byte transfer is free")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative payload should panic")
+		}
+	}()
+	e.Ring(-1, 4, nccl)
+}
+
+func TestReduceScatterAllGatherHalveRing(t *testing.T) {
+	e := Engine{T: abciNode(ABCI()), Concurrent: 2}
+	n := unit.Bytes(1 << 28)
+	rs := e.ReduceScatter(n, 16, nccl)
+	ag := e.AllGather(n, 16, nccl)
+	if rs != ag {
+		t.Errorf("reduce-scatter %v != all-gather %v", rs, ag)
+	}
+	if got, want := rs+ag, e.Ring(n, 16, nccl); got != want {
+		t.Errorf("rs+ag = %v, want the full all-reduce %v", got, want)
+	}
+}
+
+func TestABCIRailsBeatFlatShare(t *testing.T) {
+	// The seed gave each of a node's 4 concurrent shard collectives
+	// NetBW/4; ABCI's two rails double every share, so the contended
+	// exchange is strictly faster under the real topology.
+	flat := Engine{T: abciNode(Flat(12.5 * unit.GBps)), Concurrent: 4}
+	abci := Engine{T: abciNode(ABCI()), Concurrent: 4}
+	n := unit.Bytes(256 << 20)
+	if f, a := flat.Ring(n, 128, nccl), abci.Ring(n, 128, nccl); a >= f {
+		t.Errorf("ABCI ring %v not faster than flat %v", a, f)
+	}
+}
+
+func TestRouteValidateCatchesLoops(t *testing.T) {
+	r := Route{Hops: []Hop{{Name: "nic", BW: 1}, {Name: "nic", BW: 1}}}
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Errorf("repeated hop should be a loop error, got %v", err)
+	}
+	if err := (Route{}).Validate(); err == nil {
+		t.Error("empty route should be invalid")
+	}
+	if err := (Route{Hops: []Hop{{Name: "x", BW: 0}}}).Validate(); err == nil {
+		t.Error("zero-bandwidth hop should be invalid")
+	}
+}
+
+func TestMergeThresholdGrowsWithEndpoints(t *testing.T) {
+	e := Engine{T: abciNode(ABCI())}
+	if t2, t64 := e.MergeThreshold(2, nccl), e.MergeThreshold(64, nccl); t64 <= t2 {
+		t.Errorf("threshold should grow with ring size: p=2 %v, p=64 %v", t2, t64)
+	}
+	// Degenerate single-endpoint ring still merges at the two-step bound.
+	if e.MergeThreshold(1, nccl) <= 0 {
+		t.Error("threshold must stay positive")
+	}
+}
