@@ -1,0 +1,308 @@
+// Command karma-vet is the multichecker for the repository's
+// domain-aware analyzers (unitcheck, detcheck, plancheck — see
+// internal/analysis). It runs in two modes:
+//
+// Standalone (the CI gate and the usual local invocation):
+//
+//	go run ./cmd/karma-vet ./...
+//	go run ./cmd/karma-vet -checks unitcheck ./internal/dist/
+//
+// As a vet tool, speaking the `go vet -vettool` unit-checker protocol
+// (the go command invokes the tool once per package with a JSON config
+// file, and once with -V=full for cache keying):
+//
+//	go build -o /tmp/karma-vet ./cmd/karma-vet
+//	go vet -vettool=/tmp/karma-vet ./...
+//
+// Findings print as file:line:col: analyzer: message; the exit status
+// is non-zero when any finding is reported. Suppress a genuinely
+// intended spot with the analyzer's directive comment
+// (//karma:unit-ok, //karma:det-ok, //karma:plan-ok), each of which
+// requires a reason.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"karma/internal/analysis"
+	"karma/internal/analysis/detcheck"
+	"karma/internal/analysis/load"
+	"karma/internal/analysis/plancheck"
+	"karma/internal/analysis/unitcheck"
+)
+
+// analyzers is the suite, in output order.
+var analyzers = []*analysis.Analyzer{
+	unitcheck.Analyzer,
+	detcheck.Analyzer,
+	plancheck.Analyzer,
+}
+
+func main() {
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		printVersion()
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		// The go command probes the vettool for pass-through flags; the
+		// suite exposes none to vet, so report an empty set.
+		fmt.Println("[]")
+		return
+	}
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	tests := flag.Bool("tests", true, "analyze in-package _test.go files for analyzers that want them")
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	selected, err := selectAnalyzers(*checks)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// `go vet -vettool` mode: one package per invocation, described
+		// by a JSON config file.
+		found, err := runVetTool(args[0], selected)
+		if err != nil {
+			fatal(err)
+		}
+		if found {
+			os.Exit(2)
+		}
+		return
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	found, err := runStandalone(args, selected, *tests)
+	if err != nil {
+		fatal(err)
+	}
+	if found {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "karma-vet: %v\n", err)
+	os.Exit(1)
+}
+
+func selectAnalyzers(csv string) ([]*analysis.Analyzer, error) {
+	if csv == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: unitcheck, detcheck, plancheck)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// runStandalone loads the patterns itself and applies the suite.
+func runStandalone(patterns []string, selected []*analysis.Analyzer, tests bool) (bool, error) {
+	pkgs, err := load.Packages(".", patterns, tests)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	for _, pkg := range pkgs {
+		if strings.HasPrefix(pkg.ImportPath, "karma/internal/analysis") {
+			// The analyzers' own fixtures deliberately violate the rules.
+			continue
+		}
+		for _, err := range pkg.TypeErrors {
+			return false, fmt.Errorf("%s: type error: %v", pkg.ImportPath, err)
+		}
+		if f, err := runSuite(pkg, selected); err != nil {
+			return false, err
+		} else if f {
+			found = true
+		}
+	}
+	return found, nil
+}
+
+// runSuite applies every applicable analyzer to one loaded package.
+func runSuite(pkg *load.Package, selected []*analysis.Analyzer) (bool, error) {
+	found := false
+	for _, a := range selected {
+		if !a.AppliesTo(pkg.ImportPath) {
+			continue
+		}
+		files := pkg.Files
+		if !a.IncludeTests {
+			files = nil
+			for _, f := range pkg.Files {
+				if !pkg.IsTestFile[f] {
+					files = append(files, f)
+				}
+			}
+		}
+		pass := &analysis.Pass{
+			Fset:       pkg.Fset,
+			Files:      files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			IsTestFile: pkg.IsTestFile,
+		}
+		diags, err := analysis.RunAnalyzer(a, pass)
+		if err != nil {
+			return found, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			found = true
+		}
+	}
+	return found, nil
+}
+
+// vetConfig is the subset of the `go vet -vettool` JSON config the
+// tool consumes. The export-data fields (ImportMap, PackageFile) are
+// ignored: imports are re-resolved from source, which works offline
+// and keeps one loading path for both modes.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool handles one unit-checker invocation.
+func runVetTool(cfgFile string, selected []*analysis.Analyzer) (bool, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return false, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return false, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	// The go command synthesizes test variants as "path [path.test]";
+	// match analyzers against the real import path.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		// No cross-package facts; an empty vetx satisfies the protocol.
+		return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+	if cfg.VetxOnly || strings.HasSuffix(importPath, ".test") {
+		return false, writeVetx()
+	}
+
+	var applicable []*analysis.Analyzer
+	for _, a := range selected {
+		if a.AppliesTo(importPath) {
+			applicable = append(applicable, a)
+		}
+	}
+	if len(applicable) == 0 {
+		return false, writeVetx()
+	}
+
+	testSet := map[string]bool{}
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			testSet[f] = true
+		}
+	}
+	fset := token.NewFileSet()
+	pkg, err := load.Check(fset, load.NewImporter(fset), importPath, cfg.Dir, cfg.GoFiles, testSet)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return false, writeVetx()
+		}
+		return false, err
+	}
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return false, writeVetx()
+	}
+
+	found := false
+	var lines []string
+	for _, a := range applicable {
+		files := pkg.Files
+		if !a.IncludeTests {
+			files = nil
+			for _, f := range pkg.Files {
+				if !pkg.IsTestFile[f] {
+					files = append(files, f)
+				}
+			}
+		}
+		diags, err := analysis.RunAnalyzer(a, &analysis.Pass{
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			IsTestFile: pkg.IsTestFile,
+		})
+		if err != nil {
+			return found, err
+		}
+		for _, d := range diags {
+			lines = append(lines, fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message))
+			found = true
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+	if !found {
+		return false, writeVetx()
+	}
+	return true, nil
+}
+
+// printVersion implements -V=full for the go command's tool-ID cache
+// key: the output must read "<name> version <id>", and the id must
+// change whenever the tool's behavior does — hash the executable.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	id := "devel"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version %s\n", name, id)
+}

@@ -1,0 +1,193 @@
+// Package analysis is a minimal, dependency-free clone of the
+// golang.org/x/tools/go/analysis framework: just enough structure —
+// Analyzer, Pass, Diagnostic — for the karma-vet suite (unitcheck,
+// detcheck, plancheck) to be written in the standard modular-analyzer
+// style without pulling x/tools into the module (the build environment
+// is offline; the toolchain ships only the standard library).
+//
+// The deliberate differences from x/tools are small: there is no fact
+// propagation (every analyzer here is a single-package syntactic or
+// type-based check), no SuggestedFixes, and suppression is built in via
+// `//karma:<name>-ok reason` comment directives rather than external
+// nolint tooling. An analyzer declares the package import paths it
+// applies to and whether it wants *_test.go files; the drivers
+// (cmd/karma-vet and the analysistest harness) handle loading and
+// filtering.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and selects its suppression
+	// directive: a diagnostic from analyzer "unitcheck" is waived by a
+	// `//karma:unit-ok reason` comment on the offending line or the line
+	// above it (the directive name is Directive, defaulting to
+	// Name-derived).
+	Name string
+	// Doc is the one-paragraph description shown by karma-vet -help.
+	Doc string
+	// Directive is the suppression directive keyword, e.g. "unit-ok".
+	Directive string
+	// Packages restricts the analyzer to packages whose import path
+	// equals one of these entries (or, for entries ending in "/...", has
+	// it as a prefix). Empty means every package.
+	Packages []string
+	// IncludeTests reports whether *_test.go files are analyzed too.
+	IncludeTests bool
+	// Run performs the check, reporting findings through the Pass.
+	Run func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer wants the given import path.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+			if importPath == prefix || strings.HasPrefix(importPath, prefix+"/") {
+				return true
+			}
+		} else if importPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding, positioned in the analyzed package's fset.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// IsTestFile reports whether a file came from *_test.go (the loader
+	// marks them so analyzers with IncludeTests=false can be fed a
+	// pre-filtered view, and ones with it true can still tell).
+	IsTestFile map[*ast.File]bool
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directiveRE matches `//karma:<word>-ok` with an optional reason.
+var directiveRE = regexp.MustCompile(`^//karma:([a-z]+-ok)(?:[ \t]+(.*))?$`)
+
+// directive is one parsed //karma:...-ok comment.
+type directive struct {
+	file   string
+	line   int
+	kind   string // e.g. "unit-ok"
+	reason string
+	pos    token.Pos
+}
+
+// directives extracts every //karma: suppression comment in the files.
+func directives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, directive{
+					file:   p.Filename,
+					line:   p.Line,
+					kind:   m[1],
+					reason: strings.TrimSpace(m[2]),
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzer executes a on the pass and returns its diagnostics with
+// directive suppression applied: a finding is waived when a matching
+// `//karma:<directive> reason` sits on the same line or the line above.
+// Directives of the analyzer's kind that carry no reason are themselves
+// reported — the escape hatch must document why it is used.
+func RunAnalyzer(a *Analyzer, pass *Pass) ([]Diagnostic, error) {
+	pass.Analyzer = a
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	dirs := directives(pass.Fset, pass.Files)
+	waived := map[[2]any]bool{} // {file, line} with a reasoned directive
+	for _, d := range dirs {
+		if d.kind != a.Directive {
+			continue
+		}
+		if d.reason == "" {
+			pass.diags = append(pass.diags, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("//karma:%s directive requires a reason", d.kind),
+			})
+			continue
+		}
+		waived[[2]any{d.file, d.line}] = true
+		waived[[2]any{d.file, d.line + 1}] = true
+	}
+	var kept []Diagnostic
+	for _, d := range pass.diags {
+		p := pass.Fset.Position(d.Pos)
+		if waived[[2]any{p.Filename, p.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// NamedFrom reports whether t (or its pointer elem) is the named type
+// pkgPath.name. Analyzers match types structurally by path+name rather
+// than object identity: the loader type-checks each package in its own
+// pass, so the same source type can surface as distinct types.Object
+// values across passes.
+func NamedFrom(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ObjectFrom reports whether obj belongs to pkgPath and has the name.
+func ObjectFrom(obj types.Object, pkgPath, name string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

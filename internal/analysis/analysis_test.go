@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Packages: []string{"karma/internal/dist", "karma/internal/analysis/..."}}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"karma/internal/dist", true},
+		{"karma/internal/distx", false},
+		{"karma/internal/analysis", true},
+		{"karma/internal/analysis/load", true},
+		{"karma/internal/trace", false},
+	}
+	for _, c := range cases {
+		if got := a.AppliesTo(c.path); got != c.want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	all := &Analyzer{}
+	if !all.AppliesTo("anything") {
+		t.Error("empty Packages must apply everywhere")
+	}
+}
+
+// TestRunAnalyzerDirectives pins the suppression semantics: a reasoned
+// directive waives findings on its line and the next, a reason-less
+// directive is itself a finding, and survivors come out sorted.
+func TestRunAnalyzerDirectives(t *testing.T) {
+	src := `package p
+
+func f() int {
+	//karma:test-ok covered by the harness
+	a := 1
+	b := 2 //karma:test-ok
+	return a + b
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	a := &Analyzer{
+		Name:      "test",
+		Directive: "test-ok",
+		Run: func(p *Pass) error {
+			p.Reportf(tf.LineStart(7), "kept finding")
+			p.Reportf(tf.LineStart(5), "waived finding")
+			return nil
+		},
+	}
+	diags, err := RunAnalyzer(a, &Pass{Fset: fset, Files: []*ast.File{f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %d, want 2:\n%+v", len(diags), diags)
+	}
+	// Sorted by position: the reason-less directive on line 6 first.
+	if !strings.Contains(diags[0].Message, "requires a reason") {
+		t.Errorf("diag[0] = %q, want the reason-less directive finding", diags[0].Message)
+	}
+	if diags[1].Message != "kept finding" {
+		t.Errorf("diag[1] = %q, want the unwaived finding", diags[1].Message)
+	}
+	for _, d := range diags {
+		if d.Message == "waived finding" {
+			t.Error("the reasoned directive on line 4 must waive line 5")
+		}
+	}
+}

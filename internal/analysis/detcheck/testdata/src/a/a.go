@@ -1,0 +1,42 @@
+// Package a is the detcheck fixture.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapOrder(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+func sortedOrder(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	//karma:det-ok keys are collected unordered here and iterated sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in model code`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the global source`
+}
+
+func seeded(r *rand.Rand) int {
+	return r.Intn(10) // method on an explicit seeded source: sanctioned
+}

@@ -1,0 +1,176 @@
+// Package load turns package patterns into parsed, type-checked
+// packages for the karma-vet analyzers, using only the standard
+// library: `go list -json` enumerates the packages and the stdlib
+// source importer (go/importer "source") resolves their imports by
+// type-checking dependencies from source. That keeps the analysis
+// suite fully offline — no x/tools, no export-data plumbing — at the
+// cost of some redundant type-checking work, which is negligible at
+// this module's size.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	IsTestFile map[*ast.File]bool
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects non-fatal type-check problems (the analyzers
+	// still run on what was resolved; the driver surfaces them).
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+// Packages loads every package matching the patterns. With tests set,
+// each package's in-package *_test.go files are parsed and checked
+// alongside it (external _test packages are not loaded: the analyzers
+// that look at tests care about hand-built op DAGs, which live in
+// in-package tests here).
+func Packages(dir string, patterns []string, tests bool) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+
+	fset := token.NewFileSet()
+	imp := newImporter(fset)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		testSet := map[string]bool{}
+		if tests {
+			for _, f := range lp.TestGoFiles {
+				p := filepath.Join(lp.Dir, f)
+				files = append(files, p)
+				testSet[p] = true
+			}
+		}
+		pkg, err := Check(fset, imp, lp.ImportPath, lp.Dir, files, testSet)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Importer resolves import paths to type-checked packages.
+type Importer interface {
+	types.ImporterFrom
+}
+
+// NewImporter returns a source-based importer sharing the fset.
+func NewImporter(fset *token.FileSet) Importer { return newImporter(fset) }
+
+func newImporter(fset *token.FileSet) types.ImporterFrom {
+	return importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+}
+
+// srcDirImporter adapts ImportFrom to the plain Importer the
+// type-checker calls for non-vendored packages, pinning the source
+// directory so module-relative resolution works regardless of cwd.
+type srcDirImporter struct {
+	imp types.ImporterFrom
+	dir string
+}
+
+func (s srcDirImporter) Import(path string) (*types.Package, error) {
+	return s.imp.ImportFrom(path, s.dir, 0)
+}
+
+func (s srcDirImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if dir == "" {
+		dir = s.dir
+	}
+	return s.imp.ImportFrom(path, dir, mode)
+}
+
+// Check parses and type-checks one package from explicit file paths.
+// testSet marks which of them are *_test.go files.
+func Check(fset *token.FileSet, imp Importer, importPath, dir string, filenames []string, testSet map[string]bool) (*Package, error) {
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		IsTestFile: map[*ast.File]bool{},
+	}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		if testSet[name] {
+			pkg.IsTestFile[f] = true
+		}
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: srcDirImporter{imp: imp, dir: dir},
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tp, err := conf.Check(importPath, fset, pkg.Files, pkg.Info)
+	if err != nil && tp == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	pkg.Types = tp
+	return pkg, nil
+}

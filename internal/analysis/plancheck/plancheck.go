@@ -1,0 +1,230 @@
+// Package plancheck enforces the construction invariants of the
+// internal/plan execution-plan IR at every builder site in the module:
+//
+//  1. No validation bypass: ops reach internal/sim only through
+//     (*plan.Plan).Compile / Simulate, whose first act is Validate.
+//     Calling sim.Run on a hand-assembled []sim.Op skips the structural
+//     checks (block ranges, producer-before-consumer ordering), so any
+//     such call outside internal/plan and internal/sim themselves is
+//     flagged. Deliberate low-level harnesses (stream-contention tests)
+//     waive with `//karma:plan-ok reason`.
+//
+//  2. Send/Recv pairing: a builder function constructing pipeline
+//     boundary Send (or SendLocal) ops must also construct the matching
+//     Recv (RecvLocal) side in the same scope, and vice versa — a
+//     one-sided boundary deadlocks or under-costs the wire. The check
+//     is per function, matching how every builder in internal/dist is
+//     written.
+//
+//  3. Dep edges reference ops already added: in a []sim.Op composite
+//     literal, a literal Deps index must be non-negative and smaller
+//     than the op's own position (the DAG is append-ordered; a forward
+//     or self reference is a cycle the simulator only catches at run
+//     time).
+//
+//  4. No negative costs in plan.Op literals: Duration, Alloc and Free
+//     must be non-negative; Validate rejects them at run time, this
+//     rejects them at vet time.
+//
+// The analyzer runs over test files too — hand-built op DAGs live in
+// tests.
+package plancheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"karma/internal/analysis"
+)
+
+const (
+	planPkg = "karma/internal/plan"
+	simPkg  = "karma/internal/sim"
+)
+
+// Analyzer is the plancheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:         "plancheck",
+	Directive:    "plan-ok",
+	Doc:          "enforces plan-IR construction invariants: no sim.Run validation bypass, Send/Recv pairing per builder scope, backward-only literal dep edges, non-negative op costs",
+	IncludeTests: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	self := pass.Pkg != nil && (pass.Pkg.Path() == planPkg || pass.Pkg.Path() == simPkg)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !self {
+				checkSendRecvPairing(pass, fd)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if !self {
+						checkSimRunBypass(pass, n)
+					}
+				case *ast.CompositeLit:
+					checkSimOpLiteral(pass, n)
+					checkPlanOpCosts(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// kindUse reports whether obj is the plan kind constant with the name.
+func kindUse(obj types.Object, name string) bool {
+	return analysis.ObjectFrom(obj, planPkg, name)
+}
+
+// checkSendRecvPairing flags builder functions constructing only one
+// side of a pipeline boundary.
+func checkSendRecvPairing(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var firstSend, firstRecv *ast.Ident
+	sends, recvs := false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		switch {
+		case kindUse(obj, "Send") || kindUse(obj, "SendLocal"):
+			if !sends {
+				firstSend = id
+			}
+			sends = true
+		case kindUse(obj, "Recv") || kindUse(obj, "RecvLocal"):
+			if !recvs {
+				firstRecv = id
+			}
+			recvs = true
+		}
+		return true
+	})
+	if sends && !recvs {
+		pass.Reportf(firstSend.Pos(),
+			"%s constructs plan.Send ops with no matching Recv in the same builder scope; a one-sided boundary deadlocks or under-costs the wire", fd.Name.Name)
+	}
+	if recvs && !sends {
+		pass.Reportf(firstRecv.Pos(),
+			"%s constructs plan.Recv ops with no matching Send in the same builder scope; a one-sided boundary deadlocks or under-costs the wire", fd.Name.Name)
+	}
+}
+
+// checkSimRunBypass flags direct sim.Run calls outside internal/plan.
+func checkSimRunBypass(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if obj := pass.TypesInfo.Uses[sel.Sel]; analysis.ObjectFrom(obj, simPkg, "Run") {
+		pass.Reportf(call.Pos(),
+			"sim.Run on hand-assembled ops bypasses plan validation; build a plan.Plan and use Compile/Simulate")
+	}
+}
+
+// checkSimOpLiteral verifies literal Deps edges in []sim.Op composite
+// literals point strictly backward.
+func checkSimOpLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok || !analysis.NamedFrom(sl.Elem(), simPkg, "Op") {
+		return
+	}
+	for i, elt := range lit.Elts {
+		op, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, f := range op.Elts {
+			kv, ok := f.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Deps" {
+				continue
+			}
+			deps, ok := kv.Value.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, d := range deps.Elts {
+				v := constInt(pass, d)
+				if v == nil {
+					continue
+				}
+				switch {
+				case *v < 0:
+					pass.Reportf(d.Pos(), "negative dep index %d in sim.Op literal", *v)
+				case *v >= int64(i):
+					pass.Reportf(d.Pos(),
+						"dep index %d references op %d or later from op %d; dep edges must reference ops already added", *v, i, i)
+				}
+			}
+		}
+	}
+}
+
+// checkPlanOpCosts flags negative constant Duration/Alloc/Free fields
+// in plan.Op composite literals.
+func checkPlanOpCosts(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !analysis.NamedFrom(tv.Type, planPkg, "Op") {
+		return
+	}
+	for _, f := range lit.Elts {
+		kv, ok := f.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Duration", "Alloc", "Free":
+			if v := constInt(pass, kv.Value); v != nil && *v < 0 {
+				pass.Reportf(kv.Value.Pos(), "negative %s in plan.Op literal; Validate rejects it at run time", key.Name)
+			} else if fv := constFloat(pass, kv.Value); fv != nil && *fv < 0 {
+				pass.Reportf(kv.Value.Pos(), "negative %s in plan.Op literal; Validate rejects it at run time", key.Name)
+			}
+		}
+	}
+}
+
+// constInt returns e's value when it is an integer constant.
+func constInt(pass *analysis.Pass, e ast.Expr) *int64 {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return nil
+	}
+	if v, exact := constant.Int64Val(tv.Value); exact {
+		return &v
+	}
+	return nil
+}
+
+// constFloat returns e's value when it is a float constant.
+func constFloat(pass *analysis.Pass, e ast.Expr) *float64 {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return nil
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return nil
+	}
+	v, _ := constant.Float64Val(tv.Value)
+	return &v
+}

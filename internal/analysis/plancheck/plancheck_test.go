@@ -1,0 +1,22 @@
+package plancheck_test
+
+import (
+	"testing"
+
+	"karma/internal/analysis/analysistest"
+	"karma/internal/analysis/plancheck"
+)
+
+func TestPlancheck(t *testing.T) {
+	analysistest.Run(t, ".", plancheck.Analyzer, "a")
+}
+
+func TestAppliesEverywhereExceptSelf(t *testing.T) {
+	a := plancheck.Analyzer
+	if !a.AppliesTo("karma/internal/dist") || !a.AppliesTo("karma/internal/trace") {
+		t.Error("plancheck should apply to every package")
+	}
+	if !a.IncludeTests {
+		t.Error("plancheck must analyze _test.go files: hand-built op DAGs live in tests")
+	}
+}

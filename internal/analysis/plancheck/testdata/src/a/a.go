@@ -1,0 +1,51 @@
+// Package a is the plancheck fixture.
+package a
+
+import (
+	"karma/internal/plan"
+	"karma/internal/sim"
+)
+
+func bypass(ops []sim.Op) {
+	sim.Run(ops, 1) // want `sim\.Run on hand-assembled ops bypasses plan validation`
+}
+
+func harness(ops []sim.Op) {
+	//karma:plan-ok fixture exercises the reasoned waiver
+	sim.Run(ops, 1)
+}
+
+func sendOnly(pl *plan.Plan) {
+	pl.Stages = append(pl.Stages, plan.Stage{Ops: []plan.Op{{
+		Kind: plan.Send, // want `sendOnly constructs plan\.Send ops with no matching Recv`
+	}}})
+}
+
+func recvOnly(pl *plan.Plan) {
+	pl.Stages = append(pl.Stages, plan.Stage{Ops: []plan.Op{{
+		Kind: plan.RecvLocal, // want `recvOnly constructs plan\.Recv ops with no matching Send`
+	}}})
+}
+
+func paired(pl *plan.Plan) {
+	pl.Stages = append(pl.Stages,
+		plan.Stage{Ops: []plan.Op{{Kind: plan.Send}}},
+		plan.Stage{Ops: []plan.Op{{Kind: plan.Recv}}})
+}
+
+func deps() []sim.Op {
+	return []sim.Op{
+		{Stream: sim.Compute},
+		{Stream: sim.Compute, Deps: []int{0}},
+		{Stream: sim.Compute, Deps: []int{2}},  // want `dep index 2 references op 2 or later`
+		{Stream: sim.Compute, Deps: []int{-1}}, // want `negative dep index -1`
+	}
+}
+
+func negCosts() []plan.Op {
+	return []plan.Op{
+		{Kind: plan.Fwd, Duration: -1}, // want `negative Duration in plan\.Op literal`
+		{Kind: plan.Fwd, Alloc: -5},    // want `negative Alloc in plan\.Op literal`
+		{Kind: plan.Fwd, Duration: 2, Alloc: 8, Free: 8},
+	}
+}

@@ -1,0 +1,65 @@
+// Package a is the unitcheck fixture: each want line exercises one
+// rule, and the clean section pins down the patterns the analyzer must
+// keep accepting.
+package a
+
+import (
+	"math"
+
+	"karma/internal/unit"
+)
+
+type config struct {
+	WeightBytes unit.Bytes
+	LinkBW      float64 // want `field LinkBW is raw float64`
+	Frac        float64
+}
+
+func mixed(b unit.Bytes, s unit.Seconds) float64 {
+	return float64(b) + float64(s) // want `mixed-dimension arithmetic`
+}
+
+func scaled(per unit.Seconds, n int) unit.Seconds {
+	steps := unit.Seconds(float64(n))
+	return steps * per // want `unit\.Seconds \* unit\.Seconds squares the dimension`
+}
+
+func ratio(x, y unit.Seconds) unit.Seconds {
+	return x / y // want `unit\.Seconds / unit\.Seconds is a dimensionless ratio`
+}
+
+func convert(s unit.Seconds) unit.Bytes {
+	return unit.Bytes(float64(s)) // want `converting a sec-dimensioned value to unit\.Bytes`
+}
+
+func mulAssign(t, other unit.Seconds) unit.Seconds {
+	t *= other // want `unit\.Seconds \*= unit\.Seconds scales a unit quantity`
+	return t
+}
+
+func rawLocal(c config) float64 {
+	weightBytes := float64(c.WeightBytes) * c.Frac // want `variable weightBytes is raw float64`
+	return weightBytes
+}
+
+func names(totalSecs float64) (peakFLOPS float64) { // want `parameter totalSecs is raw float64` `result peakFLOPS is raw float64`
+	return totalSecs
+}
+
+func mixedMax(b unit.Bytes, s unit.Seconds) float64 {
+	return math.Max(float64(b), float64(s)) // want `math\.Max over mixed dimensions`
+}
+
+// Clean spots the analyzer must not flag.
+
+func ok(c config, b unit.Bytes, s unit.Seconds, bw unit.BytesPerSec) unit.Seconds {
+	_ = 2 * c.WeightBytes                      // literal scale factor, not bytes^2
+	_ = b + c.WeightBytes                      // same dimension adds fine
+	_ = unit.Seconds(float64(b) / float64(bw)) // bytes / (bytes/sec) = sec
+	return s / 2                               // constant divisor is plain scaling
+}
+
+func waived(x, y unit.Seconds) unit.Seconds {
+	//karma:unit-ok fixture exercises the reasoned waiver
+	return x * y
+}

@@ -1,0 +1,390 @@
+// Package unitcheck flags unit-safety violations in the model packages:
+// arithmetic that silently strips or mixes the dimensions carried by the
+// karma/internal/unit types. The headline calibration numbers are plain
+// float64 underneath — one unit-stripped conversion feeding a
+// differently-dimensioned quantity corrupts a result without failing a
+// test, so the dimensional bookkeeping is enforced statically instead.
+//
+// Three rules, built on a small dimension algebra (exponent vectors over
+// {bytes, seconds, flops}; unit.BytesPerSec is bytes·sec⁻¹, FLOPSRate is
+// flops·sec⁻¹; raw numeric expressions are dimensionless scalars, and
+// float64(x)/int64(x) conversions propagate x's dimension rather than
+// erasing it):
+//
+//  1. Mixed-dimension arithmetic: a + or - whose operands have different
+//     non-scalar dimensions (adding bytes to seconds), and conversions
+//     unit.T(expr) where expr's inferred dimension differs from T's
+//     (wrapping a seconds-dimensioned value in unit.Bytes).
+//
+//  2. Same-unit scaling: x*y or x/y where both operands have the same
+//     unit type and neither is a constant. The product is a squared
+//     dimension and the quotient a dimensionless ratio, yet both keep
+//     the unit type in Go's type system — almost always a scalar
+//     wearing a unit costume (unit.Seconds(float64(n)) * perStep).
+//     Compute in float64 and convert once.
+//
+//  3. Raw dimensioned names: struct fields, parameters, results and
+//     local variables of plain float64 whose name ends in Bytes, BW,
+//     Secs or FLOPS (case-insensitive). Quantities with dimensioned
+//     names must carry the unit type; a fraction or ratio should not
+//     have a dimensioned name.
+//
+// Genuinely dimensionless spots are waived with a
+// `//karma:unit-ok reason` directive on the offending line or the line
+// above.
+package unitcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"karma/internal/analysis"
+)
+
+// unitPkg is the import path of the typed-quantity package.
+const unitPkg = "karma/internal/unit"
+
+// Analyzer is the unitcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "unitcheck",
+	Directive: "unit-ok",
+	Doc: "flags unit-stripping conversions, mixed-dimension arithmetic, " +
+		"same-unit scaling, and raw float64 declarations with dimensioned names " +
+		"in the model packages",
+	Packages: []string{
+		"karma/internal/hw", "karma/internal/comm", "karma/internal/topo",
+		"karma/internal/dist", "karma/internal/karma", "karma/internal/sim",
+		"karma/internal/plan",
+	},
+	Run: run,
+}
+
+// dim is a dimension: exponents over bytes, seconds, flops. The zero
+// value is a dimensionless scalar.
+type dim struct{ b, s, f int }
+
+func (d dim) scalar() bool { return d == dim{} }
+
+func (d dim) mul(o dim) dim { return dim{d.b + o.b, d.s + o.s, d.f + o.f} }
+func (d dim) div(o dim) dim { return dim{d.b - o.b, d.s - o.s, d.f - o.f} }
+
+// String renders the dimension for diagnostics, e.g. "bytes·sec⁻¹".
+func (d dim) String() string {
+	if d.scalar() {
+		return "dimensionless"
+	}
+	var parts []string
+	for _, t := range []struct {
+		name string
+		exp  int
+	}{{"bytes", d.b}, {"sec", d.s}, {"flops", d.f}} {
+		switch {
+		case t.exp == 1:
+			parts = append(parts, t.name)
+		case t.exp != 0:
+			parts = append(parts, fmt.Sprintf("%s^%d", t.name, t.exp))
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// unitDims maps the unit package's named types to their dimensions.
+var unitDims = map[string]dim{
+	"Bytes":       {b: 1},
+	"Seconds":     {s: 1},
+	"FLOPs":       {f: 1},
+	"BytesPerSec": {b: 1, s: -1},
+	"FLOPSRate":   {s: -1, f: 1},
+}
+
+// unitDim returns the dimension of t when it is one of the unit types.
+func unitDim(t types.Type) (dim, bool) {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return dim{}, false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != unitPkg {
+		return dim{}, false
+	}
+	d, ok := unitDims[obj.Name()]
+	return d, ok
+}
+
+// suffixTypes maps a dimensioned name suffix (lower-case) to the unit
+// type that should carry it.
+var suffixTypes = []struct{ suffix, unit string }{
+	{"bytes", "unit.Bytes"},
+	{"flops", "unit.FLOPs"},
+	{"secs", "unit.Seconds"},
+	{"bw", "unit.BytesPerSec"},
+}
+
+func dimSuffix(name string) (string, bool) {
+	l := strings.ToLower(name)
+	for _, s := range suffixTypes {
+		if strings.HasSuffix(l, s.suffix) {
+			return s.unit, true
+		}
+	}
+	return "", false
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// dims memoizes expression dimensions so shared subtrees are
+	// evaluated (and reported) once.
+	dims map[ast.Expr]dim
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, dims: map[ast.Expr]dim{}}
+	for _, f := range pass.Files {
+		if pass.IsTestFile[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				c.exprDim(n)
+			case *ast.CallExpr:
+				c.exprDim(n)
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.StructType:
+				c.checkFieldList(n.Fields, "field")
+			case *ast.FuncType:
+				c.checkFieldList(n.Params, "parameter")
+				c.checkFieldList(n.Results, "result")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exprType returns the type recorded for e (nil when untypeable).
+func (c *checker) exprType(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isConst reports whether e is a compile-time constant expression.
+func (c *checker) isConst(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// exprDim infers the dimension of e, reporting violations as it goes.
+func (c *checker) exprDim(e ast.Expr) dim {
+	if d, ok := c.dims[e]; ok {
+		return d
+	}
+	c.dims[e] = dim{} // break cycles; overwritten below
+	d := c.inferDim(e)
+	c.dims[e] = d
+	return d
+}
+
+func (c *checker) inferDim(e ast.Expr) dim {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		// A literal is a dimensionless scale factor even when context
+		// types it as a unit (2 * b.WeightBytes).
+		return dim{}
+	case *ast.ParenExpr:
+		return c.exprDim(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return c.exprDim(e.X)
+		}
+	case *ast.BinaryExpr:
+		return c.binaryDim(e)
+	case *ast.CallExpr:
+		return c.callDim(e)
+	}
+	// Leaves (identifiers, selectors, index expressions, literals):
+	// unit-typed expressions carry their type's dimension; every other
+	// numeric expression is assumed dimensionless — the whole point of
+	// the rule set is that dimensions must ride on unit types.
+	if t := c.exprType(e); t != nil {
+		if d, ok := unitDim(t); ok {
+			return d
+		}
+	}
+	return dim{}
+}
+
+func (c *checker) binaryDim(e *ast.BinaryExpr) dim {
+	x, y := c.exprDim(e.X), c.exprDim(e.Y)
+	switch e.Op {
+	case token.MUL, token.QUO:
+		c.checkSameUnitScaling(e)
+		if e.Op == token.MUL {
+			return x.mul(y)
+		}
+		return x.div(y)
+	case token.ADD, token.SUB:
+		if !x.scalar() && !y.scalar() && x != y {
+			c.pass.Reportf(e.OpPos,
+				"mixed-dimension arithmetic: %s operand %s %s operand (wrap one side in the right unit type or convert both to float64 at the same dimension)",
+				x, e.Op, y)
+		}
+		if x.scalar() {
+			return y
+		}
+		return x
+	case token.REM:
+		return x
+	}
+	return dim{}
+}
+
+// checkSameUnitScaling reports x*y / x/y where both operands share one
+// unit type and neither is a constant: the result silently keeps the
+// unit type while its dimension squared or cancelled.
+func (c *checker) checkSameUnitScaling(e *ast.BinaryExpr) {
+	tx, ty := c.exprType(e.X), c.exprType(e.Y)
+	if tx == nil || ty == nil || !types.Identical(tx, ty) {
+		return
+	}
+	if _, ok := unitDim(tx); !ok {
+		return
+	}
+	if c.isConst(e.X) || c.isConst(e.Y) {
+		return // scaling by a dimensionless literal constant is fine
+	}
+	name := "unit." + tx.(*types.Named).Obj().Name()
+	if e.Op == token.MUL {
+		c.pass.Reportf(e.OpPos,
+			"%s * %s squares the dimension but keeps the type; do the arithmetic in float64 and convert once",
+			name, name)
+	} else {
+		c.pass.Reportf(e.OpPos,
+			"%s / %s is a dimensionless ratio (or a scalar disguised as %s); do the arithmetic in float64 and convert once",
+			name, name, name)
+	}
+}
+
+func (c *checker) callDim(e *ast.CallExpr) dim {
+	// Conversions: T(x).
+	if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+		inner := dim{}
+		if len(e.Args) == 1 {
+			inner = c.exprDim(e.Args[0])
+		}
+		if d, ok := unitDim(tv.Type); ok {
+			if !inner.scalar() && inner != d {
+				c.pass.Reportf(e.Pos(),
+					"converting a %s-dimensioned value to %s (%s)",
+					inner, "unit."+tv.Type.(*types.Named).Obj().Name(), d)
+			}
+			return d
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+			// float64(x), int64(x), ...: the dimension survives the
+			// stripped representation and keeps being tracked.
+			return inner
+		}
+		return dim{}
+	}
+	// math helpers preserve their argument's dimension.
+	if sel, ok := e.Fun.(*ast.SelectorExpr); ok && len(e.Args) >= 1 {
+		if obj, ok := c.pass.TypesInfo.Uses[sel.Sel]; ok &&
+			obj.Pkg() != nil && obj.Pkg().Path() == "math" {
+			switch sel.Sel.Name {
+			case "Max", "Min", "Abs", "Ceil", "Floor", "Round", "Trunc":
+				d := c.exprDim(e.Args[0])
+				if sel.Sel.Name == "Max" || sel.Sel.Name == "Min" {
+					if d2 := c.exprDim(e.Args[1]); !d.scalar() && !d2.scalar() && d != d2 {
+						c.pass.Reportf(e.Pos(), "math.%s over mixed dimensions: %s vs %s", sel.Sel.Name, d, d2)
+					} else if d.scalar() {
+						d = d2
+					}
+				}
+				return d
+			}
+		}
+	}
+	// Ordinary calls: trust the declared result type.
+	if t := c.exprType(e); t != nil {
+		if d, ok := unitDim(t); ok {
+			return d
+		}
+	}
+	return dim{}
+}
+
+// checkAssign handles *= and /= same-unit scaling and dimensioned-name
+// short variable declarations.
+func (c *checker) checkAssign(a *ast.AssignStmt) {
+	switch a.Tok {
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+			return
+		}
+		tx, ty := c.exprType(a.Lhs[0]), c.exprType(a.Rhs[0])
+		if tx == nil || ty == nil || !types.Identical(tx, ty) || c.isConst(a.Rhs[0]) {
+			return
+		}
+		if _, ok := unitDim(tx); ok {
+			name := "unit." + tx.(*types.Named).Obj().Name()
+			c.pass.Reportf(a.TokPos,
+				"%s %s %s scales a unit quantity by a same-typed non-constant; do the arithmetic in float64 and convert once",
+				name, a.Tok, name)
+		}
+	case token.DEFINE:
+		for _, lhs := range a.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := c.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				continue
+			}
+			c.checkRawName(id.Pos(), "variable", id.Name, obj.Type())
+		}
+	}
+}
+
+// checkFieldList reports raw float64 fields/params/results whose names
+// carry a dimension suffix.
+func (c *checker) checkFieldList(fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := c.exprType(f.Type)
+		if t == nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.Name == "_" {
+				continue
+			}
+			c.checkRawName(name.Pos(), kind, name.Name, t)
+		}
+	}
+}
+
+// checkRawName reports a declaration of plain float64 with a
+// dimensioned name suffix.
+func (c *checker) checkRawName(pos token.Pos, kind, name string, t types.Type) {
+	want, ok := dimSuffix(name)
+	if !ok {
+		return
+	}
+	b, ok := t.(*types.Basic)
+	if !ok || b.Kind() != types.Float64 {
+		return
+	}
+	c.pass.Reportf(pos,
+		"%s %s is raw float64 but its name is dimensioned; use %s (or rename if it is genuinely a ratio)",
+		kind, name, want)
+}

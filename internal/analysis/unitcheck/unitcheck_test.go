@@ -1,0 +1,26 @@
+package unitcheck_test
+
+import (
+	"testing"
+
+	"karma/internal/analysis/analysistest"
+	"karma/internal/analysis/unitcheck"
+)
+
+func TestUnitcheck(t *testing.T) {
+	analysistest.Run(t, ".", unitcheck.Analyzer, "a")
+}
+
+func TestAppliesTo(t *testing.T) {
+	a := unitcheck.Analyzer
+	for _, pkg := range []string{"karma/internal/dist", "karma/internal/topo", "karma/internal/hw"} {
+		if !a.AppliesTo(pkg) {
+			t.Errorf("unitcheck should apply to %s", pkg)
+		}
+	}
+	for _, pkg := range []string{"karma/internal/trace", "karma/internal/experiments"} {
+		if a.AppliesTo(pkg) {
+			t.Errorf("unitcheck should not apply to %s", pkg)
+		}
+	}
+}

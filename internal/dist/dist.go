@@ -133,7 +133,7 @@ func finalize(iter unit.Seconds, gpus, globalBatch, samples int) *Result {
 	iters := (samples + globalBatch - 1) / globalBatch
 	return &Result{
 		Feasible:    true,
-		EpochTime:   unit.Seconds(float64(iters)) * iter,
+		EpochTime:   unit.Seconds(float64(iters) * float64(iter)),
 		IterTime:    iter,
 		IterPerSec:  1 / float64(iter),
 		CostPerf:    float64(gpus) * float64(iter) / float64(globalBatch),
@@ -234,7 +234,7 @@ func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) 
 	if o.ZeROShard {
 		// Every replica updates only its 1/gpus partition (the all-gather
 		// of fresh parameters is folded into the exchange).
-		updDev = updDev / unit.Seconds(float64(gpus))
+		updDev = unit.Seconds(float64(updDev) / float64(gpus))
 	}
 
 	if weights+grads+p.TotalActBytes <= m {
@@ -262,9 +262,9 @@ func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) 
 	in := f * float64(2*weights+heavyActs)
 	out := f * float64(heavyActs+grads)
 
-	hostFLOPs := f * float64(updateFLOPs) // update share handled off-device
+	hostFrac := f // share of the update handled off-device
 	if o.ZeROShard {
-		hostFLOPs /= float64(gpus)
+		hostFrac /= float64(gpus)
 	}
 	if o.UpdateOnDevice {
 		// Forcing streamed blocks to update on the GPU round-trips their
@@ -279,20 +279,21 @@ func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) 
 		in += momentum
 		out += momentum
 		rc.serialUpdate = updDev
-		hostFLOPs = 0
+		hostFrac = 0
 	} else {
 		// Streamed blocks update on the host during swap-out; resident
 		// blocks update on the device.
-		rc.serialUpdate = unit.Seconds(1-f) * updDev
+		rc.serialUpdate = unit.Seconds((1 - f) * float64(updDev))
 	}
-	hostT := unit.ComputeTime(unit.FLOPs(hostFLOPs), cl.Node.Host.SustainedFLOPS())
+	hostFLOPs := unit.FLOPs(hostFrac * float64(updateFLOPs))
+	hostT := unit.ComputeTime(hostFLOPs, cl.Node.Host.SustainedFLOPS())
 	if hostT > fwd {
 		// CPU update overlaps the next iteration's forward pass.
 		rc.updateStall = hostT - fwd
 	}
 
 	swapBW := hw.SwapThroughput(cl.Node)
-	lat := unit.Seconds(float64(len(p.Blocks))) * cl.Node.Link.Latency
+	lat := unit.Seconds(float64(len(p.Blocks)) * float64(cl.Node.Link.Latency))
 	dir := math.Max(in, out)
 	link := unit.TransferTime(unit.Bytes(dir), swapBW, lat)
 	if compute := rc.fwd + rc.bwd + rc.recompute; link > compute {

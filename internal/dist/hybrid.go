@@ -187,7 +187,7 @@ func arCounts(shard *model.Shard, p *profiler.Profile) (fwdAR, bwdAR []int) {
 // mpARPayload is the boundary activation each MP collective reduces: the
 // full {batch, seq, hidden} tensor of partial sums.
 func mpARPayload(cfg model.TransformerConfig, p *profiler.Profile) unit.Bytes {
-	return unit.Bytes(int64(p.Opts.Batch)*int64(cfg.Seq)*int64(cfg.Hidden)) * p.Opts.DType.Size()
+	return unit.Bytes(int64(p.Opts.Batch) * int64(cfg.Seq) * int64(cfg.Hidden) * int64(p.Opts.DType.Size()))
 }
 
 // hybridCost is the analytic phase decomposition of one MP+DP iteration:
@@ -223,10 +223,10 @@ func megatronCost(cfg model.TransformerConfig, shard *model.Shard, p *profiler.P
 	fwdAR, bwdAR := arCounts(shard, p)
 	var fwdART, bwdART, replayART unit.Seconds
 	for i := range p.Blocks {
-		fwdART += unit.Seconds(float64(fwdAR[i])) * perAR
-		bwdART += unit.Seconds(float64(bwdAR[i])) * perAR
+		fwdART += unit.Seconds(float64(fwdAR[i]) * float64(perAR))
+		bwdART += unit.Seconds(float64(bwdAR[i]) * float64(perAR))
 		if s.Blocks[i].Policy == karma.Recompute && s.RunContinues(i) {
-			replayART += unit.Seconds(float64(fwdAR[i])) * perAR
+			replayART += unit.Seconds(float64(fwdAR[i]) * float64(perAR))
 		}
 	}
 

@@ -171,9 +171,9 @@ func pipelineSetup(cfg model.TransformerConfig, cl hw.Cluster, stages, gpus, per
 		// micro-batch activations — all of them resident, or boundary
 		// inputs only with one replayed micro under Checkpoint.
 		fixed := st.fixedBytes(o)
-		mm := unit.Bytes(micro)
-		resident := fixed + mm*(st.InBytes+st.ActBytes)
-		ckpt := fixed + mm*st.InBytes + st.ActBytes
+		mm := int64(micro)
+		resident := fixed + unit.Bytes(mm*int64(st.InBytes+st.ActBytes))
+		ckpt := fixed + unit.Bytes(mm*int64(st.InBytes)) + st.ActBytes
 		switch {
 		case resident <= m:
 			// All micro-batch activations stay resident.
@@ -234,7 +234,7 @@ func pipelineCost(sts []pipeStage, cl hw.Cluster, stages, replicas, micro int, o
 			c.update = u
 		}
 	}
-	c.steady = unit.Seconds(float64(micro-1)) * bottleneck
+	c.steady = unit.Seconds(float64(micro-1) * float64(bottleneck))
 
 	// Exchange: stage s's gradients complete at its last backward; while
 	// they reduce, stages before it are still draining. Under o.Phased

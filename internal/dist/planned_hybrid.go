@@ -112,7 +112,7 @@ func injectMPCollectives(pl *plan.Plan, s *karma.Schedule, shard *model.Shard, p
 	ar := func(block, n int) plan.Stage {
 		return plan.Stage{Ops: []plan.Op{{
 			Kind: kind, Block: block,
-			Duration: unit.Seconds(float64(n)) * perAR,
+			Duration: unit.Seconds(float64(n) * float64(perAR)),
 		}}}
 	}
 	fwdAR, bwdAR := arCounts(shard, p)
@@ -208,8 +208,8 @@ func injectHybridExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, repli
 	// block carries its byte-share of the group's time. Spreading the
 	// phases this way lets the blocking MP all-reduces slot between them
 	// on the network FIFO instead of stalling behind a monolithic phase.
-	spread := func(sizes []unit.Bytes, half bool) map[int]unit.Seconds {
-		out := map[int]unit.Seconds{}
+	spread := func(sizes []unit.Bytes, half bool) []unit.Seconds {
+		out := make([]unit.Seconds, len(sizes))
 		for _, g := range comm.RingPhasedGroupsOver(ring, sizes, replicas, backend) {
 			t := g.Time
 			if half {
@@ -227,11 +227,11 @@ func injectHybridExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, repli
 	for i := 0; i < k; i++ {
 		sizes[i] = s.Blocks[k-1-i].Cost.WeightBytes // completion order
 	}
-	exAfter := map[int]unit.Seconds{}
+	exAfter := make([]unit.Seconds, k)
 	for i, t := range spread(sizes, zero) {
 		exAfter[k-1-i] = t
 	}
-	agBefore := map[int]unit.Seconds{}
+	agBefore := make([]unit.Seconds, k)
 	if zero {
 		fwdSizes := make([]unit.Bytes, k)
 		for i := 0; i < k; i++ {

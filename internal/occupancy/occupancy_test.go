@@ -138,6 +138,7 @@ func TestBackwardMatchesSimulator(t *testing.T) {
 		}
 		ops = append(ops, sim.Op{Label: "proc", Stream: sim.Compute, Duration: b.Proc, Deps: deps})
 	}
+	//karma:plan-ok low-level stream harness drives sim directly; the op list is built above with explicit deps
 	tl, err := sim.Run(ops, 1<<40)
 	if err != nil {
 		t.Fatalf("sim: %v", err)

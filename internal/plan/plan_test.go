@@ -101,6 +101,7 @@ func TestValidate(t *testing.T) {
 		t.Error("out-of-range block should fail")
 	}
 	neg := &Plan{Name: "n", NumBlocks: 1, Stages: []Stage{
+		//karma:plan-ok exercises Validate's run-time rejection of negative costs
 		{Ops: []Op{{Kind: Fwd, Block: 0, Duration: -1}}},
 	}}
 	if err := neg.Validate(); err == nil {

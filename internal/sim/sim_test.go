@@ -131,7 +131,9 @@ func TestValidationErrors(t *testing.T) {
 		{"negative alloc", []Op{{Stream: Compute, AllocBytes: -1}}},
 		{"alloc exceeds capacity", []Op{{Stream: Compute, AllocBytes: 100}}},
 		{"bad stream", []Op{{Stream: Stream(99)}}},
+		//karma:plan-ok exercises Run's run-time rejection of out-of-range and self deps
 		{"dep out of range", []Op{{Stream: Compute, Deps: []int{5}}}},
+		//karma:plan-ok exercises Run's run-time rejection of self-referential deps
 		{"forward dep", []Op{{Stream: Compute, Deps: []int{0}}}},
 	}
 	for _, c := range cases {

@@ -152,7 +152,7 @@ func (e Engine) Ring(n unit.Bytes, p int, x Xfer) unit.Seconds {
 	steps := 2 * (p - 1)
 	chunk := unit.Bytes(float64(n) / float64(p))
 	per := unit.TransferTime(chunk, effBW(r, x), stepLatency(r, x))
-	return unit.Seconds(float64(steps)) * per
+	return unit.Seconds(float64(steps) * float64(per))
 }
 
 // ReduceScatter returns the time to reduce n bytes and leave each of the
@@ -165,7 +165,7 @@ func (e Engine) ReduceScatter(n unit.Bytes, p int, x Xfer) unit.Seconds {
 	r := e.InterRoute()
 	chunk := unit.Bytes(float64(n) / float64(p))
 	per := unit.TransferTime(chunk, effBW(r, x), stepLatency(r, x))
-	return unit.Seconds(float64(p-1)) * per
+	return unit.Seconds(float64(p-1) * float64(per))
 }
 
 // AllGather returns the time for each endpoint to collect all p shards

@@ -87,7 +87,7 @@ func (t Topology) Validate() error {
 // NodeBW returns the aggregate injection bandwidth of one node's egress
 // tier (all rails together).
 func (t Topology) NodeBW() unit.BytesPerSec {
-	return unit.BytesPerSec(float64(t.NICs)) * t.NICBW
+	return unit.BytesPerSec(float64(t.NICs) * float64(t.NICBW))
 }
 
 // WithNode returns a copy with the intra-node tier filled in from the

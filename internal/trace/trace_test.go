@@ -17,6 +17,7 @@ func sampleTimeline(t *testing.T) ([]sim.Op, *sim.Timeline) {
 		{Label: "F1", Stream: sim.Compute, Duration: 1},
 		{Label: "zero", Stream: sim.Compute, Duration: 0},
 	}
+	//karma:plan-ok trace rendering needs a raw timeline; the hand-built op list above is the fixture
 	tl, err := sim.Run(ops, 1)
 	if err != nil {
 		t.Fatalf("sim: %v", err)

@@ -1,0 +1,126 @@
+package unit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file is the inverse of the String methods: parsers for the
+// "<number> <unit>" renderings they emit ("16.00 GiB", "1.52 ms",
+// "14.70 TFLOP/s"). Round-tripping loses only the formatting precision
+// (two decimals, one for bandwidth), which the property tests in
+// property_test.go bound. The parsers accept exactly the unit suffixes
+// the String methods produce.
+
+// parseQuantity splits "<number> <unit>" and applies the unit's
+// multiplier from the table.
+func parseQuantity(s string, units map[string]float64) (float64, error) {
+	fields := strings.Fields(strings.TrimSpace(s))
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("want \"<number> <unit>\", got %q", s)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", fields[0])
+	}
+	mult, ok := units[fields[1]]
+	if !ok {
+		return 0, fmt.Errorf("unknown unit %q", fields[1])
+	}
+	return v * mult, nil
+}
+
+// maxI64 is 2^63 as a float64 — the first value outside int64 range
+// (math.MaxInt64 itself is not exactly representable; 2^63 is).
+const maxI64 = float64(1 << 63)
+
+// toInt64 range-checks and rounds a parsed magnitude into int64. The
+// 2^63 edge — MaxInt64's own rendering rounds up to it — clamps back.
+func toInt64(v float64) (int64, error) {
+	if v > maxI64 || v < -maxI64 || math.IsNaN(v) {
+		return 0, fmt.Errorf("out of int64 range")
+	}
+	if v >= maxI64 {
+		return math.MaxInt64, nil
+	}
+	return int64(math.Round(v)), nil
+}
+
+var byteUnits = map[string]float64{
+	"B": 1, "KiB": float64(KiB), "MiB": float64(MiB),
+	"GiB": float64(GiB), "TiB": float64(TiB),
+}
+
+// ParseBytes parses a Bytes.String rendering, e.g. "16.00 GiB".
+func ParseBytes(s string) (Bytes, error) {
+	v, err := parseQuantity(s, byteUnits)
+	if err != nil {
+		return 0, fmt.Errorf("unit: parsing %q as bytes: %v", s, err)
+	}
+	n, err := toInt64(v)
+	if err != nil {
+		return 0, fmt.Errorf("unit: parsing %q as bytes: %v", s, err)
+	}
+	return Bytes(n), nil
+}
+
+var flopUnits = map[string]float64{
+	"FLOP": 1, "KFLOP": float64(KFLOP), "MFLOP": float64(MFLOP),
+	"GFLOP": float64(GFLOP), "TFLOP": float64(TFLOP),
+}
+
+// ParseFLOPs parses a FLOPs.String rendering, e.g. "14.70 TFLOP".
+func ParseFLOPs(s string) (FLOPs, error) {
+	v, err := parseQuantity(s, flopUnits)
+	if err != nil {
+		return 0, fmt.Errorf("unit: parsing %q as FLOPs: %v", s, err)
+	}
+	n, err := toInt64(v)
+	if err != nil {
+		return 0, fmt.Errorf("unit: parsing %q as FLOPs: %v", s, err)
+	}
+	return FLOPs(n), nil
+}
+
+var flopsRateUnits = map[string]float64{
+	"FLOP/s": 1, "KFLOP/s": float64(KFLOP), "MFLOP/s": float64(MFLOP),
+	"GFLOP/s": float64(GFLOP), "TFLOP/s": float64(TFLOP),
+}
+
+// ParseFLOPSRate parses a FLOPSRate.String rendering, e.g. "14.70 TFLOP/s".
+func ParseFLOPSRate(s string) (FLOPSRate, error) {
+	v, err := parseQuantity(s, flopsRateUnits)
+	if err != nil {
+		return 0, fmt.Errorf("unit: parsing %q as a FLOP rate: %v", s, err)
+	}
+	return FLOPSRate(v), nil
+}
+
+var bandwidthUnits = map[string]float64{
+	"B/s": 1, "KB/s": float64(KBps), "MB/s": float64(MBps), "GB/s": float64(GBps),
+}
+
+// ParseBytesPerSec parses a BytesPerSec.String rendering, e.g. "16.0 GB/s".
+func ParseBytesPerSec(s string) (BytesPerSec, error) {
+	v, err := parseQuantity(s, bandwidthUnits)
+	if err != nil {
+		return 0, fmt.Errorf("unit: parsing %q as bandwidth: %v", s, err)
+	}
+	return BytesPerSec(v), nil
+}
+
+var secondsUnits = map[string]float64{
+	"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1, "min": 60, "h": 3600,
+}
+
+// ParseSeconds parses a Seconds.String rendering, e.g. "1.52 ms" or
+// "3.40 h". The "+Inf s" and "NaN s" specials round-trip too.
+func ParseSeconds(s string) (Seconds, error) {
+	v, err := parseQuantity(s, secondsUnits)
+	if err != nil {
+		return 0, fmt.Errorf("unit: parsing %q as seconds: %v", s, err)
+	}
+	return Seconds(v), nil
+}

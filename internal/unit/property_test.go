@@ -1,0 +1,194 @@
+package unit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// relErr is the relative round-trip error of got vs want.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// The String methods render with two decimals (one for bandwidth), so
+// Parse(String(x)) recovers x only up to formatting precision. The
+// bounds below are the worst case just above each prefix boundary
+// (e.g. "1.00 KiB" for anything in [1019.1, 1029.1] bytes).
+const (
+	tolTwoDecimals = 0.01
+	tolSeconds     = 0.03 // "%.1f min" at 120 s is the widest bucket
+	tolBandwidth   = 0.05 // "%.1f GB/s" at 1 GB/s
+)
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		v := Bytes(r.Int63n(1 << uint(1+r.Intn(62))))
+		if r.Intn(2) == 0 {
+			v = -v
+		}
+		got, err := ParseBytes(v.String())
+		if err != nil {
+			t.Fatalf("ParseBytes(%q): %v", v.String(), err)
+		}
+		if relErr(float64(got), float64(v)) > tolTwoDecimals {
+			t.Fatalf("round trip %d -> %q -> %d", v, v.String(), got)
+		}
+	}
+}
+
+func TestFLOPsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		v := FLOPs(r.Int63n(1 << uint(1+r.Intn(62))))
+		if r.Intn(2) == 0 {
+			v = -v
+		}
+		got, err := ParseFLOPs(v.String())
+		if err != nil {
+			t.Fatalf("ParseFLOPs(%q): %v", v.String(), err)
+		}
+		if relErr(float64(got), float64(v)) > tolTwoDecimals {
+			t.Fatalf("round trip %d -> %q -> %d", v, v.String(), got)
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		// 10 ns .. ~28 h covers every rendering bucket.
+		v := Seconds(math.Pow(10, -8+13*r.Float64()))
+		if r.Intn(2) == 0 {
+			v = -v
+		}
+		got, err := ParseSeconds(v.String())
+		if err != nil {
+			t.Fatalf("ParseSeconds(%q): %v", v.String(), err)
+		}
+		if relErr(float64(got), float64(v)) > tolSeconds {
+			t.Fatalf("round trip %v -> %q -> %v", float64(v), v.String(), float64(got))
+		}
+	}
+}
+
+func TestBytesPerSecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		// 1 B/s .. 1 TB/s; String renders with a single decimal.
+		v := BytesPerSec(math.Pow(10, 12*r.Float64()))
+		if r.Intn(2) == 0 {
+			v = -v
+		}
+		got, err := ParseBytesPerSec(v.String())
+		if err != nil {
+			t.Fatalf("ParseBytesPerSec(%q): %v", v.String(), err)
+		}
+		if relErr(float64(got), float64(v)) > tolBandwidth {
+			t.Fatalf("round trip %v -> %q -> %v", float64(v), v.String(), float64(got))
+		}
+	}
+}
+
+func TestFLOPSRateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		// String truncates through FLOPs(int64), so stay >= 1 KFLOP/s
+		// where that truncation is inside the two-decimal tolerance.
+		v := FLOPSRate(math.Pow(10, 3+12*r.Float64()))
+		if r.Intn(2) == 0 {
+			v = -v
+		}
+		got, err := ParseFLOPSRate(v.String())
+		if err != nil {
+			t.Fatalf("ParseFLOPSRate(%q): %v", v.String(), err)
+		}
+		if relErr(float64(got), float64(v)) > tolTwoDecimals {
+			t.Fatalf("round trip %v -> %q -> %v", float64(v), v.String(), float64(got))
+		}
+	}
+}
+
+// TestStringMinInt64 is the regression test for the String negation
+// overflow: -math.MinInt64 == math.MinInt64, which used to recurse
+// forever.
+func TestStringMinInt64(t *testing.T) {
+	if got := Bytes(math.MinInt64).String(); got != "-8388608.00 TiB" {
+		t.Errorf("Bytes(MinInt64) = %q", got)
+	}
+	if got := FLOPs(math.MinInt64).String(); !strings.HasPrefix(got, "-9223372.04 TFLOP") {
+		t.Errorf("FLOPs(MinInt64) = %q", got)
+	}
+}
+
+func TestParseExtremes(t *testing.T) {
+	// MinInt64 renders as exactly -2^63 bytes and parses back exactly.
+	got, err := ParseBytes(Bytes(math.MinInt64).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != math.MinInt64 {
+		t.Errorf("MinInt64 round trip = %d", got)
+	}
+	// MaxInt64's rendering rounds up to 2^63; the parser clamps back.
+	got, err = ParseBytes(Bytes(math.MaxInt64).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != math.MaxInt64 {
+		t.Errorf("MaxInt64 round trip = %d", got)
+	}
+	if _, err := ParseBytes("99999999999999.00 TiB"); err == nil {
+		t.Error("overflowing byte count must not parse")
+	}
+	if _, err := ParseFLOPs("99999999999.00 TFLOP"); err == nil {
+		t.Error("overflowing FLOP count must not parse")
+	}
+}
+
+func TestParseSpecials(t *testing.T) {
+	for _, v := range []Seconds{0, Seconds(math.Inf(1)), Seconds(math.Inf(-1))} {
+		got, err := ParseSeconds(v.String())
+		if err != nil {
+			t.Fatalf("ParseSeconds(%q): %v", v.String(), err)
+		}
+		if got != v {
+			t.Errorf("%q parsed to %v, want %v", v.String(), float64(got), float64(v))
+		}
+	}
+	nan, err := ParseSeconds(Seconds(math.NaN()).String())
+	if err != nil {
+		t.Fatalf("NaN seconds: %v", err)
+	}
+	if !math.IsNaN(float64(nan)) {
+		t.Errorf("NaN round trip = %v", float64(nan))
+	}
+	if got, err := ParseBytes(Bytes(0).String()); err != nil || got != 0 {
+		t.Errorf("zero bytes round trip = %v, %v", got, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", "12", "12 parsecs", "twelve GiB", "1 2 GiB", "1.0GiB",
+	}
+	for _, c := range cases {
+		if _, err := ParseBytes(c); err == nil {
+			t.Errorf("ParseBytes(%q) should fail", c)
+		}
+		if _, err := ParseSeconds(c); err == nil {
+			t.Errorf("ParseSeconds(%q) should fail", c)
+		}
+	}
+	if _, err := ParseBytesPerSec("16.0 GiB"); err == nil {
+		t.Error("bandwidth parser must reject byte units")
+	}
+	if _, err := ParseFLOPSRate("14.70 TFLOP"); err == nil {
+		t.Error("rate parser must reject work units")
+	}
+}

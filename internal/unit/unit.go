@@ -29,6 +29,9 @@ const (
 func (b Bytes) String() string {
 	switch v := float64(b); {
 	case b < 0:
+		if -b == b { // math.MinInt64: negation overflows to itself
+			return fmt.Sprintf("%.2f TiB", v/float64(TiB))
+		}
 		return "-" + (-b).String()
 	case b >= TiB:
 		return fmt.Sprintf("%.2f TiB", v/float64(TiB))
@@ -58,6 +61,9 @@ const (
 func (f FLOPs) String() string {
 	switch v := float64(f); {
 	case f < 0:
+		if -f == f { // math.MinInt64: negation overflows to itself
+			return fmt.Sprintf("%.2f TFLOP", v/float64(TFLOP))
+		}
 		return "-" + (-f).String()
 	case f >= TFLOP:
 		return fmt.Sprintf("%.2f TFLOP", v/float64(TFLOP))

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Regenerate the per-PR benchmark snapshot (BENCH_<n>.json at the repo
+# root): one entry per benchmark from the root harness (bench_test.go),
+# including the b.ReportMetric headline quantities (speedups, epoch
+# hours, stall seconds). Usage:
+#
+#   scripts/bench-snapshot.sh <pr-number> [extra go test args...]
+#
+# The snapshot is a paper trail, not a gate: -benchtime=1x measures a
+# single iteration, so ns/op is indicative only; the reported model
+# metrics are deterministic and are the stable signal to diff across
+# PRs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+pr="${1:?usage: scripts/bench-snapshot.sh <pr-number>}"
+shift || true
+
+out="BENCH_${pr}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench . -benchtime=1x -benchmem -run '^$' "$@" . | tee "$raw" >&2
+
+awk -v pr="$pr" -v goversion="$(go env GOVERSION)" -v date="$(date -u +%Y-%m-%d)" '
+BEGIN {
+	printf "{\n"
+	printf "  \"pr\": %s,\n", pr
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"benchtime\": \"1x\",\n"
+	printf "  \"benchmarks\": ["
+	n = 0
+}
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	if (n++) printf ","
+	printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/"/, "", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END {
+	printf "\n  ]\n}\n"
+}
+' "$raw" >"$out"
+
+echo "wrote $out" >&2
