@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"runtime"
 	"testing"
 
 	"karma/internal/baseline"
@@ -101,6 +102,44 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 	if red, ok := r.StallReduction[baseline.VDNNPP]; ok {
 		b.ReportMetric(100*red, "%stall-reduction-vs-vdnn")
+	}
+}
+
+// BenchmarkSweepParallel measures the parallel sweep engine end to end:
+// the Turing-NLG scaling panel (the heaviest grid — each ZeRO point
+// hides an MP x capacity-batch search) regenerated with the grid fanned
+// across workers, serial (workers-1) versus all cores (workers-all,
+// NumCPU — named machine-independently so snapshots diff across
+// runners). On a single-CPU runner both sub-benchmarks measure the same
+// serial path; the ns/op win against the pre-engine snapshots comes
+// from the cross-grid singleflight memoization the sweeps share either
+// way.
+func BenchmarkSweepParallel(b *testing.B) {
+	cl := hw.ABCI()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers-1", 1}, {"workers-all", runtime.NumCPU()}} {
+		workers := bc.workers
+		b.Run(bc.name, func(b *testing.B) {
+			benchBackends(b, func(b *testing.B, ev dist.Evaluator) {
+				var panel *experiments.Fig8Panel
+				var err error
+				for i := 0; i < b.N; i++ {
+					panel, err = experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev,
+						experiments.FamilyOptions{Ckpt: true, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				last := panel.Rows[len(panel.Rows)-1]
+				zero := last.Results["zero"]
+				combo := last.Results["zero+karma"]
+				if zero.Feasible && combo.Feasible {
+					b.ReportMetric(float64(zero.EpochTime)/float64(combo.EpochTime), "x-zero+karma-vs-zero")
+				}
+			})
+		})
 	}
 }
 
@@ -212,7 +251,7 @@ func BenchmarkTableV(b *testing.B) {
 		var sweeps map[string][]experiments.TableVRow
 		var err error
 		for i := 0; i < b.N; i++ {
-			sweeps, err = experiments.TableV(cl, ev)
+			sweeps, err = experiments.TableV(cl, ev, 0)
 			if err != nil {
 				b.Fatal(err)
 			}

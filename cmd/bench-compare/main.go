@@ -1,0 +1,55 @@
+// Command bench-compare diffs two benchmark snapshots (BENCH_<n>.json)
+// and fails when any benchmark's ns/op regressed past the threshold.
+// It is the CI bench gate; scripts/bench-compare wraps it.
+//
+// Usage:
+//
+//	bench-compare -old BENCH_6.json -new BENCH_7.json [-threshold 0.10]
+//
+// Exit status: 0 when no benchmark regressed (improvements, added and
+// removed benchmarks pass), 1 on regression, 2 on unusable input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"karma/internal/benchcmp"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline snapshot (required)")
+	newPath := flag.String("new", "", "candidate snapshot (required)")
+	threshold := flag.Float64("threshold", 0.10, "fractional ns/op growth that fails the gate")
+	flag.Parse()
+
+	code, err := run(*oldPath, *newPath, *threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+	}
+	os.Exit(code)
+}
+
+func run(oldPath, newPath string, threshold float64) (int, error) {
+	if oldPath == "" || newPath == "" {
+		return 2, fmt.Errorf("both -old and -new are required")
+	}
+	old, err := benchcmp.Load(oldPath)
+	if err != nil {
+		return 2, err
+	}
+	cur, err := benchcmp.Load(newPath)
+	if err != nil {
+		return 2, err
+	}
+	report, err := benchcmp.Compare(old, cur, threshold)
+	if err != nil {
+		return 2, err
+	}
+	fmt.Print(report)
+	if len(report.Regressions()) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

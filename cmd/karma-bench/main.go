@@ -39,15 +39,17 @@ func main() {
 		"add the GPipe-style pipeline-parallel baseline family to fig8/table4")
 	topoFlag := flag.String("topo", "flat",
 		"interconnect model collectives route over (internal/topo): flat (the seed's single contended ring), abci (Table II's 2-NIC rail-optimized fat tree), or fattree:<ratio> (leaf uplinks oversubscribed ratio:1)")
+	workers := flag.Int("workers", 0,
+		"goroutines fanning grid points across each sweep (0 = NumCPU); every worker count renders identical tables")
 	flag.Parse()
 
-	if err := run(*exp, *modelName, *backend, *precision, *topoFlag, *ckpt, *pipeline); err != nil {
+	if err := run(*exp, *modelName, *backend, *precision, *topoFlag, *ckpt, *pipeline, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline bool) error {
+func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline bool, workers int) error {
 	node := hw.ABCINode()
 	cl := hw.ABCI()
 	tp, err := topo.Parse(topoName)
@@ -63,7 +65,7 @@ func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline boo
 	if err != nil {
 		return err
 	}
-	fo := experiments.FamilyOptions{Ckpt: ckpt, Precision: prec, Pipeline: pipeline}
+	fo := experiments.FamilyOptions{Ckpt: ckpt, Precision: prec, Pipeline: pipeline, Workers: workers}
 	all := exp == "all"
 
 	if all || exp == "table1" {
@@ -158,7 +160,7 @@ func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline boo
 	}
 
 	if all || exp == "table5" {
-		sweeps, err := experiments.TableV(cl, ev)
+		sweeps, err := experiments.TableV(cl, ev, workers)
 		if err != nil {
 			return err
 		}
@@ -182,7 +184,7 @@ func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline boo
 	}
 
 	if all || exp == "ablations" {
-		rs, err := experiments.Ablations(node, cl, ev)
+		rs, err := experiments.Ablations(node, cl, ev, workers)
 		if err != nil {
 			return err
 		}

@@ -36,6 +36,8 @@ var Analyzer = &analysis.Analyzer{
 		"packages whose deterministic output golden tests depend on",
 	Packages: []string{
 		"karma/internal/experiments", "karma/internal/dist", "karma/internal/karma",
+		// The sweep engine orders results; the bench gate orders reports.
+		"karma/internal/sweep", "karma/internal/benchcmp",
 	},
 	Run: run,
 }

@@ -1,0 +1,207 @@
+// Package benchcmp diffs two benchmark snapshots (the BENCH_<n>.json
+// paper trail written by scripts/bench-snapshot.sh) and reports ns/op
+// regressions. It is the comparison engine behind scripts/bench-compare
+// and the nightly CI gate: a benchmark whose ns/op grew past the
+// threshold fails the gate, while improvements, newly added benchmarks
+// and removed benchmarks pass with a note. Reports list benchmarks in
+// sorted-name order so the output is stable across runs.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Benchmark is one snapshot entry: the harness name, its ns/op, and
+// every other numeric column the snapshot recorded (b.ReportMetric
+// quantities, B/op, allocs/op) under its original key.
+type Benchmark struct {
+	Name       string
+	Iterations int64
+	NsPerOp    float64
+	Metrics    map[string]float64
+}
+
+// UnmarshalJSON decodes the snapshot's open-keyed object form: "name"
+// and "iterations" are fixed, "ns/op" is the gated quantity, and every
+// remaining numeric key lands in Metrics verbatim.
+func (b *Benchmark) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	nameRaw, ok := raw["name"]
+	if !ok {
+		return fmt.Errorf("benchcmp: benchmark entry missing \"name\"")
+	}
+	if err := json.Unmarshal(nameRaw, &b.Name); err != nil {
+		return fmt.Errorf("benchcmp: bad benchmark name: %w", err)
+	}
+	if itersRaw, ok := raw["iterations"]; ok {
+		if err := json.Unmarshal(itersRaw, &b.Iterations); err != nil {
+			return fmt.Errorf("benchcmp: %s: bad iterations: %w", b.Name, err)
+		}
+	}
+	nsRaw, ok := raw["ns/op"]
+	if !ok {
+		return fmt.Errorf("benchcmp: %s: missing \"ns/op\"", b.Name)
+	}
+	if err := json.Unmarshal(nsRaw, &b.NsPerOp); err != nil {
+		return fmt.Errorf("benchcmp: %s: bad ns/op: %w", b.Name, err)
+	}
+	keys := make([]string, 0, len(raw))
+	for k := range raw { //karma:det-ok keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic error attribution across runs
+	b.Metrics = map[string]float64{}
+	for _, k := range keys {
+		switch k {
+		case "name", "iterations", "ns/op":
+			continue
+		}
+		var f float64
+		if err := json.Unmarshal(raw[k], &f); err != nil {
+			return fmt.Errorf("benchcmp: %s: metric %q is not numeric: %w", b.Name, k, err)
+		}
+		b.Metrics[k] = f
+	}
+	return nil
+}
+
+// Snapshot is one BENCH_<n>.json file.
+type Snapshot struct {
+	PR         json.RawMessage `json:"pr"` // number, or quoted label
+	Date       string          `json:"date"`
+	Go         string          `json:"go"`
+	Benchtime  string          `json:"benchtime"`
+	Samples    int             `json:"samples"` // best-of-N runs; 0 in pre-gate snapshots
+	Benchmarks []Benchmark     `json:"benchmarks"`
+}
+
+// Load reads and validates a snapshot file. A missing file, malformed
+// JSON, a duplicate benchmark name, or an entry without a usable ns/op
+// all error cleanly — the gate must fail loudly, not diff garbage.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchcmp: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchcmp: %s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchcmp: %s: no benchmarks", path)
+	}
+	seen := map[string]bool{}
+	for _, b := range s.Benchmarks {
+		if seen[b.Name] {
+			return nil, fmt.Errorf("benchcmp: %s: duplicate benchmark %q", path, b.Name)
+		}
+		seen[b.Name] = true
+	}
+	return &s, nil
+}
+
+// Delta is one benchmark present in both snapshots.
+type Delta struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Ratio     float64 // NewNs / OldNs
+	Regressed bool    // Ratio exceeded the threshold
+}
+
+// Report is the outcome of comparing two snapshots.
+type Report struct {
+	// Threshold is the fractional ns/op growth that fails the gate
+	// (0.10 = +10%).
+	Threshold float64
+	// Deltas covers benchmarks in both snapshots, sorted by name.
+	Deltas []Delta
+	// Added and Removed list benchmarks present in only one snapshot,
+	// sorted; both pass the gate.
+	Added, Removed []string
+}
+
+// Compare diffs old against new under the threshold. Only ns/op is
+// gated: the reported model metrics are asserted bit-exactly by the
+// golden tests, and allocation counts are advisory.
+func Compare(old, new *Snapshot, threshold float64) (*Report, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("benchcmp: threshold %v must be positive", threshold)
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	r := &Report{Threshold: threshold}
+	newNames := map[string]bool{}
+	for _, b := range new.Benchmarks {
+		newNames[b.Name] = true
+		ob, ok := oldBy[b.Name]
+		if !ok {
+			r.Added = append(r.Added, b.Name)
+			continue
+		}
+		if ob.NsPerOp <= 0 {
+			return nil, fmt.Errorf("benchcmp: %s: old ns/op %v is not positive", b.Name, ob.NsPerOp)
+		}
+		d := Delta{
+			Name:  b.Name,
+			OldNs: ob.NsPerOp,
+			NewNs: b.NsPerOp,
+			Ratio: b.NsPerOp / ob.NsPerOp,
+		}
+		d.Regressed = d.Ratio > 1+threshold
+		r.Deltas = append(r.Deltas, d)
+	}
+	for _, b := range old.Benchmarks {
+		if !newNames[b.Name] {
+			r.Removed = append(r.Removed, b.Name)
+		}
+	}
+	sort.Slice(r.Deltas, func(i, j int) bool { return r.Deltas[i].Name < r.Deltas[j].Name })
+	sort.Strings(r.Added)
+	sort.Strings(r.Removed)
+	return r, nil
+}
+
+// Regressions returns the deltas that failed the gate, sorted by name.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders the report: one line per compared benchmark with the
+// ns/op ratio, regressions flagged, and added/removed benchmarks noted.
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, d := range r.Deltas {
+		mark := "ok  "
+		if d.Regressed {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%s %-50s %14.0f -> %14.0f ns/op  (%+.1f%%)\n",
+			mark, d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+	}
+	for _, n := range r.Added {
+		fmt.Fprintf(&sb, "new  %s (no baseline)\n", n)
+	}
+	for _, n := range r.Removed {
+		fmt.Fprintf(&sb, "gone %s (removed from harness)\n", n)
+	}
+	if reg := r.Regressions(); len(reg) > 0 {
+		fmt.Fprintf(&sb, "%d benchmark(s) regressed more than %.0f%%\n", len(reg), r.Threshold*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,183 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(t *testing.T, benchmarks ...Benchmark) *Snapshot {
+	t.Helper()
+	return &Snapshot{Benchmarks: benchmarks}
+}
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, NsPerOp: ns}
+}
+
+func TestCompareRegressionDetected(t *testing.T) {
+	old := snap(t, bench("BenchmarkA", 100), bench("BenchmarkB", 200))
+	cur := snap(t, bench("BenchmarkA", 111), bench("BenchmarkB", 200))
+	r, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := r.Regressions()
+	if len(reg) != 1 || reg[0].Name != "BenchmarkA" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkA", reg)
+	}
+	if got := reg[0].Ratio; got <= 1.10 {
+		t.Errorf("ratio = %v, want > 1.10", got)
+	}
+	if !strings.Contains(r.String(), "FAIL BenchmarkA") {
+		t.Errorf("report does not flag the regression:\n%s", r)
+	}
+}
+
+func TestCompareBoundaryIsNotRegression(t *testing.T) {
+	// Exactly +10% sits on the threshold and passes; the gate fires on
+	// strictly-greater growth.
+	old := snap(t, bench("BenchmarkA", 100))
+	cur := snap(t, bench("BenchmarkA", 110))
+	r, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regressions()) != 0 {
+		t.Fatalf("boundary +10%% flagged as regression: %+v", r.Regressions())
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	old := snap(t, bench("BenchmarkA", 1000))
+	cur := snap(t, bench("BenchmarkA", 250))
+	r, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regressions()) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", r.Regressions())
+	}
+	if !strings.Contains(r.String(), "-75.0%") {
+		t.Errorf("report does not show the improvement:\n%s", r)
+	}
+}
+
+func TestCompareAddedAndRemovedPass(t *testing.T) {
+	old := snap(t, bench("BenchmarkGone", 100), bench("BenchmarkKept", 100))
+	cur := snap(t, bench("BenchmarkKept", 100), bench("BenchmarkNew", 9e9))
+	r, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regressions()) != 0 {
+		t.Fatalf("added/removed flagged as regression: %+v", r.Regressions())
+	}
+	if len(r.Added) != 1 || r.Added[0] != "BenchmarkNew" {
+		t.Errorf("Added = %v, want [BenchmarkNew]", r.Added)
+	}
+	if len(r.Removed) != 1 || r.Removed[0] != "BenchmarkGone" {
+		t.Errorf("Removed = %v, want [BenchmarkGone]", r.Removed)
+	}
+}
+
+func TestCompareDeterministicOrder(t *testing.T) {
+	// Input order scrambled; the report must sort by name.
+	old := snap(t, bench("BenchmarkC", 100), bench("BenchmarkA", 100), bench("BenchmarkB", 100))
+	cur := snap(t, bench("BenchmarkB", 500), bench("BenchmarkC", 500), bench("BenchmarkA", 500))
+	r, err := Compare(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"} {
+		if r.Deltas[i].Name != want {
+			t.Fatalf("Deltas[%d] = %s, want %s", i, r.Deltas[i].Name, want)
+		}
+	}
+}
+
+func TestCompareBadInputs(t *testing.T) {
+	good := snap(t, bench("BenchmarkA", 100))
+	if _, err := Compare(good, good, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	zeroNs := snap(t, bench("BenchmarkA", 0))
+	if _, err := Compare(zeroNs, good, 0.10); err == nil {
+		t.Error("non-positive old ns/op accepted")
+	}
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRealFormat(t *testing.T) {
+	path := writeFile(t, "bench.json", `{
+  "pr": 6,
+  "date": "2026-08-07",
+  "go": "go1.24.0",
+  "benchtime": "1x",
+  "benchmarks": [
+    {"name": "BenchmarkFigure8Turing/planned", "iterations": 1, "ns/op": 367894047, "x-zero+karma-vs-zero": 1.906, "B/op": 396482896, "allocs/op": 521646}
+  ]
+}`)
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Benchmarks[0]
+	if b.Name != "BenchmarkFigure8Turing/planned" || b.NsPerOp != 367894047 {
+		t.Fatalf("decoded %+v", b)
+	}
+	if b.Metrics["x-zero+karma-vs-zero"] != 1.906 {
+		t.Errorf("headline metric lost: %v", b.Metrics)
+	}
+	if s.Samples != 0 {
+		t.Errorf("pre-gate snapshot Samples = %d, want 0", s.Samples)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing":   "",
+		"malformed": `{"benchmarks": [`,
+		"empty":     `{"benchmarks": []}`,
+		"noname":    `{"benchmarks": [{"ns/op": 1}]}`,
+		"nons":      `{"benchmarks": [{"name": "BenchmarkA"}]}`,
+		"badns":     `{"benchmarks": [{"name": "BenchmarkA", "ns/op": "fast"}]}`,
+		"dup":       `{"benchmarks": [{"name": "BenchmarkA", "ns/op": 1}, {"name": "BenchmarkA", "ns/op": 2}]}`,
+	}
+	for label, content := range cases {
+		t.Run(label, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bench.json")
+			if label != "missing" {
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := Load(path); err == nil {
+				t.Errorf("Load(%s) accepted bad input", label)
+			}
+		})
+	}
+}
+
+func TestLoadCommittedSnapshots(t *testing.T) {
+	// Every committed BENCH_<n>.json must stay loadable — the gate diffs
+	// against them.
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no committed snapshots found (err=%v)", err)
+	}
+	for _, m := range matches {
+		if _, err := Load(m); err != nil {
+			t.Errorf("Load(%s): %v", m, err)
+		}
+	}
+}

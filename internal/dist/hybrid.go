@@ -67,22 +67,18 @@ func nodeShareBW(cl hw.Cluster) unit.BytesPerSec {
 	return shardEngine(cl).InterRoute().Bottleneck()
 }
 
-// profileFn builds (or recalls) a profile; the planned backend injects
-// its cache here so both backends share one setup path.
-type profileFn func(g *graph.Graph, node hw.Node, batch int, dt tensor.DType) (*profiler.Profile, error)
-
-func defaultProfile(g *graph.Graph, node hw.Node, batch int, dt tensor.DType) (*profiler.Profile, error) {
-	return profiler.New(g, node, profiler.Options{Batch: batch, DType: dt})
-}
-
 // hybridSetup validates the shared MP+DP argument set, profiles the
 // 1/mp shard (model.TransformerShard), and builds the shard's in-core
 // schedule — all-resident, or checkpointed under o.Checkpoint. Both
-// evaluator backends go through it, so feasibility verdicts agree by
-// construction. A non-nil Result reports an infeasible configuration.
-// With zero set, gradient and optimizer state additionally shard across
-// the data-parallel replicas — ZeRO's defining memory property.
-func hybridSetup(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, zero bool, o HybridOptions, shards func(model.TransformerConfig, int) *model.Shard, prof profileFn) (*model.Shard, *profiler.Profile, *karma.Schedule, *Result, error) {
+// evaluator backends go through it — so feasibility verdicts agree by
+// construction — and both draw the shard build, profile and schedule
+// from the process-wide memo caches (memo.go): grid points sharing
+// (model, mp, batch, precision) profile and partition the shard exactly
+// once, concurrent sweep workers included. A non-nil Result reports an
+// infeasible configuration. With zero set, gradient and optimizer state
+// additionally shard across the data-parallel replicas — ZeRO's
+// defining memory property.
+func hybridSetup(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, zero bool, o HybridOptions) (*model.Shard, *profiler.Profile, *karma.Schedule, *Result, error) {
 	if err := validateRun(cl, gpus, perReplicaBatch, samples); err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -107,14 +103,14 @@ func hybridSetup(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplic
 	if total := cl.TotalDevices(); gpus > total {
 		return nil, nil, nil, bad("cluster %s has %d devices, need %d", cl.Name, total, gpus), nil
 	}
-	if shards == nil {
-		shards = model.TransformerShard
+	shard := cachedShard(cfg, mp)
+	pk := shardProfileKey{
+		mk:    modelKey{cfg: cfg, mp: mp},
+		node:  cl.Node,
+		batch: perReplicaBatch,
+		dt:    o.Precision.DType(),
 	}
-	shard := shards(cfg, mp)
-	if prof == nil {
-		prof = defaultProfile
-	}
-	p, err := prof(shard.Graph, cl.Node, perReplicaBatch, o.Precision.DType())
+	p, err := cachedProfile(pk)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -132,21 +128,17 @@ func hybridSetup(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplic
 	m := budget(cl)
 	actBudget := m - weights - grads - master
 	// The schedule construction IS the capacity verdict (one scan, shared
-	// by both backends); its failure is re-rendered below as the stable
-	// memory Reason carrying the minimal activation footprint the regime
-	// could have reached.
+	// by both backends and memoized per (profile, budget, regime)); its
+	// failure is re-rendered below as the stable memory Reason carrying
+	// the minimal activation footprint the regime could have reached.
 	var s *karma.Schedule
 	if actBudget > 0 {
-		if o.Checkpoint {
-			s, _ = karma.Checkpoint(p, actBudget)
-		} else {
-			s, _ = karma.InCore(p, actBudget)
-		}
+		s = cachedSchedule(shardSchedKey{pk: pk, budget: actBudget, ckpt: o.Checkpoint}, p)
 	}
 	if s == nil {
 		actNeed := p.TotalActBytes
 		if o.Checkpoint {
-			actNeed = karma.CheckpointFootprint(p)
+			actNeed = cachedFootprint(pk, p)
 		}
 		return nil, nil, nil, bad(
 			"MP=%d shard needs %v of %v device memory; increase the MP factor or go out-of-core",
@@ -275,7 +267,7 @@ func megatronCost(cfg model.TransformerConfig, shard *model.Shard, p *profiler.P
 // exchange — the configuration of Fig. 8's "MP+DP" versus "MP+DP
 // opt-ex" curves — and activation checkpointing in the shard.
 func MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error) {
-	shard, p, s, bad, err := hybridSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, false, o, nil, nil)
+	shard, p, s, bad, err := hybridSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, false, o)
 	if err != nil || bad != nil {
 		return bad, err
 	}
@@ -296,7 +288,7 @@ func MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perRep
 // o.Checkpoint enables the activation checkpointing real ZeRO
 // deployments run with.
 func ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, o HybridOptions) (*Result, error) {
-	shard, p, s, bad, err := hybridSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, true, o, nil, nil)
+	shard, p, s, bad, err := hybridSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, true, o)
 	if err != nil || bad != nil {
 		return bad, err
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"karma/internal/comm"
-	"karma/internal/graph"
 	"karma/internal/hw"
 	"karma/internal/model"
 	"karma/internal/profiler"
@@ -92,11 +91,12 @@ func pipeWire(cl hw.Cluster, stages int, b comm.Backend) (func(unit.Bytes) unit.
 }
 
 // pipelineSetup validates the argument set shared by both backends,
-// profiles the full model at the micro-batch size, partitions it into
+// profiles the full model at the micro-batch size (memoized
+// process-wide, like the hybrids' shard profiles), partitions it into
 // balanced stages, and decides each stage's residency regime. Both
 // evaluator backends go through it, so feasibility verdicts agree by
 // construction. A non-nil Result reports an infeasible configuration.
-func pipelineSetup(cfg model.TransformerConfig, cl hw.Cluster, stages, gpus, perReplicaBatch, micro, samples int, o HybridOptions, graphs func(model.TransformerConfig) *graph.Graph, prof profileFn) ([]pipeStage, *profiler.Profile, *Result, error) {
+func pipelineSetup(cfg model.TransformerConfig, cl hw.Cluster, stages, gpus, perReplicaBatch, micro, samples int, o HybridOptions) ([]pipeStage, *profiler.Profile, *Result, error) {
 	if err := validateRun(cl, gpus, perReplicaBatch, samples); err != nil {
 		return nil, nil, nil, err
 	}
@@ -125,13 +125,12 @@ func pipelineSetup(cfg model.TransformerConfig, cl hw.Cluster, stages, gpus, per
 	if perReplicaBatch%micro != 0 {
 		return nil, nil, bad("%d micro-batches do not divide the per-replica batch %d", micro, perReplicaBatch), nil
 	}
-	if graphs == nil {
-		graphs = model.Transformer
-	}
-	if prof == nil {
-		prof = defaultProfile
-	}
-	p, err := prof(graphs(cfg), cl.Node, perReplicaBatch/micro, o.Precision.DType())
+	p, err := cachedProfile(shardProfileKey{
+		mk:    modelKey{cfg: cfg},
+		node:  cl.Node,
+		batch: perReplicaBatch / micro,
+		dt:    o.Precision.DType(),
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -274,7 +273,7 @@ func pipelineCost(sts []pipeStage, cl hw.Cluster, stages, replicas, micro int, o
 // form; the planned backend simulates the bottleneck stage per
 // micro-batch (see planned_pipeline.go).
 func Pipeline(cfg model.TransformerConfig, cl hw.Cluster, stages, gpus, perReplicaBatch, micro, samples int, o HybridOptions) (*Result, error) {
-	sts, _, bad, err := pipelineSetup(cfg, cl, stages, gpus, perReplicaBatch, micro, samples, o, nil, nil)
+	sts, _, bad, err := pipelineSetup(cfg, cl, stages, gpus, perReplicaBatch, micro, samples, o)
 	if err != nil || bad != nil {
 		return bad, err
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"karma/internal/comm"
 	"karma/internal/graph"
@@ -36,6 +35,13 @@ import (
 // design. Distinct graphs must be distinct pointers (true for every
 // model.Build/model.Transformer call site).
 //
+// Both caches are singleflight memos (memo.go), so one shared Planned
+// serves a parallel sweep: concurrent grid points that need the same
+// replica profile or partition search block on one computation instead
+// of duplicating or serializing it, and distinct keys plan in parallel.
+// The hybrid and pipeline shard builds/profiles/schedules come from the
+// process-wide caches both backends share (see hybridSetup).
+//
 // The in-core hybrid baselines (MegatronHybrid, ZeRO) run per layer too:
 // the 1/mp shard of model.TransformerShard is profiled, its in-core (or
 // checkpointed) schedule lowered to a plan, the blocking MP all-reduces
@@ -49,11 +55,8 @@ import (
 // its "analytic" tag in Result.Backend) rather than diverging on the
 // feasibility verdict.
 type Planned struct {
-	mu        sync.Mutex
-	profiles  map[profileKey]*profiler.Profile
-	schedules map[schedKey]*schedEntry
-	shards    map[shardKey]*model.Shard
-	graphs    map[model.TransformerConfig]*graph.Graph
+	profiles  memo[profileKey, *profiler.Profile]
+	schedules memo[schedKey, *karma.Schedule]
 
 	// failSim, when set, makes every simulation attempt report an error,
 	// forcing the analytic fallback paths. It exists only so the fallback
@@ -74,73 +77,31 @@ type schedKey struct {
 	opts karma.Options
 }
 
-type schedEntry struct {
-	s   *karma.Schedule
-	err error
-}
-
-type shardKey struct {
-	cfg model.TransformerConfig
-	mp  int
-}
-
 // NewPlanned returns a planner-backed evaluator with empty caches.
 func NewPlanned() *Planned {
-	return &Planned{
-		profiles:  map[profileKey]*profiler.Profile{},
-		schedules: map[schedKey]*schedEntry{},
-		shards:    map[shardKey]*model.Shard{},
-		graphs:    map[model.TransformerConfig]*graph.Graph{},
-	}
+	return &Planned{}
 }
 
 // errForcedFallback is returned by the simulation paths under the
 // failSim test hook.
 var errForcedFallback = fmt.Errorf("dist: simulation disabled (test hook)")
 
-// graph returns the cached full-model build for cfg (the pipeline
-// baseline partitions the unsharded transformer).
-func (pe *Planned) graph(cfg model.TransformerConfig) *graph.Graph {
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
-	if g, ok := pe.graphs[cfg]; ok {
-		return g
-	}
-	g := model.Transformer(cfg)
-	pe.graphs[cfg] = g
-	return g
-}
-
 // Name implements Evaluator.
 func (*Planned) Name() string { return "planned" }
 
 // profile returns the cached per-replica profile.
 func (pe *Planned) profile(g *graph.Graph, node hw.Node, batch int, dt tensor.DType) (*profiler.Profile, error) {
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
 	key := profileKey{g: g, node: node, batch: batch, dt: dt}
-	if p, ok := pe.profiles[key]; ok {
-		return p, nil
-	}
-	p, err := profiler.New(g, node, profiler.Options{Batch: batch, DType: dt})
-	if err != nil {
-		return nil, err
-	}
-	pe.profiles[key] = p
-	return p, nil
+	return pe.profiles.do(key, func() (*profiler.Profile, error) {
+		return profiler.New(g, node, profiler.Options{Batch: batch, DType: dt})
+	})
 }
 
 // plan returns the cached planner schedule for (profile, options).
 func (pe *Planned) plan(p *profiler.Profile, opts karma.Options) (*karma.Schedule, error) {
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
-	key := schedKey{p: p, opts: opts}
-	if e, ok := pe.schedules[key]; ok {
-		return e.s, e.err
-	}
-	s, err := karma.Plan(p, opts)
-	pe.schedules[key] = &schedEntry{s: s, err: err}
-	return s, err
+	return pe.schedules.do(schedKey{p: p, opts: opts}, func() (*karma.Schedule, error) {
+		return karma.Plan(p, opts)
+	})
 }
 
 // KARMADataParallel implements Evaluator with the planner-backed replica

@@ -20,25 +20,14 @@ import (
 // overlap exactly as scheduled (the fidelity tier above hybrid.go's
 // phase algebra).
 
-// shard returns the cached MP shard build for (cfg, mp).
-func (pe *Planned) shard(cfg model.TransformerConfig, mp int) *model.Shard {
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
-	key := shardKey{cfg: cfg, mp: mp}
-	if s, ok := pe.shards[key]; ok {
-		return s
-	}
-	s := model.TransformerShard(cfg, mp)
-	pe.shards[key] = s
-	return s
-}
-
 // hybrid evaluates one MP+DP (or ZeRO) configuration through the shared
-// setup and the per-layer simulation; a simulator failure on a
-// configuration the shared precheck deems feasible falls back to the
-// analytic closed form (the result keeps its "analytic" tag).
+// setup (whose shard builds, profiles and schedules come from the
+// process-wide memo caches) and the per-layer simulation; a simulator
+// failure on a configuration the shared precheck deems feasible falls
+// back to the analytic closed form (the result keeps its "analytic"
+// tag).
 func (pe *Planned) hybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch, samples int, zero bool, o HybridOptions) (*Result, error) {
-	shard, p, s, bad, err := hybridSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, zero, o, pe.shard, pe.profile)
+	shard, p, s, bad, err := hybridSetup(cfg, cl, mp, gpus, perReplicaBatch, samples, zero, o)
 	if err != nil {
 		return nil, err
 	}

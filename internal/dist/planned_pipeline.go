@@ -26,7 +26,7 @@ import (
 // feasible falls back to the analytic closed form (the result keeps its
 // "analytic" tag, Ckpt still recorded — the fallback contract).
 func (pe *Planned) Pipeline(cfg model.TransformerConfig, cl hw.Cluster, stages, gpus, perReplicaBatch, micro, samples int, o HybridOptions) (*Result, error) {
-	sts, _, bad, err := pipelineSetup(cfg, cl, stages, gpus, perReplicaBatch, micro, samples, o, pe.graph, pe.profile)
+	sts, _, bad, err := pipelineSetup(cfg, cl, stages, gpus, perReplicaBatch, micro, samples, o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"karma/internal/dist"
+	"karma/internal/hw"
+	"karma/internal/tensor"
+)
+
+// TestPanelDeterminismAcrossWorkers is the parallel-sweep contract:
+// every panel renders byte-identically for any worker count, because
+// grid cells land by index (sweep.Do) and the evaluators' singleflight
+// caches return one shared computation per key. Each panel renders at
+// workers=1 (the serial reference) and then at 2, 8 and NumCPU; any
+// byte of divergence is a scheduling leak into the numbers. Runs in
+// -short: the grids are the small analytic ones, with one
+// planner-backed panel guarding the shared-cache path.
+func TestPanelDeterminismAcrossWorkers(t *testing.T) {
+	cl := hw.ABCI()
+	node := hw.ABCINode()
+	fo := func(w int) FamilyOptions {
+		return FamilyOptions{Ckpt: true, Precision: tensor.MixedFP16, Workers: w}
+	}
+	panels := []struct {
+		name   string
+		render func(w int) (string, error)
+	}{
+		{"fig8-megatron", func(w int) (string, error) {
+			p, err := Figure8Megatron(cl, 2, []int{128, 512}, dist.Analytic{}, fo(w))
+			if err != nil {
+				return "", err
+			}
+			return p.Table().String(), nil
+		}},
+		{"fig8-turing", func(w int) (string, error) {
+			p, err := Figure8Turing(cl, []int{512}, dist.Analytic{}, fo(w))
+			if err != nil {
+				return "", err
+			}
+			return p.Table().String(), nil
+		}},
+		{"fig8-turing-planned", func(w int) (string, error) {
+			p, err := Figure8Turing(cl, []int{512}, dist.NewPlanned(), fo(w))
+			if err != nil {
+				return "", err
+			}
+			return p.Table().String(), nil
+		}},
+		{"table4", func(w int) (string, error) {
+			rows, err := TableIV(cl, dist.Analytic{}, fo(w))
+			if err != nil {
+				return "", err
+			}
+			return TableIVTable(rows).String(), nil
+		}},
+		{"table5", func(w int) (string, error) {
+			sweeps, err := TableV(cl, dist.Analytic{}, w)
+			if err != nil {
+				return "", err
+			}
+			return TableVTable("resnet50", sweeps["resnet50"]).String() +
+				TableVTable("resnet200", sweeps["resnet200"]).String(), nil
+		}},
+		{"topo", func(w int) (string, error) {
+			rows, err := TopologySweep(cl, 512, TopoLadder(), dist.Analytic{}, fo(w))
+			if err != nil {
+				return "", err
+			}
+			return TopoTable(rows, 512, "analytic").String(), nil
+		}},
+		{"ablations", func(w int) (string, error) {
+			rs, err := Ablations(node, cl, dist.Analytic{}, w)
+			if err != nil {
+				return "", err
+			}
+			return AblationTable(rs).String(), nil
+		}},
+	}
+	workerCounts := []int{1, 2, 8, runtime.NumCPU()}
+	for _, p := range panels {
+		t.Run(p.name, func(t *testing.T) {
+			ref, err := p.render(1)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			for _, w := range workerCounts[1:] {
+				got, err := p.render(w)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got != ref {
+					t.Errorf("workers=%d renders differently from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s", w, ref, w, got)
+				}
+			}
+		})
+	}
+}

@@ -152,7 +152,7 @@ func TestTableVCrossover(t *testing.T) {
 		t.Skip("cost sweep in -short mode")
 	}
 	cl := hw.ABCI()
-	all, err := TableV(cl, dist.Analytic{})
+	all, err := TableV(cl, dist.Analytic{}, 0)
 	if err != nil {
 		t.Fatalf("TableV: %v", err)
 	}

@@ -229,7 +229,7 @@ func TestAblations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep in -short mode")
 	}
-	rs, err := Ablations(hw.ABCINode(), hw.ABCI(), dist.Analytic{})
+	rs, err := Ablations(hw.ABCINode(), hw.ABCI(), dist.Analytic{}, 0)
 	if err != nil {
 		t.Fatalf("Ablations: %v", err)
 	}

@@ -7,6 +7,7 @@ import (
 	"karma/internal/dist"
 	"karma/internal/hw"
 	"karma/internal/model"
+	"karma/internal/sweep"
 	"karma/internal/tensor"
 )
 
@@ -30,6 +31,12 @@ type FamilyOptions struct {
 	// PipelineMicro is the micro-batch count per pipeline iteration
 	// (clamped to the per-replica batch). Zero means 8.
 	PipelineMicro int
+	// Workers bounds the goroutines fanning grid points across the panel
+	// (sweep.Workers semantics: >= 1 is the bound, anything else means
+	// runtime.NumCPU). Results are deterministic for every value: cells
+	// land by grid index, not completion order, and the evaluators share
+	// singleflight caches, so any worker count renders byte-identically.
+	Workers int
 }
 
 func (o FamilyOptions) hybrid(phased bool) dist.HybridOptions {
@@ -91,33 +98,60 @@ func Figure8Megatron(cl hw.Cluster, cfgIdx int, gpusList []int, ev dist.Evaluato
 	if o.Pipeline {
 		panel.Methods = append(panel.Methods, "pipeline")
 	}
-	for _, gpus := range gpusList {
-		row := Fig8Row{GPUs: gpus, Results: map[string]*dist.Result{}}
-		plain, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, o.hybrid(false))
-		if err != nil {
-			return nil, err
+	cells, err := runGrid(o.Workers, len(gpusList), len(panel.Methods), func(ri, mi int) (*dist.Result, error) {
+		gpus := gpusList[ri]
+		switch panel.Methods[mi] {
+		case "mp+dp":
+			return ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, o.hybrid(false))
+		case "mp+dp-opt":
+			return ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, o.hybrid(true))
+		case "karma-dp":
+			return ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, o.karma())
+		default: // pipeline
+			return ev.Pipeline(cfg, cl, mp, gpus, perReplicaBatch, o.micro(perReplicaBatch), openWTSamples, o.hybrid(true))
 		}
-		row.Results["mp+dp"] = plain
-		opt, err := ev.MegatronHybrid(cfg, cl, mp, gpus, perReplicaBatch, openWTSamples, o.hybrid(true))
-		if err != nil {
-			return nil, err
-		}
-		row.Results["mp+dp-opt"] = opt
-		karma, err := ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, o.karma())
-		if err != nil {
-			return nil, err
-		}
-		row.Results["karma-dp"] = karma
-		if o.Pipeline {
-			pipe, err := ev.Pipeline(cfg, cl, mp, gpus, perReplicaBatch, o.micro(perReplicaBatch), openWTSamples, o.hybrid(true))
-			if err != nil {
-				return nil, err
-			}
-			row.Results["pipeline"] = pipe
-		}
-		panel.Rows = append(panel.Rows, row)
+	})
+	if err != nil {
+		return nil, err
 	}
+	panel.fill(gpusList, cells)
 	return panel, nil
+}
+
+// runGrid evaluates a rows x methods grid under the worker bound,
+// landing each cell by its grid index so any worker count yields the
+// same cells; an error surfaces exactly as the serial row-major loop
+// would report it (lowest grid index wins — sweep.Do's contract).
+func runGrid(workers, rows, methods int, job func(ri, mi int) (*dist.Result, error)) ([][]*dist.Result, error) {
+	out := make([][]*dist.Result, rows)
+	for ri := range out {
+		out[ri] = make([]*dist.Result, methods)
+	}
+	err := sweep.Do(workers, rows*methods, func(i int) error {
+		ri, mi := i/methods, i%methods
+		r, err := job(ri, mi)
+		if err != nil {
+			return err
+		}
+		out[ri][mi] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fill materializes the panel rows from the evaluated grid (serially:
+// the Results maps are not written from sweep goroutines).
+func (p *Fig8Panel) fill(gpusList []int, cells [][]*dist.Result) {
+	for ri, gpus := range gpusList {
+		row := Fig8Row{GPUs: gpus, Results: map[string]*dist.Result{}}
+		for mi, m := range p.Methods {
+			row.Results[m] = cells[ri][mi]
+		}
+		p.Rows = append(p.Rows, row)
+	}
 }
 
 // ZeROCapacityBatch returns the largest power-of-two per-replica batch
@@ -158,18 +192,32 @@ func ZeROCapacityBatch(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus int,
 // fastest feasible epoch. Without checkpointing only MP=16 fits, which
 // degenerates to ZeROCapacityBatch.
 func ZeROBestConfig(cfg model.TransformerConfig, cl hw.Cluster, gpus int, ev dist.Evaluator, o FamilyOptions) (int, int, *dist.Result, error) {
-	var bestMP, bestBatch int
-	var best *dist.Result
-	for _, mp := range []int{2, 4, 8, 16} {
+	// The MP candidates evaluate in parallel (each capacity-batch sweep is
+	// inherently serial — every doubling depends on the previous verdict —
+	// but the degrees are independent); the winner is then picked in
+	// ascending-MP order with strict improvement, exactly the serial
+	// scan's tie-breaking.
+	mps := []int{2, 4, 8, 16}
+	type zcand struct {
+		batch int
+		r     *dist.Result
+	}
+	cands, err := sweep.Map(o.Workers, len(mps), func(i int) (zcand, error) {
+		mp := mps[i]
 		if gpus%mp != 0 || gpus/mp < 2 {
-			continue
+			return zcand{}, nil
 		}
 		batch, r, err := ZeROCapacityBatch(cfg, cl, mp, gpus, ev, o)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		if r.Feasible && (best == nil || r.EpochTime < best.EpochTime) {
-			bestMP, bestBatch, best = mp, batch, r
+		return zcand{batch: batch, r: r}, err
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var bestMP, bestBatch int
+	var best *dist.Result
+	for i, c := range cands {
+		if c.r != nil && c.r.Feasible && (best == nil || c.r.EpochTime < best.EpochTime) {
+			bestMP, bestBatch, best = mps[i], c.batch, c.r
 		}
 	}
 	if best == nil {
@@ -200,34 +248,27 @@ func Figure8Turing(cl hw.Cluster, gpusList []int, ev dist.Evaluator, o FamilyOpt
 	if o.Pipeline {
 		panel.Methods = append(panel.Methods, "pipeline")
 	}
-	for _, gpus := range gpusList {
-		row := Fig8Row{GPUs: gpus, Results: map[string]*dist.Result{}}
-		_, _, zero, err := ZeROBestConfig(cfg, cl, gpus, ev, o)
-		if err != nil {
-			return nil, err
-		}
-		row.Results["zero"] = zero
-		karma, err := ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, o.karma())
-		if err != nil {
-			return nil, err
-		}
-		row.Results["karma-dp"] = karma
-		combo, err := ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples,
-			dist.KARMAOptions{ZeROShard: true, Precision: o.Precision})
-		if err != nil {
-			return nil, err
-		}
-		row.Results["zero+karma"] = combo
-		if o.Pipeline {
+	cells, err := runGrid(o.Workers, len(gpusList), len(panel.Methods), func(ri, mi int) (*dist.Result, error) {
+		gpus := gpusList[ri]
+		switch panel.Methods[mi] {
+		case "zero":
+			_, _, zero, err := ZeROBestConfig(cfg, cl, gpus, ev, o)
+			return zero, err
+		case "karma-dp":
+			return ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples, o.karma())
+		case "zero+karma":
+			return ev.KARMADataParallel(g, cl, gpus, perReplicaBatch, openWTSamples,
+				dist.KARMAOptions{ZeROShard: true, Precision: o.Precision})
+		default: // pipeline
 			micro := o.micro(perReplicaBatch * pipeStages) // capacity sweep floor
 			_, pipe, err := dist.PipelineCapacityBatch(cfg, cl, pipeStages, gpus, micro, openWTSamples, ev, o.hybrid(true))
-			if err != nil {
-				return nil, err
-			}
-			row.Results["pipeline"] = pipe
+			return pipe, err
 		}
-		panel.Rows = append(panel.Rows, row)
+	})
+	if err != nil {
+		return nil, err
 	}
+	panel.fill(gpusList, cells)
 	return panel, nil
 }
 

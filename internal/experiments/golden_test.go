@@ -245,7 +245,7 @@ func TestGoldenTableIVOrdering(t *testing.T) {
 func TestGoldenTableVOrdering(t *testing.T) {
 	cl := hw.ABCI()
 	for name, ev := range goldenBackends() {
-		sweeps, err := TableV(cl, ev)
+		sweeps, err := TableV(cl, ev, 0)
 		if err != nil {
 			t.Fatalf("%s: TableV: %v", name, err)
 		}

@@ -60,31 +60,34 @@ func TableIV(cl hw.Cluster, ev dist.Evaluator, o FamilyOptions) ([]TableIVRow, e
 	hybridGPUs := []int{64, 128, 256, 512, 1024}
 	karmaGPUs := []int{32, 64, 128, 256, 512}
 	const perReplicaBatch = 4
-	var rows []TableIVRow
+	methods := 2
+	if o.Pipeline {
+		methods = 3
+	}
+	cells, err := runGrid(o.Workers, len(cfgs), methods, func(ri, mi int) (*dist.Result, error) {
+		cfg, mp := cfgs[ri], 1<<ri
+		switch mi {
+		case 0:
+			return ev.MegatronHybrid(cfg, cl, mp, hybridGPUs[ri], perReplicaBatch, openWTSamples, o.hybrid(false))
+		case 1:
+			return ev.KARMADataParallel(model.Transformer(cfg), cl, karmaGPUs[ri], perReplicaBatch, openWTSamples, o.karma())
+		default: // pipeline
+			return ev.Pipeline(cfg, cl, mp, hybridGPUs[ri], perReplicaBatch, o.micro(perReplicaBatch), openWTSamples, o.hybrid(true))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableIVRow, len(cfgs))
 	for i, cfg := range cfgs {
-		mp := 1 << i
-		h, err := ev.MegatronHybrid(cfg, cl, mp, hybridGPUs[i], perReplicaBatch, openWTSamples, o.hybrid(false))
-		if err != nil {
-			return nil, err
-		}
-		g := model.Transformer(cfg)
-		k, err := ev.KARMADataParallel(g, cl, karmaGPUs[i], perReplicaBatch, openWTSamples, o.karma())
-		if err != nil {
-			return nil, err
-		}
-		row := TableIVRow{
-			Config: cfg, MPGPUs: mp,
-			HybridGPUs: hybridGPUs[i], Hybrid: h,
-			KARMAGPUs: karmaGPUs[i], KARMA: k,
+		rows[i] = TableIVRow{
+			Config: cfg, MPGPUs: 1 << i,
+			HybridGPUs: hybridGPUs[i], Hybrid: cells[i][0],
+			KARMAGPUs: karmaGPUs[i], KARMA: cells[i][1],
 		}
 		if o.Pipeline {
-			p, err := ev.Pipeline(cfg, cl, mp, hybridGPUs[i], perReplicaBatch, o.micro(perReplicaBatch), openWTSamples, o.hybrid(true))
-			if err != nil {
-				return nil, err
-			}
-			row.Pipeline = p
+			rows[i].Pipeline = cells[i][2]
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -154,35 +157,42 @@ type TableVRow struct {
 // TableVModel evaluates one model's cost/performance sweep with the
 // given backend: data parallelism scales GPUs at the memory-capacity
 // batch; KARMA holds 100 GPUs and grows the per-GPU batch out-of-core.
-func TableVModel(cl hw.Cluster, name string, capacityBatch int, steps int, samples int, ev dist.Evaluator) ([]TableVRow, error) {
+// workers bounds the grid fan-out (sweep.Workers semantics).
+func TableVModel(cl hw.Cluster, name string, capacityBatch int, steps int, samples int, ev dist.Evaluator, workers int) ([]TableVRow, error) {
 	g := buildGraph(name)
 	const karmaGPUs = 100
-	var rows []TableVRow
-	for i := 1; i <= steps; i++ {
-		global := capacityBatch * karmaGPUs * i
-		dp, err := ev.DataParallel(g, cl, karmaGPUs*i, capacityBatch, samples)
-		if err != nil {
-			return nil, err
+	cells, err := runGrid(workers, steps, 2, func(ri, mi int) (*dist.Result, error) {
+		i := ri + 1
+		if mi == 0 {
+			return ev.DataParallel(g, cl, karmaGPUs*i, capacityBatch, samples)
 		}
-		km, err := ev.KARMADataParallel(g, cl, karmaGPUs, capacityBatch*i, samples, dist.KARMAOptions{})
-		if err != nil {
-			return nil, err
+		return ev.KARMADataParallel(g, cl, karmaGPUs, capacityBatch*i, samples, dist.KARMAOptions{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableVRow, steps)
+	for ri := range rows {
+		rows[ri] = TableVRow{
+			GlobalBatch: capacityBatch * karmaGPUs * (ri + 1),
+			DP:          cells[ri][0],
+			KARMA:       cells[ri][1],
 		}
-		rows = append(rows, TableVRow{GlobalBatch: global, DP: dp, KARMA: km})
 	}
 	return rows, nil
 }
 
 // TableV runs both Table V models: ResNet-50 (12.8K..76.8K samples) and
-// ResNet-200 (400..2,400 samples).
-func TableV(cl hw.Cluster, ev dist.Evaluator) (map[string][]TableVRow, error) {
+// ResNet-200 (400..2,400 samples). workers bounds each model's grid
+// fan-out.
+func TableV(cl hw.Cluster, ev dist.Evaluator, workers int) (map[string][]TableVRow, error) {
 	out := map[string][]TableVRow{}
-	r50, err := TableVModel(cl, "resnet50", 128, 6, 1_280_000, ev)
+	r50, err := TableVModel(cl, "resnet50", 128, 6, 1_280_000, ev, workers)
 	if err != nil {
 		return nil, err
 	}
 	out["resnet50"] = r50
-	r200, err := TableVModel(cl, "resnet200", 4, 6, 1_280_000, ev)
+	r200, err := TableVModel(cl, "resnet200", 4, 6, 1_280_000, ev, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -53,27 +53,38 @@ func TopologySweep(cl hw.Cluster, gpus int, topos []topo.Topology, ev dist.Evalu
 	cfg := model.TuringNLG()
 	const perReplicaBatch = 2 // Figure8Turing's per-GPU parity batch
 	g := model.Transformer(cfg)
-	var rows []TopoRow
-	for _, tp := range topos {
-		tcl := cl.WithTopology(tp)
-		_, _, zero, err := ZeROBestConfig(cfg, tcl, gpus, ev, o)
-		if err != nil {
-			return nil, fmt.Errorf("topo %s: %w", topoName(tp), err)
+	clusters := make([]hw.Cluster, len(topos))
+	for i, tp := range topos {
+		clusters[i] = cl.WithTopology(tp)
+	}
+	cells, err := runGrid(o.Workers, len(topos), 3, func(ri, mi int) (*dist.Result, error) {
+		tcl := clusters[ri]
+		var r *dist.Result
+		var err error
+		switch mi {
+		case 0:
+			_, _, r, err = ZeROBestConfig(cfg, tcl, gpus, ev, o)
+		case 1:
+			r, err = ev.KARMADataParallel(g, tcl, gpus, perReplicaBatch, openWTSamples, o.karma())
+		default:
+			r, err = ev.KARMADataParallel(g, tcl, gpus, perReplicaBatch, openWTSamples,
+				dist.KARMAOptions{ZeROShard: true, Precision: o.Precision})
 		}
-		karma, err := ev.KARMADataParallel(g, tcl, gpus, perReplicaBatch, openWTSamples, o.karma())
 		if err != nil {
-			return nil, fmt.Errorf("topo %s: %w", topoName(tp), err)
+			return nil, fmt.Errorf("topo %s: %w", topoName(topos[ri]), err)
 		}
-		combo, err := ev.KARMADataParallel(g, tcl, gpus, perReplicaBatch, openWTSamples,
-			dist.KARMAOptions{ZeROShard: true, Precision: o.Precision})
-		if err != nil {
-			return nil, fmt.Errorf("topo %s: %w", topoName(tp), err)
-		}
-		row := TopoRow{Topo: topoName(tp), ZeRO: zero, KARMA: karma, Combo: combo}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TopoRow, len(topos))
+	for ri, tp := range topos {
+		zero, karma, combo := cells[ri][0], cells[ri][1], cells[ri][2]
+		rows[ri] = TopoRow{Topo: topoName(tp), ZeRO: zero, KARMA: karma, Combo: combo}
 		if zero.Feasible && combo.Feasible {
-			row.Ratio = float64(zero.EpochTime) / float64(combo.EpochTime)
+			rows[ri].Ratio = float64(zero.EpochTime) / float64(combo.EpochTime)
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -55,14 +55,17 @@ func Checkpoint(p *profiler.Profile, budget unit.Bytes) (*Schedule, error) {
 	// Single scan, largest feasible run count first (most boundaries =
 	// least replay); on failure the scan's minimum doubles as the
 	// footprint the error reports, so feasibility needs no second pass.
+	// Candidates are costed from their cut positions alone; only the
+	// winner materializes a schedule.
+	cs := newCheckpointSearch(p)
 	minNeed := p.TotalActBytes
 	for runs := k - 1; runs >= 1; runs-- {
-		cand, foot, ok := checkpointRuns(p, budget, runs)
+		foot, ok := cs.footprint(runs)
 		if !ok {
 			continue
 		}
 		if foot+tail <= budget {
-			return cand, nil
+			return cs.materialize(s), nil
 		}
 		if foot+tail < minNeed {
 			minNeed = foot + tail
@@ -88,8 +91,9 @@ func CheckpointFootprint(p *profiler.Profile) unit.Bytes {
 		return best
 	}
 	tail := s.Blocks[k-1].Payload()
+	cs := newCheckpointSearch(p)
 	for runs := k - 1; runs >= 1; runs-- {
-		if _, foot, ok := checkpointRuns(p, unit.Bytes(math.MaxInt64), runs); ok {
+		if foot, ok := cs.footprint(runs); ok {
 			if need := foot + tail; need < best {
 				best = need
 			}
@@ -98,33 +102,46 @@ func CheckpointFootprint(p *profiler.Profile) unit.Bytes {
 	return best
 }
 
-// checkpointRuns builds the candidate schedule with the prefix [0, k-1)
-// recomputing in the given number of runs, and reports its prefix
-// footprint: resident boundary checkpoints plus the largest run plus one
-// block of transient slack (a replayed block coexists with its
-// consumer's activations while the boundary hand-off completes).
-func checkpointRuns(p *profiler.Profile, budget unit.Bytes, runs int) (*Schedule, unit.Bytes, bool) {
-	s, err := identitySchedule(p, budget)
-	if err != nil {
-		return nil, 0, false
-	}
-	k := len(s.Blocks)
-	r := k - 1
+// checkpointSearch is the shared state of the run-count scan: the
+// partition weights and the parametric-search memo (built once, queried
+// per candidate runs count) plus the anchor marks of the most recent
+// candidate. Identity blocks carry no weights or gradients, so a block's
+// Payload is exactly its profiled ActBytes — the candidate footprint is
+// computable from the profile and the cut positions alone, without
+// materializing a schedule per runs count.
+type checkpointSearch struct {
+	p        *profiler.Profile
+	r        int // prefix length: blocks [0, r) recompute, block r stays resident
+	pt       *solve.Partitioner
+	maxBlock unit.Bytes // largest prefix payload (the transient replay slack)
+	mark     []bool     // Ckpt anchors of the latest footprint() candidate
+}
+
+func newCheckpointSearch(p *profiler.Profile) *checkpointSearch {
+	r := len(p.Blocks) - 1
+	cs := &checkpointSearch{p: p, r: r, mark: make([]bool, r)}
 	weights := make([]float64, r)
-	var maxBlock unit.Bytes
 	for i := 0; i < r; i++ {
-		weights[i] = float64(s.Blocks[i].Payload()) + 1
-		if pl := s.Blocks[i].Payload(); pl > maxBlock {
-			maxBlock = pl
+		pl := p.Blocks[i].ActBytes
+		weights[i] = float64(pl) + 1
+		if pl > cs.maxBlock {
+			cs.maxBlock = pl
 		}
 	}
-	cuts, err := solve.BalancedPartition(weights, runs)
+	cs.pt, _ = solve.NewPartitioner(weights) // ActBytes >= 0: cannot fail
+	return cs
+}
+
+// footprint partitions the prefix into the given number of runs, places
+// the boundary checkpoints, and reports the candidate's prefix
+// footprint: resident boundary checkpoints plus the largest run plus one
+// block of transient slack (a replayed block coexists with its
+// consumer's activations while the boundary hand-off completes). The
+// anchor marks stay in cs.mark for materialize.
+func (cs *checkpointSearch) footprint(runs int) (unit.Bytes, bool) {
+	cuts, err := cs.pt.Cuts(runs)
 	if err != nil {
-		return nil, 0, false
-	}
-	s.Resident = r
-	for i := 0; i < r; i++ {
-		s.Blocks[i].Policy = Recompute
+		return 0, false
 	}
 	// A checkpoint must land on a block that physically stores its
 	// boundary (see checkpointPrefix); shift left inside the run when the
@@ -134,28 +151,49 @@ func checkpointRuns(p *profiler.Profile, budget unit.Bytes, runs int) (*Schedule
 	// would stay resident forever without a consumer (the leak the
 	// FuzzCheckpointSegments corpus pins).
 	canAnchor := func(i int) bool {
-		return s.Blocks[i].Cost.ActBytes >= s.Blocks[i].Cost.OutBytes &&
-			s.Blocks[i].Cost.OutBytes > 0
+		return cs.p.Blocks[i].ActBytes >= cs.p.Blocks[i].OutBytes &&
+			cs.p.Blocks[i].OutBytes > 0
 	}
-	for _, rg := range solve.Ranges(cuts, r) {
+	for i := range cs.mark {
+		cs.mark[i] = false
+	}
+	for _, rg := range solve.Ranges(cuts, cs.r) {
 		j := rg[1] - 1
-		if j == r-1 {
+		if j == cs.r-1 {
 			j--
 		}
 		for ; j >= rg[0]; j-- {
 			if canAnchor(j) {
-				s.Blocks[j].Ckpt = true
+				cs.mark[j] = true
 				break
 			}
 		}
 	}
-	var ckpt unit.Bytes
-	for i := 0; i < r; i++ {
-		if s.Blocks[i].Ckpt {
-			ckpt += s.Blocks[i].Cost.OutBytes
+	// ckpt + largest run + slack, with a run ending at each anchor (the
+	// prefix is one recompute chain, so maxRunBytes reduces to this scan).
+	var ckpt, maxRun, cur unit.Bytes
+	for i := 0; i < cs.r; i++ {
+		cur += cs.p.Blocks[i].ActBytes
+		if cur > maxRun {
+			maxRun = cur
+		}
+		if cs.mark[i] {
+			ckpt += cs.p.Blocks[i].OutBytes
+			cur = 0
 		}
 	}
-	return s, ckpt + maxRunBytes(s.Blocks) + maxBlock, true
+	return ckpt + maxRun + cs.maxBlock, true
+}
+
+// materialize turns the latest footprint() candidate into a schedule on
+// the identity partition s (which it mutates and returns).
+func (cs *checkpointSearch) materialize(s *Schedule) *Schedule {
+	s.Resident = cs.r
+	for i := 0; i < cs.r; i++ {
+		s.Blocks[i].Policy = Recompute
+		s.Blocks[i].Ckpt = cs.mark[i]
+	}
+	return s
 }
 
 // identitySchedule materializes one planner block per profiled segment,

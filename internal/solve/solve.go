@@ -48,41 +48,78 @@ func validCuts(cuts []int, n int) bool {
 // linear-partition problem, solved by parametric search). Weights must be
 // non-negative. It returns k-1 cuts; k must be in [1, n].
 func BalancedPartition(w []float64, k int) ([]int, error) {
-	n := len(w)
-	if k < 1 || k > n {
-		return nil, fmt.Errorf("solve: k=%d out of range [1,%d]", k, n)
+	pt, err := NewPartitioner(w)
+	if err != nil {
+		return nil, err
 	}
-	var total, maxw float64
+	return pt.Cuts(k)
+}
+
+// Partitioner answers BalancedPartition queries for many group counts
+// over one weight slice, memoizing the greedy group count per probed cap
+// so the parametric searches for different k — which visit overlapping
+// cap values — share their scans. A sweep that partitions the same chain
+// into every candidate k (the checkpoint run-count search) pays one scan
+// per distinct cap instead of one per (cap, k). Cut positions are
+// bit-identical to BalancedPartition's: the probe sequence and every
+// comparison are unchanged, only redundant rescans are skipped.
+type Partitioner struct {
+	w           []float64
+	total, maxw float64
+	counts      map[float64]int
+}
+
+// NewPartitioner validates the weights (which must be non-negative) and
+// returns a Partitioner over them. The caller must not mutate w.
+func NewPartitioner(w []float64) (*Partitioner, error) {
+	pt := &Partitioner{w: w}
 	for _, v := range w {
 		if v < 0 {
 			return nil, fmt.Errorf("solve: negative weight %v", v)
 		}
-		total += v
-		if v > maxw {
-			maxw = v
+		pt.total += v
+		if v > pt.maxw {
+			pt.maxw = v
 		}
+	}
+	return pt, nil
+}
+
+// count returns the number of groups the greedy split needs under cap.
+func (pt *Partitioner) count(cap float64) int {
+	if g, ok := pt.counts[cap]; ok {
+		return g
+	}
+	groups, sum := 1, 0.0
+	for _, v := range pt.w {
+		if sum+v > cap {
+			groups++
+			sum = v
+		} else {
+			sum += v
+		}
+	}
+	if pt.counts == nil {
+		pt.counts = map[float64]int{}
+	}
+	pt.counts[cap] = groups
+	return groups
+}
+
+// Cuts returns the k-1 cut positions of the balanced k-way partition;
+// k must be in [1, n].
+func (pt *Partitioner) Cuts(k int) ([]int, error) {
+	w := pt.w
+	n := len(w)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("solve: k=%d out of range [1,%d]", k, n)
 	}
 	// Binary search the smallest cap for which a greedy split needs <= k
 	// groups.
-	feasible := func(cap float64) bool {
-		groups, sum := 1, 0.0
-		for _, v := range w {
-			if sum+v > cap {
-				groups++
-				sum = v
-				if groups > k {
-					return false
-				}
-			} else {
-				sum += v
-			}
-		}
-		return true
-	}
-	lo, hi := maxw, total
+	lo, hi := pt.maxw, pt.total
 	for i := 0; i < 60; i++ {
 		mid := (lo + hi) / 2
-		if feasible(mid) {
+		if pt.count(mid) <= k {
 			hi = mid
 		} else {
 			lo = mid
@@ -100,33 +137,57 @@ func BalancedPartition(w []float64, k int) ([]int, error) {
 			sum += v
 		}
 	}
-	for len(cuts) < k-1 {
-		// Split the largest group at its weighted midpoint.
-		rs := Ranges(cuts, n)
+	if len(cuts) == k-1 {
+		return cuts, nil
+	}
+	// Split the largest remaining groups at their weighted midpoints until
+	// exactly k. Group sums are computed fresh left-to-right whenever a
+	// group is created — the same additions in the same order as a rescan
+	// of the group, so cut positions are bit-identical to recomputing every
+	// sum per split — and carried between iterations so each split costs
+	// O(group) instead of O(n) plus a sort.
+	sumOf := func(a, b int) float64 {
+		s := 0.0
+		for j := a; j < b; j++ {
+			s += w[j]
+		}
+		return s
+	}
+	type group struct {
+		start, end int
+		sum        float64
+	}
+	groups := make([]group, 0, k)
+	for _, r := range Ranges(cuts, n) {
+		groups = append(groups, group{r[0], r[1], sumOf(r[0], r[1])})
+	}
+	for len(groups) < k {
 		bi, bsum := -1, -1.0
-		for i, r := range rs {
-			if r[1]-r[0] < 2 {
+		for i, g := range groups {
+			if g.end-g.start < 2 {
 				continue
 			}
-			s := 0.0
-			for j := r[0]; j < r[1]; j++ {
-				s += w[j]
-			}
-			if s > bsum {
-				bsum, bi = s, i
+			if g.sum > bsum {
+				bsum, bi = g.sum, i
 			}
 		}
 		if bi < 0 {
 			return nil, fmt.Errorf("solve: cannot split %d items into %d groups", n, k)
 		}
-		r := rs[bi]
-		half, s := r[0]+1, w[r[0]]
-		for half < r[1]-1 && s < bsum/2 {
+		g := groups[bi]
+		half, s := g.start+1, w[g.start]
+		for half < g.end-1 && s < bsum/2 {
 			s += w[half]
 			half++
 		}
-		cuts = append(cuts, half)
-		sort.Ints(cuts)
+		groups = append(groups, group{})
+		copy(groups[bi+1:], groups[bi:])
+		groups[bi] = group{g.start, half, sumOf(g.start, half)}
+		groups[bi+1] = group{half, g.end, sumOf(half, g.end)}
+	}
+	cuts = cuts[:0]
+	for _, g := range groups[1:] {
+		cuts = append(cuts, g.start)
 	}
 	return cuts, nil
 }
