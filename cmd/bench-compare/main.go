@@ -1,10 +1,12 @@
 // Command bench-compare diffs two benchmark snapshots (BENCH_<n>.json)
-// and fails when any benchmark's ns/op regressed past the threshold.
-// It is the CI bench gate; scripts/bench-compare wraps it.
+// and fails when any benchmark regressed past the threshold along a
+// gated dimension: wall time (ns/op) and, by default, allocation count
+// (allocs/op) and allocated bytes (B/op). It is the CI bench gate;
+// scripts/bench-compare wraps it.
 //
 // Usage:
 //
-//	bench-compare -old BENCH_6.json -new BENCH_7.json [-threshold 0.10]
+//	bench-compare -old BENCH_6.json -new BENCH_7.json [-threshold 0.10] [-dims time,allocs,bytes]
 //
 // Exit status: 0 when no benchmark regressed (improvements, added and
 // removed benchmarks pass), 1 on regression, 2 on unusable input.
@@ -21,19 +23,24 @@ import (
 func main() {
 	oldPath := flag.String("old", "", "baseline snapshot (required)")
 	newPath := flag.String("new", "", "candidate snapshot (required)")
-	threshold := flag.Float64("threshold", 0.10, "fractional ns/op growth that fails the gate")
+	threshold := flag.Float64("threshold", 0.10, "fractional growth that fails the gate")
+	dims := flag.String("dims", "time,allocs,bytes", "comma-separated gated dimensions (time, allocs, bytes)")
 	flag.Parse()
 
-	code, err := run(*oldPath, *newPath, *threshold)
+	code, err := run(*oldPath, *newPath, *threshold, *dims)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
 	}
 	os.Exit(code)
 }
 
-func run(oldPath, newPath string, threshold float64) (int, error) {
+func run(oldPath, newPath string, threshold float64, dims string) (int, error) {
 	if oldPath == "" || newPath == "" {
 		return 2, fmt.Errorf("both -old and -new are required")
+	}
+	dimList, err := benchcmp.ParseDims(dims)
+	if err != nil {
+		return 2, err
 	}
 	old, err := benchcmp.Load(oldPath)
 	if err != nil {
@@ -43,7 +50,7 @@ func run(oldPath, newPath string, threshold float64) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	report, err := benchcmp.Compare(old, cur, threshold)
+	report, err := benchcmp.Compare(old, cur, threshold, dimList...)
 	if err != nil {
 		return 2, err
 	}

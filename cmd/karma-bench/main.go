@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"karma/internal/dist"
@@ -41,9 +43,47 @@ func main() {
 		"interconnect model collectives route over (internal/topo): flat (the seed's single contended ring), abci (Table II's 2-NIC rail-optimized fat tree), or fattree:<ratio> (leaf uplinks oversubscribed ratio:1)")
 	workers := flag.Int("workers", 0,
 		"goroutines fanning grid points across each sweep (0 = NumCPU); every worker count renders identical tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the selected experiments to this file (go tool pprof)")
 	flag.Parse()
 
-	if err := run(*exp, *modelName, *backend, *precision, *topoFlag, *ckpt, *pipeline, *workers); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	err := run(*exp, *modelName, *backend, *precision, *topoFlag, *ckpt, *pipeline, *workers)
+
+	// Flushed before any exit path: os.Exit skips deferred calls.
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr == nil {
+			runtime.GC() // settle live objects so alloc_* samples dominate
+			merr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "karma-bench: memprofile: %v\n", merr)
+			if err == nil {
+				os.Exit(1)
+			}
+		}
+	}
+
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
 		os.Exit(1)
 	}

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 )
 
 // Problem is a bounded integer minimization problem.
@@ -135,10 +134,13 @@ func Minimize(p Problem, opts Options) (Result, error) {
 		}
 		archive = append(archive, member{x: x, v: v})
 	}
-	sortArchive := func() {
-		sort.SliceStable(archive, func(i, j int) bool { return archive[i].v < archive[j].v })
+	// Stable insertion sort: a stable sort's output permutation is unique,
+	// so this matches sort.SliceStable without its reflection allocations.
+	for i := 1; i < len(archive); i++ {
+		for p := i; p > 0 && archive[p-1].v > archive[p].v; p-- {
+			archive[p-1], archive[p] = archive[p], archive[p-1]
+		}
 	}
-	sortArchive()
 
 	// Rank weights (ACO-R): w_j ~ exp(-(j)^2 / (2 q^2 k^2)).
 	k := float64(opts.Archive)
@@ -169,10 +171,13 @@ func Minimize(p Problem, opts Options) (Result, error) {
 		return v
 	}
 
+	// One scratch point serves every ant: accepted samples are copied
+	// into the evicted archive member rather than stealing the slice, so
+	// steady-state iterations allocate nothing.
+	x := make([]int, dim)
 	for it := 0; it < opts.Iterations; it++ {
 		for a := 0; a < opts.Ants; a++ {
 			j := pickKernel()
-			x := make([]int, dim)
 			for i := 0; i < dim; i++ {
 				// Spread: mean absolute distance of the archive to the
 				// chosen kernel in this dimension.
@@ -193,9 +198,14 @@ func Minimize(p Problem, opts Options) (Result, error) {
 			}
 			worst := &archive[opts.Archive-1]
 			if v < worst.v {
-				worst.x = x
+				copy(worst.x, x)
 				worst.v = v
-				sortArchive()
+				// Everything but the last member is already ordered; bubble
+				// it into place (swap only on strict >, preserving the
+				// stable order among equal values).
+				for p := opts.Archive - 1; p > 0 && archive[p-1].v > archive[p].v; p-- {
+					archive[p-1], archive[p] = archive[p], archive[p-1]
+				}
 			}
 		}
 	}

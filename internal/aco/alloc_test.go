@@ -1,0 +1,45 @@
+package aco
+
+import (
+	"testing"
+
+	"karma/internal/race"
+)
+
+// TestMinimizeIterationsAllocFree pins the colony's steady state: all
+// allocation happens in setup (RNG, archive, weights, scratch point) and
+// the final result copy, so extra iterations cost zero allocations. The
+// measurement compares two runs differing only in iteration count —
+// with a fixed seed both are deterministic, so any per-iteration
+// allocation shows up as an exact difference.
+func TestMinimizeIterationsAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	prob := Problem{
+		Lower: []int{0, 0, 0, 0},
+		Upper: []int{40, 40, 40, 40},
+		Objective: func(x []int) float64 {
+			var v float64
+			for _, xi := range x {
+				d := float64(xi - 17)
+				v += d * d
+			}
+			return v
+		},
+		Feasible: func(x []int) bool { return x[0] <= x[3]+30 },
+	}
+	measure := func(iterations int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Minimize(prob, Options{Seed: 11, Ants: 8, Archive: 6, Iterations: iterations}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := measure(20)
+	long := measure(220)
+	if long != base {
+		t.Errorf("200 extra iterations changed allocations: %.1f -> %.1f objects/op (want identical; %.3f/iteration)",
+			base, long, (long-base)/200)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"karma/internal/layer"
 	"karma/internal/plan"
 	"karma/internal/profiler"
+	"karma/internal/sim"
 	"karma/internal/solve"
 	"karma/internal/unit"
 )
@@ -364,31 +365,143 @@ func runRecompute(p *profiler.Profile, m Method) (*Result, error) {
 		sqrtN++
 	}
 
-	var candidates []int
 	if m == GradCkpt {
-		candidates = []int{sqrtN}
-	} else {
-		for k := 1; k <= n && k <= 48; k++ {
-			candidates = append(candidates, k)
-		}
-	}
-	var best *Result
-	for _, k := range candidates {
-		r, err := recomputeWithSegments(p, m, k, budget)
+		r, err := recomputeWithSegments(p, m, sqrtN, budget)
 		if err != nil {
 			return nil, err
 		}
 		if !r.Feasible {
+			return infeasible(m, "no feasible checkpoint segmentation"), nil
+		}
+		return r, nil
+	}
+	// Checkmate sweeps the segment count. Candidates are costed on a lean
+	// makespan-only path — one partitioner, builder, compiler, and
+	// simulator shared across all k, so the steady-state sweep allocates
+	// next to nothing — and only the winning k is rebuilt through the full
+	// reporting path. The lean plan is op-for-op the plan
+	// recomputeWithSegments builds, so the winner (first strict minimum in
+	// ascending k, matching the old sweep order) is unchanged.
+	sw, err := newCheckmateSweep(p, budget)
+	if err != nil {
+		return infeasible(m, err.Error()), nil
+	}
+	bestK := -1
+	var bestT unit.Seconds
+	for k := 1; k <= n && k <= 48; k++ {
+		t, ok := sw.iterTime(k)
+		if !ok {
 			continue
 		}
-		if best == nil || r.IterTime < best.IterTime {
-			best = r
+		if bestK < 0 || t < bestT {
+			bestK, bestT = k, t
 		}
 	}
-	if best == nil {
+	if bestK < 0 {
 		return infeasible(m, "no feasible checkpoint segmentation"), nil
 	}
-	return best, nil
+	return recomputeWithSegments(p, m, bestK, budget)
+}
+
+// checkmateSweep is the reusable candidate-evaluation state of the
+// Checkmate segment-count sweep.
+type checkmateSweep struct {
+	p      *profiler.Profile
+	budget unit.Bytes
+	pt     *solve.Partitioner
+	cuts   []int
+	bld    plan.Builder
+	comp   plan.Compiler
+	run    sim.Runner
+}
+
+func newCheckmateSweep(p *profiler.Profile, budget unit.Bytes) (*checkmateSweep, error) {
+	weights := make([]float64, len(p.Blocks))
+	for i, b := range p.Blocks {
+		weights[i] = float64(b.ActBytes) + 1
+	}
+	pt, err := solve.NewPartitioner(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &checkmateSweep{p: p, budget: budget, pt: pt}, nil
+}
+
+// iterTime costs one k-segment candidate: it builds the same plan as
+// recomputeWithSegments (identical ops in identical order, so the
+// simulated makespan is bit-identical) and reports the iteration time,
+// or ok=false where the full path would report an infeasible result.
+func (sw *checkmateSweep) iterTime(k int) (unit.Seconds, bool) {
+	p := sw.p
+	n := len(p.Blocks)
+	cuts, err := sw.pt.AppendCuts(sw.cuts[:0], k)
+	if err != nil {
+		return 0, false
+	}
+	sw.cuts = cuts
+	var ckpt unit.Bytes
+	for _, c := range cuts {
+		ckpt += p.Blocks[c-1].OutBytes
+	}
+	avail := sw.budget - ckpt
+	if avail <= 0 {
+		return 0, false
+	}
+	sw.bld.Reset(string(Checkmate), n)
+	// Forward: segment acts live until the next segment's first forward.
+	var prevAct unit.Bytes
+	start := 0
+	for ci := 0; ci <= len(cuts); ci++ {
+		end := n
+		if ci < len(cuts) {
+			end = cuts[ci]
+		}
+		var act unit.Bytes
+		for b := start; b < end; b++ {
+			op := plan.Op{Kind: plan.Fwd, Block: b, Duration: p.Blocks[b].FwdTime, Alloc: p.Blocks[b].ActBytes}
+			if b == start && ci > 0 {
+				op.Free = prevAct
+			}
+			sw.bld.Stage(op)
+			act += p.Blocks[b].ActBytes
+		}
+		prevAct = act
+		start = end
+	}
+	// Backward: the last segment kept its activations; earlier segments
+	// recompute wholesale from their incoming checkpoint.
+	for si := len(cuts); si >= 0; si-- {
+		s0 := 0
+		if si > 0 {
+			s0 = cuts[si-1]
+		}
+		e0 := n
+		if si < len(cuts) {
+			e0 = cuts[si]
+		}
+		if si < len(cuts) {
+			for b := s0; b < e0; b++ {
+				sw.bld.Stage(plan.Op{
+					Kind: plan.Recompute, Block: b, Duration: p.Blocks[b].FwdTime, Alloc: p.Blocks[b].ActBytes,
+				})
+			}
+		}
+		for b := e0 - 1; b >= s0; b-- {
+			sw.bld.Stage(plan.Op{
+				Kind: plan.Bwd, Block: b, Duration: p.Blocks[b].BwdTime, Free: p.Blocks[b].ActBytes,
+			})
+		}
+	}
+	c, err := sw.comp.Compile(sw.bld.Plan())
+	if err != nil {
+		return 0, false
+	}
+	//karma:plan-ok ops come from Compile on a Builder-made plan; reusing one Runner avoids Simulate's per-call allocations
+	tl, err := sw.run.Run(c.Ops, avail)
+	if err != nil {
+		return 0, false
+	}
+	return tl.Makespan, true
 }
 
 // recomputeWithSegments builds and simulates a k-segment checkpointing

@@ -1,7 +1,9 @@
 // Package benchcmp diffs two benchmark snapshots (the BENCH_<n>.json
-// paper trail written by scripts/bench-snapshot.sh) and reports ns/op
-// regressions. It is the comparison engine behind scripts/bench-compare
-// and the nightly CI gate: a benchmark whose ns/op grew past the
+// paper trail written by scripts/bench-snapshot.sh) and reports
+// regressions along one or more gated dimensions: wall time (ns/op) and,
+// when requested, allocation count (allocs/op) and allocated bytes
+// (B/op). It is the comparison engine behind scripts/bench-compare and
+// the nightly CI gate: a benchmark whose gated quantity grew past the
 // threshold fails the gate, while improvements, newly added benchmarks
 // and removed benchmarks pass with a note. Reports list benchmarks in
 // sorted-name order so the output is stable across runs.
@@ -10,10 +12,49 @@ package benchcmp
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
 )
+
+// The comparable snapshot dimensions. Time gates ns/op; Allocs and
+// Bytes gate the -benchmem columns, so allocation regressions fail the
+// nightly as loudly as time regressions.
+const (
+	DimTime   = "time"
+	DimAllocs = "allocs"
+	DimBytes  = "bytes"
+)
+
+// AllDims lists every comparable dimension in report order.
+var AllDims = []string{DimTime, DimAllocs, DimBytes}
+
+// ParseDims parses a comma-separated dimension list ("time,allocs,bytes")
+// into dimension names, rejecting unknown names and duplicates.
+func ParseDims(s string) ([]string, error) {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		d := strings.TrimSpace(f)
+		switch d {
+		case DimTime, DimAllocs, DimBytes:
+		case "":
+			return nil, fmt.Errorf("benchcmp: empty dimension in %q", s)
+		default:
+			return nil, fmt.Errorf("benchcmp: unknown dimension %q (want %s)", d, strings.Join(AllDims, ", "))
+		}
+		for _, seen := range out {
+			if seen == d {
+				return nil, fmt.Errorf("benchcmp: duplicate dimension %q", d)
+			}
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchcmp: no dimensions in %q", s)
+	}
+	return out, nil
+}
 
 // Benchmark is one snapshot entry: the harness name, its ns/op, and
 // every other numeric column the snapshot recorded (b.ReportMetric
@@ -107,39 +148,68 @@ func Load(path string) (*Snapshot, error) {
 	return &s, nil
 }
 
-// Delta is one benchmark present in both snapshots.
+// Delta is one benchmark present in both snapshots, compared along one
+// dimension.
 type Delta struct {
 	Name      string
-	OldNs     float64
-	NewNs     float64
-	Ratio     float64 // NewNs / OldNs
+	Unit      string // "ns/op", "allocs/op" or "B/op"
+	Old       float64
+	New       float64
+	Ratio     float64 // New / Old (+Inf when Old is 0 and New is not)
 	Regressed bool    // Ratio exceeded the threshold
 }
 
 // Report is the outcome of comparing two snapshots.
 type Report struct {
-	// Threshold is the fractional ns/op growth that fails the gate
-	// (0.10 = +10%).
+	// Threshold is the fractional growth that fails the gate
+	// (0.10 = +10%), shared by every gated dimension.
 	Threshold float64
-	// Deltas covers benchmarks in both snapshots, sorted by name.
+	// Dims are the dimensions that were gated, in report order.
+	Dims []string
+	// Deltas covers benchmarks in both snapshots, sorted by name — the
+	// ns/op section.
 	Deltas []Delta
+	// AllocDeltas and ByteDeltas are the allocs/op and B/op sections
+	// (empty unless their dimension was gated). Benchmarks whose
+	// snapshots predate -benchmem columns are skipped, not failed.
+	AllocDeltas []Delta
+	ByteDeltas  []Delta
 	// Added and Removed list benchmarks present in only one snapshot,
 	// sorted; both pass the gate.
 	Added, Removed []string
 }
 
-// Compare diffs old against new under the threshold. Only ns/op is
-// gated: the reported model metrics are asserted bit-exactly by the
-// golden tests, and allocation counts are advisory.
-func Compare(old, new *Snapshot, threshold float64) (*Report, error) {
+// Compare diffs old against new under the threshold along the given
+// dimensions; with none given only wall time (ns/op) is gated — the
+// pre-allocation-gate behaviour. The reported model metrics are never
+// gated here: they are asserted bit-exactly by the golden tests.
+func Compare(old, new *Snapshot, threshold float64, dims ...string) (*Report, error) {
 	if threshold <= 0 {
 		return nil, fmt.Errorf("benchcmp: threshold %v must be positive", threshold)
+	}
+	if len(dims) == 0 {
+		dims = []string{DimTime}
+	}
+	for _, d := range dims {
+		switch d {
+		case DimTime, DimAllocs, DimBytes:
+		default:
+			return nil, fmt.Errorf("benchcmp: unknown dimension %q (want %s)", d, strings.Join(AllDims, ", "))
+		}
 	}
 	oldBy := map[string]Benchmark{}
 	for _, b := range old.Benchmarks {
 		oldBy[b.Name] = b
 	}
-	r := &Report{Threshold: threshold}
+	r := &Report{Threshold: threshold, Dims: dims}
+	dimOn := func(d string) bool {
+		for _, v := range dims {
+			if v == d {
+				return true
+			}
+		}
+		return false
+	}
 	newNames := map[string]bool{}
 	for _, b := range new.Benchmarks {
 		newNames[b.Name] = true
@@ -148,52 +218,104 @@ func Compare(old, new *Snapshot, threshold float64) (*Report, error) {
 			r.Added = append(r.Added, b.Name)
 			continue
 		}
-		if ob.NsPerOp <= 0 {
-			return nil, fmt.Errorf("benchcmp: %s: old ns/op %v is not positive", b.Name, ob.NsPerOp)
+		if dimOn(DimTime) {
+			if ob.NsPerOp <= 0 {
+				return nil, fmt.Errorf("benchcmp: %s: old ns/op %v is not positive", b.Name, ob.NsPerOp)
+			}
+			r.Deltas = append(r.Deltas, delta(b.Name, "ns/op", ob.NsPerOp, b.NsPerOp, threshold))
 		}
-		d := Delta{
-			Name:  b.Name,
-			OldNs: ob.NsPerOp,
-			NewNs: b.NsPerOp,
-			Ratio: b.NsPerOp / ob.NsPerOp,
+		if dimOn(DimAllocs) {
+			if o, n, ok := metricPair(ob, b, "allocs/op"); ok {
+				r.AllocDeltas = append(r.AllocDeltas, delta(b.Name, "allocs/op", o, n, threshold))
+			}
 		}
-		d.Regressed = d.Ratio > 1+threshold
-		r.Deltas = append(r.Deltas, d)
+		if dimOn(DimBytes) {
+			if o, n, ok := metricPair(ob, b, "B/op"); ok {
+				r.ByteDeltas = append(r.ByteDeltas, delta(b.Name, "B/op", o, n, threshold))
+			}
+		}
 	}
 	for _, b := range old.Benchmarks {
 		if !newNames[b.Name] {
 			r.Removed = append(r.Removed, b.Name)
 		}
 	}
-	sort.Slice(r.Deltas, func(i, j int) bool { return r.Deltas[i].Name < r.Deltas[j].Name })
+	for _, ds := range [][]Delta{r.Deltas, r.AllocDeltas, r.ByteDeltas} {
+		ds := ds
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+	}
 	sort.Strings(r.Added)
 	sort.Strings(r.Removed)
 	return r, nil
 }
 
-// Regressions returns the deltas that failed the gate, sorted by name.
+// metricPair extracts one -benchmem metric from both sides; a side that
+// predates the column (old snapshots without -benchmem) skips the
+// comparison rather than failing it.
+func metricPair(old, new Benchmark, key string) (o, n float64, ok bool) {
+	o, ook := old.Metrics[key]
+	n, nok := new.Metrics[key]
+	return o, n, ook && nok
+}
+
+// delta compares one quantity. Old == 0 is legitimate for allocation
+// dimensions (an allocation-free benchmark); growth from zero is a
+// regression with an infinite ratio, staying at zero is a ratio of 1.
+func delta(name, unit string, old, new, threshold float64) Delta {
+	d := Delta{Name: name, Unit: unit, Old: old, New: new}
+	switch {
+	case old == 0 && new == 0:
+		d.Ratio = 1
+	case old == 0:
+		d.Ratio = math.Inf(1)
+	default:
+		d.Ratio = new / old
+	}
+	d.Regressed = d.Ratio > 1+threshold
+	return d
+}
+
+// Regressions returns the deltas that failed the gate across every
+// gated dimension, in section order (time, allocs, bytes), sorted by
+// name within each.
 func (r *Report) Regressions() []Delta {
 	var out []Delta
-	for _, d := range r.Deltas {
-		if d.Regressed {
-			out = append(out, d)
+	for _, ds := range [][]Delta{r.Deltas, r.AllocDeltas, r.ByteDeltas} {
+		for _, d := range ds {
+			if d.Regressed {
+				out = append(out, d)
+			}
 		}
 	}
 	return out
 }
 
-// String renders the report: one line per compared benchmark with the
-// ns/op ratio, regressions flagged, and added/removed benchmarks noted.
+// String renders the report: one section per gated dimension with one
+// line per compared benchmark, regressions flagged, and added/removed
+// benchmarks noted.
 func (r *Report) String() string {
 	var sb strings.Builder
-	for _, d := range r.Deltas {
-		mark := "ok  "
-		if d.Regressed {
-			mark = "FAIL"
+	section := func(title string, ds []Delta) {
+		if len(ds) == 0 {
+			return
 		}
-		fmt.Fprintf(&sb, "%s %-50s %14.0f -> %14.0f ns/op  (%+.1f%%)\n",
-			mark, d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+		if title != "" {
+			fmt.Fprintf(&sb, "%s:\n", title)
+		}
+		for _, d := range ds {
+			mark := "ok  "
+			if d.Regressed {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(&sb, "%s %-50s %14.0f -> %14.0f %s  (%+.1f%%)\n",
+				mark, d.Name, d.Old, d.New, d.Unit, (d.Ratio-1)*100)
+		}
 	}
+	// The time section keeps its historical headerless form; the
+	// allocation sections are labelled.
+	section("", r.Deltas)
+	section("allocs/op", r.AllocDeltas)
+	section("B/op", r.ByteDeltas)
 	for _, n := range r.Added {
 		fmt.Fprintf(&sb, "new  %s (no baseline)\n", n)
 	}

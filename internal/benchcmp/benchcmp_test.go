@@ -181,3 +181,94 @@ func TestLoadCommittedSnapshots(t *testing.T) {
 		}
 	}
 }
+
+func benchMem(name string, ns, allocs, bytes float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, NsPerOp: ns,
+		Metrics: map[string]float64{"allocs/op": allocs, "B/op": bytes}}
+}
+
+func TestCompareAllocDimensions(t *testing.T) {
+	// Time is flat; allocs regressed +50%, bytes improved. Gating all
+	// three dimensions must flag exactly the allocation regression, in
+	// its own section.
+	old := snap(t, benchMem("BenchmarkA", 100, 1000, 4096))
+	cur := snap(t, benchMem("BenchmarkA", 100, 1500, 2048))
+	r, err := Compare(old, cur, 0.10, AllDims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := r.Regressions()
+	if len(reg) != 1 || reg[0].Unit != "allocs/op" {
+		t.Fatalf("regressions = %+v, want one allocs/op entry", reg)
+	}
+	if len(r.Deltas) != 1 || len(r.AllocDeltas) != 1 || len(r.ByteDeltas) != 1 {
+		t.Fatalf("sections = %d/%d/%d, want 1/1/1", len(r.Deltas), len(r.AllocDeltas), len(r.ByteDeltas))
+	}
+	out := r.String()
+	if !strings.Contains(out, "allocs/op:") || !strings.Contains(out, "B/op:") {
+		t.Errorf("report lacks dimension sections:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL BenchmarkA") {
+		t.Errorf("report does not flag the alloc regression:\n%s", out)
+	}
+}
+
+func TestCompareAllocBoundaryAndImprovement(t *testing.T) {
+	// Same >10% threshold as time: exactly +10% passes, improvements
+	// pass.
+	old := snap(t, benchMem("BenchmarkA", 100, 1000, 1000))
+	cur := snap(t, benchMem("BenchmarkA", 100, 1100, 100))
+	r, err := Compare(old, cur, 0.10, DimAllocs, DimBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regressions()) != 0 {
+		t.Fatalf("boundary/improvement flagged: %+v", r.Regressions())
+	}
+	if len(r.Deltas) != 0 {
+		t.Fatalf("time section populated without the time dimension: %+v", r.Deltas)
+	}
+}
+
+func TestCompareAllocMissingBaselineSkipped(t *testing.T) {
+	// A baseline that predates -benchmem columns cannot gate allocations;
+	// the benchmark is skipped on those dimensions, not failed.
+	old := snap(t, bench("BenchmarkA", 100))
+	cur := snap(t, benchMem("BenchmarkA", 100, 99999, 99999))
+	r, err := Compare(old, cur, 0.10, AllDims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Regressions()) != 0 {
+		t.Fatalf("missing baseline columns flagged: %+v", r.Regressions())
+	}
+	if len(r.AllocDeltas) != 0 || len(r.ByteDeltas) != 0 {
+		t.Fatalf("alloc sections populated without baseline columns: %+v %+v", r.AllocDeltas, r.ByteDeltas)
+	}
+}
+
+func TestCompareAllocGrowthFromZero(t *testing.T) {
+	// 0 -> n allocations is a regression (infinite ratio); 0 -> 0 passes.
+	old := snap(t, benchMem("BenchmarkA", 100, 0, 0), benchMem("BenchmarkB", 100, 0, 0))
+	cur := snap(t, benchMem("BenchmarkA", 100, 7, 0), benchMem("BenchmarkB", 100, 0, 0))
+	r, err := Compare(old, cur, 0.10, DimAllocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := r.Regressions()
+	if len(reg) != 1 || reg[0].Name != "BenchmarkA" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkA", reg)
+	}
+}
+
+func TestParseDims(t *testing.T) {
+	got, err := ParseDims("time,allocs,bytes")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("ParseDims = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "time,", "speed", "time,time"} {
+		if _, err := ParseDims(bad); err == nil {
+			t.Errorf("ParseDims(%q) accepted", bad)
+		}
+	}
+}

@@ -1,12 +1,16 @@
 package dist
 
 import (
+	"fmt"
+	"sync"
+
 	"karma/internal/comm"
 	"karma/internal/hw"
 	"karma/internal/karma"
 	"karma/internal/model"
 	"karma/internal/plan"
 	"karma/internal/profiler"
+	"karma/internal/sim"
 	"karma/internal/unit"
 )
 
@@ -57,6 +61,8 @@ func (pe *Planned) hybridIter(cfg model.TransformerConfig, shard *model.Shard, p
 	if pe.failSim {
 		return 0, errForcedFallback
 	}
+	sc := hybridScratchPool.Get().(*hybridScratch)
+	defer hybridScratchPool.Put(sc)
 	pl, err := karma.BuildPlan(s)
 	if err != nil {
 		return 0, err
@@ -65,14 +71,63 @@ func (pe *Planned) hybridIter(cfg model.TransformerConfig, shard *model.Shard, p
 	// backward's blocking all-reduce ahead of the exchange phase it
 	// unblocks, the priority a real implementation gives the collective
 	// the next layer's compute is stalled on.
-	injectHybridExchange(pl, s, cl, replicas, mp*replicas, zero, o)
-	injectMPCollectives(pl, s, shard, p, cfg, cl, mp, replicas)
+	injectHybridExchange(pl, s, cl, replicas, mp*replicas, zero, o, &sc.ex)
+	injectMPCollectives(pl, s, shard, p, cfg, cl, mp, replicas, &sc.mp)
 	appendHybridUpdate(pl, s, cl, zero, replicas)
-	_, tl, err := pl.Simulate(s.Budget)
+	// Compile and run on the scratch's long-lived compiler and simulator
+	// (exactly what pl.Simulate does on fresh ones, error strings
+	// included) so the per-configuration evaluation stays allocation-lean.
+	c, err := sc.comp.Compile(pl)
 	if err != nil {
 		return 0, err
 	}
+	//karma:plan-ok ops come from Compile on this same plan; the pooled Runner just skips Simulate's per-call allocations
+	tl, err := sc.run.Run(c.Ops, s.Budget)
+	if err != nil {
+		return 0, fmt.Errorf("plan %s: %w", pl.Name, err)
+	}
 	return tl.Makespan, nil
+}
+
+// hybridScratch is the reusable evaluation state of one planned-hybrid
+// simulation: the stage arenas the injectors rebuild into plus the
+// compiler and simulator. Pooled because the sweep engine evaluates
+// configurations from several workers; reuse never changes results, it
+// only skips re-growing the buffers.
+type hybridScratch struct {
+	comp plan.Compiler
+	run  sim.Runner
+	ex   stageArena
+	mp   stageArena
+}
+
+var hybridScratchPool = sync.Pool{New: func() any { return new(hybridScratch) }}
+
+// stageArena backs one injector's rebuilt stage list with two flat
+// slices, so a steady-state rebuild allocates nothing once grown. Ops of
+// kept stages alias the input plan; single-op stages point into the ops
+// arena (growth may leave earlier stages on an older backing array,
+// which is fine — they are never mutated afterwards).
+type stageArena struct {
+	stages []plan.Stage
+	ops    []plan.Op
+}
+
+func (a *stageArena) reset() {
+	a.stages = a.stages[:0]
+	a.ops = a.ops[:0]
+}
+
+// keep copies an existing stage through unchanged.
+func (a *stageArena) keep(st plan.Stage) {
+	a.stages = append(a.stages, st)
+}
+
+// one appends a new single-op stage.
+func (a *stageArena) one(op plan.Op) {
+	a.ops = append(a.ops, op)
+	n := len(a.ops)
+	a.stages = append(a.stages, plan.Stage{Ops: a.ops[n-1 : n : n]})
 }
 
 // injectMPCollectives inserts the blocking Megatron all-reduces: one
@@ -85,7 +140,7 @@ func (pe *Planned) hybridIter(cfg model.TransformerConfig, shard *model.Shard, p
 // may start. MP groups packed inside one node collect over NVLink
 // (plan.MPAllReduceLocal) and leave the network stream to the exchange;
 // groups spanning nodes contend with it (plan.MPAllReduce).
-func injectMPCollectives(pl *plan.Plan, s *karma.Schedule, shard *model.Shard, p *profiler.Profile, cfg model.TransformerConfig, cl hw.Cluster, mp, replicas int) {
+func injectMPCollectives(pl *plan.Plan, s *karma.Schedule, shard *model.Shard, p *profiler.Profile, cfg model.TransformerConfig, cl hw.Cluster, mp, replicas int, arena *stageArena) {
 	if mp <= 1 {
 		return
 	}
@@ -98,14 +153,14 @@ func injectMPCollectives(pl *plan.Plan, s *karma.Schedule, shard *model.Shard, p
 	if mp <= cl.Node.Devices {
 		kind = plan.MPAllReduceLocal
 	}
-	ar := func(block, n int) plan.Stage {
-		return plan.Stage{Ops: []plan.Op{{
+	ar := func(block, n int) {
+		arena.one(plan.Op{
 			Kind: kind, Block: block,
 			Duration: unit.Seconds(float64(n) * float64(perAR)),
-		}}}
+		})
 	}
 	fwdAR, bwdAR := arCounts(shard, p)
-	out := make([]plan.Stage, 0, 2*len(pl.Stages))
+	arena.reset()
 	for _, st := range pl.Stages {
 		if len(st.Ops) == 1 && st.Ops[0].Kind == plan.Bwd && bwdAR[st.Ops[0].Block] > 0 {
 			// dgrad → input-gradient all-reduce ∥ wgrad: the collective
@@ -118,13 +173,12 @@ func injectMPCollectives(pl *plan.Plan, s *karma.Schedule, shard *model.Shard, p
 			dgrad.Alloc, dgrad.Free = op.Alloc, 0
 			wgrad.Duration = op.Duration - dgrad.Duration
 			wgrad.Alloc, wgrad.Free = 0, op.Free
-			out = append(out,
-				plan.Stage{Ops: []plan.Op{dgrad}},
-				ar(op.Block, bwdAR[op.Block]),
-				plan.Stage{Ops: []plan.Op{wgrad}})
+			arena.one(dgrad)
+			ar(op.Block, bwdAR[op.Block])
+			arena.one(wgrad)
 			continue
 		}
-		out = append(out, st)
+		arena.keep(st)
 		for _, op := range st.Ops {
 			n := 0
 			switch op.Kind {
@@ -142,11 +196,11 @@ func injectMPCollectives(pl *plan.Plan, s *karma.Schedule, shard *model.Shard, p
 				}
 			}
 			if n > 0 {
-				out = append(out, ar(op.Block, n))
+				ar(op.Block, n)
 			}
 		}
 	}
-	pl.Stages = out
+	pl.Stages = arena.stages
 }
 
 // firstWeightedBlock returns the lowest block index carrying weights —
@@ -169,7 +223,7 @@ func firstWeightedBlock(s *karma.Schedule) int {
 // reduce-scatter half, and the matching parameter all-gather half
 // prefetches ahead of the forward pass that consumes it (steady state),
 // filling the network gaps between the blocking forward collectives.
-func injectHybridExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, replicas, gpus int, zero bool, o HybridOptions) {
+func injectHybridExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, replicas, gpus int, zero bool, o HybridOptions, arena *stageArena) {
 	if replicas <= 1 {
 		return
 	}
@@ -229,25 +283,25 @@ func injectHybridExchange(pl *plan.Plan, s *karma.Schedule, cl hw.Cluster, repli
 		agBefore = spread(fwdSizes, true)
 	}
 
-	out := make([]plan.Stage, 0, len(pl.Stages)+2*len(exAfter))
+	arena.reset()
 	for _, st := range pl.Stages {
 		for _, op := range st.Ops {
 			if op.Kind == plan.Fwd && agBefore[op.Block] > 0 {
-				out = append(out, plan.Stage{Ops: []plan.Op{{
+				arena.one(plan.Op{
 					Kind: plan.ParamGather, Block: op.Block, Duration: agBefore[op.Block],
-				}}})
+				})
 			}
 		}
-		out = append(out, st)
+		arena.keep(st)
 		for _, op := range st.Ops {
 			if op.Kind == plan.Bwd && exAfter[op.Block] > 0 {
-				out = append(out, plan.Stage{Ops: []plan.Op{{
+				arena.one(plan.Op{
 					Kind: plan.GradExchange, Block: op.Block, Duration: exAfter[op.Block],
-				}}})
+				})
 			}
 		}
 	}
-	pl.Stages = out
+	pl.Stages = arena.stages
 }
 
 // appendHybridUpdate closes the iteration with the device-side optimizer

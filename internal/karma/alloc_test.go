@@ -1,0 +1,31 @@
+package karma
+
+import (
+	"testing"
+
+	"karma/internal/race"
+)
+
+// TestCheckpointProbeAllocFree pins the Checkpoint run-count scan's
+// steady state: once the partitioner's cap memo and the search scratch
+// are warm, probing every candidate run count costs zero allocations —
+// only the winning candidate materializes a schedule. This is what
+// keeps Checkpoint cheap inside the dist backends' capacity sweeps.
+func TestCheckpointProbeAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	p := ckptProfile(t, 16)
+	cs := newCheckpointSearch(p)
+	k := len(p.Blocks)
+	probeAll := func() {
+		for runs := k - 1; runs >= 1; runs-- {
+			cs.footprint(runs)
+		}
+	}
+	probeAll() // warm: builds the cap memo and sizes the cut scratch
+
+	if allocs := testing.AllocsPerRun(20, probeAll); allocs != 0 {
+		t.Errorf("warm footprint probing allocated %.1f objects per full scan, want 0", allocs)
+	}
+}

@@ -115,6 +115,7 @@ type checkpointSearch struct {
 	pt       *solve.Partitioner
 	maxBlock unit.Bytes // largest prefix payload (the transient replay slack)
 	mark     []bool     // Ckpt anchors of the latest footprint() candidate
+	cuts     []int      // scratch cut buffer reused across runs counts
 }
 
 func newCheckpointSearch(p *profiler.Profile) *checkpointSearch {
@@ -139,10 +140,11 @@ func newCheckpointSearch(p *profiler.Profile) *checkpointSearch {
 // consumer's activations while the boundary hand-off completes). The
 // anchor marks stay in cs.mark for materialize.
 func (cs *checkpointSearch) footprint(runs int) (unit.Bytes, bool) {
-	cuts, err := cs.pt.Cuts(runs)
+	cuts, err := cs.pt.AppendCuts(cs.cuts[:0], runs)
 	if err != nil {
 		return 0, false
 	}
+	cs.cuts = cuts
 	// A checkpoint must land on a block that physically stores its
 	// boundary (see checkpointPrefix); shift left inside the run when the
 	// nominal end cannot anchor. Unanchorable runs merge with their
@@ -157,17 +159,23 @@ func (cs *checkpointSearch) footprint(runs int) (unit.Bytes, bool) {
 	for i := range cs.mark {
 		cs.mark[i] = false
 	}
-	for _, rg := range solve.Ranges(cuts, cs.r) {
-		j := rg[1] - 1
+	start := 0
+	for ci := 0; ci <= len(cuts); ci++ {
+		end := cs.r
+		if ci < len(cuts) {
+			end = cuts[ci]
+		}
+		j := end - 1
 		if j == cs.r-1 {
 			j--
 		}
-		for ; j >= rg[0]; j-- {
+		for ; j >= start; j-- {
 			if canAnchor(j) {
 				cs.mark[j] = true
 				break
 			}
 		}
+		start = end
 	}
 	// ckpt + largest run + slack, with a run ending at each anchor (the
 	// prefix is one recompute chain, so maxRunBytes reduces to this scan).

@@ -30,6 +30,15 @@ import (
 // the backward swap-in, and drain their gradients to far memory after
 // backward — the Fig. 3 pipeline of one KARMA-DP replica.
 func BuildPlan(s *Schedule) (*plan.Plan, error) {
+	return buildPlan(new(plan.Builder), "karma/"+s.Profile.Graph.Name(), s)
+}
+
+// buildPlan lowers s into the builder's arenas (see BuildPlan for the
+// schedule semantics). The candidate search passes one long-lived
+// builder and a precomputed name so steady-state builds allocate
+// nothing; the returned plan aliases the builder and is invalidated by
+// its next Reset.
+func buildPlan(bld *plan.Builder, name string, s *Schedule) (*plan.Plan, error) {
 	k := len(s.Blocks)
 	if k == 0 {
 		return nil, fmt.Errorf("karma: empty schedule")
@@ -46,7 +55,7 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 		}
 	}
 
-	p := &plan.Plan{Name: "karma/" + s.Profile.Graph.Name(), NumBlocks: k}
+	bld.Reset(name, k)
 	swapBW := hw.SwapThroughput(s.Profile.Node)
 	lat := s.Profile.Node.Link.Latency
 	move := func(n unit.Bytes) unit.Seconds {
@@ -73,9 +82,9 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 
 	// Forward phase.
 	for b := 0; b < k; b++ {
-		st := plan.Stage{}
+		bld.BeginStage()
 		if b == 0 && streamed(0) {
-			st.Ops = append(st.Ops, wIn(0))
+			bld.Add(wIn(0))
 		}
 		alloc := s.Blocks[b].Payload()
 		if streamed(b) {
@@ -99,9 +108,9 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 			}
 			fwd.Free += drop
 		}
-		st.Ops = append(st.Ops, fwd)
+		bld.Add(fwd)
 		if b > 0 && s.Blocks[b-1].Policy == Swap {
-			st.Ops = append(st.Ops, plan.Op{
+			bld.Add(plan.Op{
 				Kind: plan.SwapOut, Block: b - 1,
 				Duration: heavyMove(b - 1),
 				Free:     s.Blocks[b-1].Cost.ActBytes + s.Blocks[b-1].WBytes,
@@ -110,9 +119,9 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 		if b+1 < k && streamed(b+1) {
 			// Prefetch the next block's weights one stage ahead so the
 			// transfer overlaps this block's forward compute.
-			st.Ops = append(st.Ops, wIn(b+1))
+			bld.Add(wIn(b + 1))
 		}
-		p.Stages = append(p.Stages, st)
+		bld.EndStage()
 	}
 
 	// Backward phase. First stage: B_{k-1} plus every swap-in, queued in
@@ -134,11 +143,12 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 		lastBwd.Alloc = s.Blocks[k-1].GBytes
 		lastBwd.Free = s.Blocks[k-1].Cost.ActBytes
 	}
-	first := plan.Stage{Ops: []plan.Op{lastBwd}}
+	bld.BeginStage()
+	bld.Add(lastBwd)
 	for b := k - 2; b >= 0; b-- {
 		switch s.Blocks[b].Policy {
 		case Swap:
-			first.Ops = append(first.Ops, plan.Op{
+			bld.Add(plan.Op{
 				Kind: plan.SwapIn, Block: b,
 				Duration: move(s.Blocks[b].Cost.HeavyActBytes + s.Blocks[b].WBytes),
 				Alloc:    s.Blocks[b].Cost.HeavyActBytes + s.Blocks[b].WBytes + s.Blocks[b].GBytes,
@@ -149,19 +159,19 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 					if streamed(rb) {
 						op := wIn(rb)
 						op.Alloc += s.Blocks[rb].GBytes
-						first.Ops = append(first.Ops, op)
+						bld.Add(op)
 					}
 				}
 			}
 		}
 	}
-	p.Stages = append(p.Stages, first)
+	bld.EndStage()
 	if streamed(k - 1) {
-		p.Stages = append(p.Stages, plan.Stage{Ops: []plan.Op{{
+		bld.Stage(plan.Op{
 			Kind: plan.SwapOut, Block: k - 1,
 			Duration: move(s.Blocks[k-1].GBytes),
 			Free:     s.Blocks[k-1].WBytes + s.Blocks[k-1].GBytes,
-		}}})
+		})
 	}
 
 	for b := k - 2; b >= 0; b-- {
@@ -181,7 +191,7 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 					// The replay consumes the checkpoint boundary.
 					op.Free = s.Blocks[start-1].Cost.OutBytes
 				}
-				p.Stages = append(p.Stages, plan.Stage{Ops: []plan.Op{op}})
+				bld.Stage(op)
 			}
 		}
 		bwd := plan.Op{
@@ -200,19 +210,19 @@ func BuildPlan(s *Schedule) (*plan.Plan, error) {
 			bwd.Duration += s.Blocks[b].Cost.CheapFwdTime
 			bwd.Alloc = s.Blocks[b].Cost.ActBytes - s.Blocks[b].Cost.HeavyActBytes
 		}
-		p.Stages = append(p.Stages, plan.Stage{Ops: []plan.Op{bwd}})
+		bld.Stage(bwd)
 		if streamed(b) {
 			// Drain the block's gradients to far memory (the host-side
 			// update of Fig. 3 stage 5 consumes them there) and drop the
 			// weights — the host keeps the clean copy.
-			p.Stages = append(p.Stages, plan.Stage{Ops: []plan.Op{{
+			bld.Stage(plan.Op{
 				Kind: plan.SwapOut, Block: b,
 				Duration: move(s.Blocks[b].GBytes),
 				Free:     s.Blocks[b].WBytes + s.Blocks[b].GBytes,
-			}}})
+			})
 		}
 	}
-	return p, nil
+	return bld.Plan(), nil
 }
 
 // recomputed reports whether block i exists and recomputes.

@@ -58,7 +58,18 @@ type Estimate struct {
 // stalls appear whenever a block's buffer arrives later than the previous
 // block finishes.
 func Backward(blocks []Block, bw unit.BytesPerSec) Estimate {
-	est := Estimate{Theta: -1, Arrive: make([]unit.Seconds, len(blocks))}
+	return BackwardScratch(blocks, bw, make([]unit.Seconds, len(blocks)))
+}
+
+// BackwardScratch is Backward with a caller-provided arrival buffer (at
+// least len(blocks) long; the returned Estimate's Arrive aliases it), so
+// hot loops evaluating many candidate phases allocate nothing.
+func BackwardScratch(blocks []Block, bw unit.BytesPerSec, arrive []unit.Seconds) Estimate {
+	arrive = arrive[:len(blocks)]
+	for i := range arrive {
+		arrive[i] = 0
+	}
+	est := Estimate{Theta: -1, Arrive: arrive}
 	if len(blocks) == 0 {
 		est.Occupancy = 1
 		return est

@@ -63,6 +63,9 @@ const (
 	RecvLocal
 )
 
+// numKinds bounds the Kind enum for flat (kind, block) indexing.
+const numKinds = int(RecvLocal) + 1
+
 // String returns the paper-style op mnemonic.
 func (k Kind) String() string {
 	switch k {
@@ -248,38 +251,145 @@ type Compiled struct {
 //	UpdateCPU(b),
 //	UpdateGPU(b)    ← latest GradExchange(b) (if any) else SwapOut/Bwd
 //	SwapIn(b)       ← latest UpdateCPU(b) (next-iteration reload)
+//
+// Compile allocates a fresh Compiler per call; callers lowering many
+// same-shape plans (the planner's candidate search) should hold a
+// Compiler and reuse it.
 func (p *Plan) Compile() (*Compiled, error) {
-	if err := p.Validate(); err != nil {
+	out, err := new(Compiler).Compile(p)
+	if err != nil {
 		return nil, err
 	}
-	c := &Compiled{}
-	type key struct {
-		k Kind
-		b int
+	// Detach from the (otherwise reusable) compiler buffers.
+	return &Compiled{Ops: out.Ops, Refs: out.Refs, PlanOps: out.PlanOps}, nil
+}
+
+// Compiler lowers plans to simulator ops while retaining its working
+// buffers — the op/ref arenas, the dependency arena, the (kind, block)
+// recency table, and the label cache — between Compile calls, so
+// lowering same-shape plans allocates ~nothing after the first call.
+// A Compiler is not safe for concurrent use, and the Compiled view it
+// returns is overwritten by the next Compile call.
+type Compiler struct {
+	out  Compiled
+	deps []int // arena backing every compiled op's Deps slice
+	// last and seen are flat (kind, block) tables sized numKinds*NumBlocks:
+	// most recent sim-op index per key (-1 = none), and whether the key
+	// appeared at all (validation).
+	last   []int
+	seen   []bool
+	labels map[labelKey]string
+}
+
+type labelKey struct {
+	k Kind
+	b int
+}
+
+// label returns the cached "<kind><block>" string, formatting it once.
+func (c *Compiler) label(k Kind, b int) string {
+	if s, ok := c.labels[labelKey{k, b}]; ok {
+		return s
 	}
-	last := map[key]int{} // most recent sim-op index per (kind, block)
-	lastGate := -1        // most recent compute gate across stages
+	if c.labels == nil {
+		c.labels = map[labelKey]string{}
+	}
+	s := fmt.Sprintf("%s%d", k, b)
+	c.labels[labelKey{k, b}] = s
+	return s
+}
+
+// validate mirrors Plan.Validate exactly (same checks, same error
+// messages) but marks (kind, block) occurrences in the compiler's flat
+// table instead of a fresh map.
+func (c *Compiler) validate(p *Plan) error {
+	seen := c.seen
+	was := func(k Kind, b int) bool { return seen[int(k)*p.NumBlocks+b] }
+	for si, st := range p.Stages {
+		for oi, op := range st.Ops {
+			if op.Block < 0 || op.Block >= p.NumBlocks {
+				return fmt.Errorf("plan %s: stage %d op %d: block %d out of range [0,%d)",
+					p.Name, si, oi, op.Block, p.NumBlocks)
+			}
+			if op.Duration < 0 || op.Alloc < 0 || op.Free < 0 {
+				return fmt.Errorf("plan %s: stage %d op %d: negative cost", p.Name, si, oi)
+			}
+			switch op.Kind {
+			case Bwd:
+				if !was(Fwd, op.Block) {
+					return fmt.Errorf("plan %s: B%d before F%d", p.Name, op.Block, op.Block)
+				}
+			case GradExchange:
+				if !was(Bwd, op.Block) {
+					return fmt.Errorf("plan %s: Ex%d before B%d", p.Name, op.Block, op.Block)
+				}
+			case UpdateCPU, UpdateGPU:
+				if !was(Bwd, op.Block) {
+					return fmt.Errorf("plan %s: update of block %d before B%d", p.Name, op.Block, op.Block)
+				}
+			case MPAllReduce, MPAllReduceLocal, Send, SendLocal:
+				if !was(Fwd, op.Block) && !was(Bwd, op.Block) && !was(Recompute, op.Block) {
+					return fmt.Errorf("plan %s: %s%d before any compute of block %d", p.Name, op.Kind, op.Block, op.Block)
+				}
+			}
+			seen[int(op.Kind)*p.NumBlocks+op.Block] = true
+		}
+	}
+	return nil
+}
+
+// Compile lowers the plan, reusing the Compiler's buffers. Semantics
+// are identical to Plan.Compile.
+func (c *Compiler) Compile(p *Plan) (*Compiled, error) {
+	// Size and clear the flat (kind, block) tables.
+	n := numKinds * p.NumBlocks
+	if cap(c.last) < n {
+		c.last = make([]int, n)
+		c.seen = make([]bool, n)
+	}
+	c.last = c.last[:n]
+	c.seen = c.seen[:n]
+	for i := range c.last {
+		c.last[i] = -1
+		c.seen[i] = false
+	}
+	if err := c.validate(p); err != nil {
+		return nil, err
+	}
+	c.out.Ops = c.out.Ops[:0]
+	c.out.Refs = c.out.Refs[:0]
+	c.out.PlanOps = c.out.PlanOps[:0]
+	c.deps = c.deps[:0]
+	last := c.last
+	lastGate := -1 // most recent compute gate across stages
 
 	get := func(k Kind, b int) (int, bool) {
-		i, ok := last[key{k, b}]
-		return i, ok
+		if b < 0 || b >= p.NumBlocks {
+			return 0, false
+		}
+		i := last[int(k)*p.NumBlocks+b]
+		return i, i >= 0
+	}
+	// depStart marks the current op's segment of the dep arena; addDep
+	// appends with dedup against that segment only. Declared once so the
+	// closures are allocated per Compile, not per op.
+	depStart := 0
+	addDep := func(i int) {
+		for _, d := range c.deps[depStart:] {
+			if d == i {
+				return
+			}
+		}
+		c.deps = append(c.deps, i)
 	}
 
 	for si, st := range p.Stages {
 		gateThisStage := -1
 		for oi, op := range st.Ops {
-			idx := len(c.Ops)
-			var deps []int
+			idx := len(c.out.Ops)
+			depStart = len(c.deps)
 			if lastGate >= 0 {
-				deps = append(deps, lastGate)
-			}
-			addDep := func(i int) {
-				for _, d := range deps {
-					if d == i {
-						return
-					}
-				}
-				deps = append(deps, i)
+				c.deps = append(c.deps, lastGate)
 			}
 			switch op.Kind {
 			case Fwd, Bwd:
@@ -380,17 +490,17 @@ func (p *Plan) Compile() (*Compiled, error) {
 					addDep(i)
 				}
 			}
-			c.Ops = append(c.Ops, sim.Op{
-				Label:      fmt.Sprintf("%s%d", op.Kind, op.Block),
+			c.out.Ops = append(c.out.Ops, sim.Op{
+				Label:      c.label(op.Kind, op.Block),
 				Stream:     op.Kind.stream(),
 				Duration:   op.Duration,
-				Deps:       deps,
+				Deps:       c.deps[depStart:len(c.deps):len(c.deps)],
 				AllocBytes: op.Alloc,
 				FreeBytes:  op.Free,
 			})
-			c.Refs = append(c.Refs, Ref{Stage: si, Index: oi, Sim: idx})
-			c.PlanOps = append(c.PlanOps, op)
-			last[key{op.Kind, op.Block}] = idx
+			c.out.Refs = append(c.out.Refs, Ref{Stage: si, Index: oi, Sim: idx})
+			c.out.PlanOps = append(c.out.PlanOps, op)
+			last[int(op.Kind)*p.NumBlocks+op.Block] = idx
 			if op.Kind.compute() {
 				gateThisStage = idx
 			}
@@ -399,8 +509,51 @@ func (p *Plan) Compile() (*Compiled, error) {
 			lastGate = gateThisStage
 		}
 	}
-	return c, nil
+	return &c.out, nil
 }
+
+// Builder assembles plans stage by stage into reusable arenas: all
+// stage op slices share one backing array and the stage list is
+// recycled across Reset calls, so rebuilding same-shape plans (the
+// planner's candidate search) allocates ~nothing after the first build.
+// The *Plan returned by Plan aliases the builder's buffers and is
+// invalidated by the next Reset; callers that keep a plan must copy it.
+type Builder struct {
+	p   Plan
+	ops []Op // arena backing every stage's Ops slice
+	cur int  // start of the open stage within ops
+}
+
+// Reset clears the builder and names the plan being assembled.
+func (b *Builder) Reset(name string, numBlocks int) *Builder {
+	b.p.Name = name
+	b.p.NumBlocks = numBlocks
+	b.p.Stages = b.p.Stages[:0]
+	b.ops = b.ops[:0]
+	return b
+}
+
+// BeginStage opens a new stage; subsequent Add calls land in it.
+func (b *Builder) BeginStage() { b.cur = len(b.ops) }
+
+// Add appends an op to the open stage.
+func (b *Builder) Add(op Op) { b.ops = append(b.ops, op) }
+
+// EndStage commits the open stage — possibly empty, matching planners
+// that emit placeholder stages.
+func (b *Builder) EndStage() {
+	b.p.Stages = append(b.p.Stages, Stage{Ops: b.ops[b.cur:len(b.ops):len(b.ops)]})
+}
+
+// Stage commits the given ops as one complete stage.
+func (b *Builder) Stage(ops ...Op) {
+	b.BeginStage()
+	b.ops = append(b.ops, ops...)
+	b.EndStage()
+}
+
+// Plan returns the assembled plan, valid until the next Reset.
+func (b *Builder) Plan() *Plan { return &b.p }
 
 // Simulate compiles and runs the plan against the given capacity.
 func (p *Plan) Simulate(capacity unit.Bytes) (*Compiled, *sim.Timeline, error) {

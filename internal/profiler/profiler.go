@@ -247,3 +247,38 @@ func (p *Profile) MergeBlocks(i, j int) Block {
 	out.SwapTime = unit.TransferTime(out.ActBytes+out.WeightBytes, swapBW, p.Node.Link.Latency)
 	return out
 }
+
+// MergeCosts is MergeBlocks without the segment metadata: it aggregates
+// the numeric cost fields of blocks [i, j) in the same order (so the
+// results are bit-identical) but leaves the merged Seg node and pinned
+// lists empty instead of cloning them. The planner's candidate
+// evaluation reads only costs, and the clone is the dominant allocation
+// of that search.
+func (p *Profile) MergeCosts(i, j int) Block {
+	if i < 0 || j > len(p.Blocks) || i >= j {
+		panic(fmt.Sprintf("profiler: bad merge range [%d,%d) of %d", i, j, len(p.Blocks)))
+	}
+	out := p.Blocks[i]
+	out.Seg.PinnedIn = nil
+	out.Seg.Nodes = nil
+	for k := i + 1; k < j; k++ {
+		b := p.Blocks[k]
+		out.Stats.FwdFLOPs += b.Stats.FwdFLOPs
+		out.Stats.BwdFLOPs += b.Stats.BwdFLOPs
+		out.Stats.Params += b.Stats.Params
+		out.Stats.ActElems += b.Stats.ActElems
+		out.Stats.OutElems = b.Stats.OutElems
+		out.FwdTime += b.FwdTime
+		out.BwdTime += b.BwdTime
+		out.UpdateFLOPs += b.UpdateFLOPs
+		out.ActBytes += b.ActBytes
+		out.HeavyActBytes += b.HeavyActBytes
+		out.CheapFwdTime += b.CheapFwdTime
+		out.OutBytes = b.OutBytes
+		out.WeightBytes += b.WeightBytes
+		out.PinnedInBytes += b.PinnedInBytes
+	}
+	swapBW := hw.SwapThroughput(p.Node)
+	out.SwapTime = unit.TransferTime(out.ActBytes+out.WeightBytes, swapBW, p.Node.Link.Latency)
+	return out
+}

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the binary was built with the race
+// detector. Allocation-count tests skip under it: the instrumented
+// runtime allocates on its own schedule, so testing.AllocsPerRun stops
+// measuring the code under test.
+package race
+
+// Enabled is true when the race detector is on.
+const Enabled = false

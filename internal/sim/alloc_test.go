@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"karma/internal/race"
+	"karma/internal/unit"
+)
+
+// TestRunnerSteadyStateAllocFree pins the contract the planner's
+// candidate search depends on: after the first run sizes its buffers, a
+// reused Runner replays same-shape plans without allocating. The plan
+// exercises every reusable buffer — all six streams, deps, the
+// completion heap, and memory-gated starts.
+func TestRunnerSteadyStateAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	var ops []Op
+	for i := 0; i < 8; i++ {
+		ops = append(ops,
+			Op{Label: "in", Stream: H2D, Duration: 2, AllocBytes: 4},
+			Op{Label: "fwd", Stream: Compute, Duration: 3, Deps: []int{len(ops)}},
+			Op{Label: "out", Stream: D2H, Duration: 2, Deps: []int{len(ops) + 1}, FreeBytes: 4},
+		)
+	}
+	ops = append(ops,
+		Op{Label: "sync", Stream: Network, Duration: 1, Deps: []int{len(ops) - 1}},
+		Op{Label: "upd", Stream: HostCPU, Duration: 1, Deps: []int{len(ops)}},
+	)
+	const capacity = unit.Bytes(9) // two resident swap-ins, the third waits
+
+	var r Runner
+	want, err := r.Run(ops, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makespan := want.Makespan
+
+	allocs := testing.AllocsPerRun(100, func() {
+		tl, err := r.Run(ops, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tl.Makespan != makespan {
+			t.Fatalf("makespan drifted: %v != %v", tl.Makespan, makespan)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Runner.Run allocated %.1f objects/op, want 0", allocs)
+	}
+}

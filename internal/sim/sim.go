@@ -132,7 +132,120 @@ func (t *Timeline) Occupancy(ops []Op) float64 {
 // It returns an error for malformed inputs (bad deps, single allocations
 // exceeding capacity) and for deadlocks (no runnable op while work
 // remains, e.g. a schedule whose working set cannot fit).
+//
+// Run allocates a fresh Runner per call; callers replaying many
+// same-shape plans (the planner's candidate search) should hold a Runner
+// and reuse it.
 func Run(ops []Op, capacity unit.Bytes) (*Timeline, error) {
+	return new(Runner).Run(ops, capacity)
+}
+
+// event is one scheduled completion in the Runner's min-heap, ordered by
+// (time, op index) — the index tie-break keeps same-instant completions
+// in submission order, so the core is deterministic by construction
+// rather than by the commutativity of its updates.
+type event struct {
+	at unit.Seconds
+	op int
+}
+
+// Runner is a reusable discrete-event simulation core. Its timeline,
+// per-stream queues and completion heap are retained between Run calls,
+// so replaying plans of the same shape allocates nothing after the first
+// run. A Runner is not safe for concurrent use, and the returned
+// Timeline is overwritten by the next Run call — callers that keep a
+// timeline across runs must copy it (or use the package-level Run, which
+// never reuses).
+type Runner struct {
+	tl    Timeline
+	done  []bool
+	endAt []unit.Seconds
+	// Per-stream FIFO queues of op indices.
+	queues [numStreams][]int
+	heap   []event // pending completions, min-ordered by (at, op)
+}
+
+// reset sizes the buffers for n ops and clears previous-run state.
+func (r *Runner) reset(n int) {
+	if cap(r.done) < n {
+		r.done = make([]bool, n)
+	}
+	if cap(r.endAt) < n {
+		r.endAt = make([]unit.Seconds, n)
+	}
+	if cap(r.tl.Ops) < n {
+		r.tl.Ops = make([]OpResult, n)
+	}
+	r.done = r.done[:n]
+	r.endAt = r.endAt[:n]
+	r.tl.Ops = r.tl.Ops[:n]
+	for i := 0; i < n; i++ {
+		r.done[i] = false
+		r.endAt[i] = 0
+		r.tl.Ops[i] = OpResult{}
+	}
+	r.tl.Makespan = 0
+	r.tl.PeakMem = 0
+	r.tl.Busy = [numStreams]unit.Seconds{}
+	r.heap = r.heap[:0]
+	for s := range r.queues {
+		r.queues[s] = r.queues[s][:0]
+	}
+}
+
+// push adds a completion event, keeping the heap ordered by (at, op).
+func (r *Runner) push(e event) {
+	r.heap = append(r.heap, e)
+	i := len(r.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := r.heap[parent]
+		if p.at < e.at || (p.at == e.at && p.op < e.op) {
+			break
+		}
+		r.heap[i] = p
+		i = parent
+	}
+	r.heap[i] = e
+}
+
+// pop removes the earliest completion event.
+func (r *Runner) pop() event {
+	top := r.heap[0]
+	last := len(r.heap) - 1
+	e := r.heap[last]
+	r.heap = r.heap[:last]
+	if last == 0 {
+		return top
+	}
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		small := l
+		if l >= last {
+			break
+		}
+		if rt < last {
+			a, b := r.heap[l], r.heap[rt]
+			if b.at < a.at || (b.at == a.at && b.op < a.op) {
+				small = rt
+			}
+		}
+		c := r.heap[small]
+		if e.at < c.at || (e.at == c.at && e.op < c.op) {
+			break
+		}
+		r.heap[i] = c
+		i = small
+	}
+	r.heap[i] = e
+	return top
+}
+
+// Run simulates the op DAG against the given device memory capacity,
+// reusing the Runner's buffers. Semantics are identical to the
+// package-level Run.
+func (r *Runner) Run(ops []Op, capacity unit.Bytes) (*Timeline, error) {
 	for i, o := range ops {
 		if o.Duration < 0 {
 			return nil, fmt.Errorf("sim: op %d (%s): negative duration", i, o.Label)
@@ -157,21 +270,18 @@ func Run(ops []Op, capacity unit.Bytes) (*Timeline, error) {
 		}
 	}
 
-	tl := &Timeline{Ops: make([]OpResult, len(ops))}
-	done := make([]bool, len(ops))
-	endAt := make([]unit.Seconds, len(ops))
-
-	// Per-stream FIFO: queue of op indices in submission order.
-	var queues [numStreams][]int
+	r.reset(len(ops))
+	tl := &r.tl
+	done := r.done
+	endAt := r.endAt
 	for i, o := range ops {
-		queues[o.Stream] = append(queues[o.Stream], i)
+		r.queues[o.Stream] = append(r.queues[o.Stream], i)
 	}
+	queues := &r.queues
 	var qpos [numStreams]int
 	var streamFree [numStreams]unit.Seconds
 
 	var memUsed unit.Bytes
-	// running holds in-flight ops (unsorted; scans are fine at our sizes).
-	running := map[int]bool{}
 	now := unit.Seconds(0)
 	remaining := len(ops)
 
@@ -187,19 +297,25 @@ func Run(ops []Op, capacity unit.Bytes) (*Timeline, error) {
 		}
 		return ready, true
 	}
+	// complete retires every pending completion due by `now`, in
+	// (time, index) order off the heap.
+	complete := func() error {
+		for len(r.heap) > 0 && r.heap[0].at <= now {
+			e := r.pop()
+			done[e.op] = true
+			memUsed -= ops[e.op].FreeBytes
+			if memUsed < 0 {
+				return fmt.Errorf("sim: op %d (%s) frees more memory than allocated", e.op, ops[e.op].Label)
+			}
+			remaining--
+		}
+		return nil
+	}
 
 	for remaining > 0 {
 		// Complete everything that has finished by `now`.
-		for i := range running {
-			if endAt[i] <= now {
-				delete(running, i)
-				done[i] = true
-				memUsed -= ops[i].FreeBytes
-				if memUsed < 0 {
-					return nil, fmt.Errorf("sim: op %d (%s) frees more memory than allocated", i, ops[i].Label)
-				}
-				remaining--
-			}
+		if err := complete(); err != nil {
+			return nil, err
 		}
 
 		// Start every op that can run at `now`.
@@ -225,7 +341,7 @@ func Run(ops []Op, capacity unit.Bytes) (*Timeline, error) {
 					endAt[i] = end
 					tl.Busy[s] += ops[i].Duration
 					streamFree[s] = end
-					running[i] = true
+					r.push(event{at: end, op: i})
 					qpos[s]++
 					progressed = true
 				}
@@ -233,13 +349,8 @@ func Run(ops []Op, capacity unit.Bytes) (*Timeline, error) {
 			if progressed {
 				// A newly started zero-duration op may complete immediately
 				// and unblock others at the same instant.
-				for i := range running {
-					if endAt[i] <= now {
-						delete(running, i)
-						done[i] = true
-						memUsed -= ops[i].FreeBytes
-						remaining--
-					}
+				if err := complete(); err != nil {
+					return nil, err
 				}
 			}
 		}
@@ -249,16 +360,10 @@ func Run(ops []Op, capacity unit.Bytes) (*Timeline, error) {
 		}
 
 		// Advance time to the next completion.
-		next := unit.Seconds(math.Inf(1))
-		for i := range running {
-			if endAt[i] < next {
-				next = endAt[i]
-			}
-		}
-		if math.IsInf(float64(next), 1) {
+		if len(r.heap) == 0 {
 			return nil, deadlockError(ops, done, memUsed, capacity)
 		}
-		now = next
+		now = r.heap[0].at
 		if now > tl.Makespan {
 			tl.Makespan = now
 		}

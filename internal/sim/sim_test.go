@@ -429,3 +429,79 @@ func TestExchangeConcurrentWithSwapTraffic(t *testing.T) {
 		t.Errorf("makespan = %v, want 9 (trailing exchange)", tl.Makespan)
 	}
 }
+
+// TestTieHeavyRunsAreIdentical is the regression test for the heap
+// rewrite that removed the `running` map from the scheduling core: with
+// a map, Go's randomized iteration order could retire same-instant
+// completions in a different order each run, and under memory pressure
+// that reorder changes which head-of-line op fits first. The plan below
+// is tie-heavy by construction — every stream finishes work at the same
+// instants, zero-duration ops pile onto those instants, and frees race
+// allocations at full capacity — so any iteration-order dependence shows
+// up as a differing timeline across repetitions.
+func TestTieHeavyRunsAreIdentical(t *testing.T) {
+	var ops []Op
+	streams := []Stream{Compute, H2D, D2H, HostCPU, Network, NVLink}
+	// Wave 0: one unit-duration op per stream, all ending at t=1, each
+	// holding 2 bytes of a 12-byte device pool (exactly full).
+	for _, s := range streams {
+		ops = append(ops, Op{
+			Label: "w0-" + s.String(), Stream: s, Duration: 1,
+			AllocBytes: 2, FreeBytes: 2,
+		})
+	}
+	// Wave 1: per stream, a zero-duration op and a unit op, both gated
+	// on EVERY wave-0 op — six completions retire at the same t=1 tick,
+	// and six allocations contend for the memory they free.
+	deps := []int{0, 1, 2, 3, 4, 5}
+	for _, s := range streams {
+		ops = append(ops, Op{
+			Label: "w1z-" + s.String(), Stream: s, Duration: 0,
+			Deps: append([]int(nil), deps...),
+		})
+		ops = append(ops, Op{
+			Label: "w1-" + s.String(), Stream: s, Duration: 1,
+			Deps:       append([]int(nil), deps...),
+			AllocBytes: 2, FreeBytes: 2,
+		})
+	}
+	// Wave 2: cross-stream pairs finishing at t=3 with alloc==free
+	// hand-offs, keeping the pool exactly full through the ties.
+	base := len(ops)
+	for i, s := range streams {
+		peer := streams[(i+1)%len(streams)]
+		ops = append(ops, Op{
+			Label: "w2-" + s.String(), Stream: peer, Duration: 1,
+			Deps:       []int{base - 12 + 2*i + 1}, // this stream's w1 op
+			AllocBytes: 2, FreeBytes: 2,
+		})
+	}
+
+	const capacity = 12
+	want := mustRun(t, ops, capacity)
+	wantOps := append([]OpResult(nil), want.Ops...)
+
+	// Fresh runs and a reused Runner must reproduce the timeline
+	// exactly. 50 repetitions gives a map-ordered core (6+ same-instant
+	// completions per tick) no realistic chance of passing by luck.
+	var r Runner
+	for rep := 0; rep < 50; rep++ {
+		fresh := mustRun(t, ops, capacity)
+		reused, err := r.Run(ops, capacity)
+		if err != nil {
+			t.Fatalf("rep %d: Runner.Run: %v", rep, err)
+		}
+		for name, tl := range map[string]*Timeline{"fresh": fresh, "reused": reused} {
+			if tl.Makespan != want.Makespan || tl.PeakMem != want.PeakMem {
+				t.Fatalf("rep %d (%s): makespan/peak = %v/%v, want %v/%v",
+					rep, name, tl.Makespan, tl.PeakMem, want.Makespan, want.PeakMem)
+			}
+			for i := range wantOps {
+				if tl.Ops[i] != wantOps[i] {
+					t.Fatalf("rep %d (%s): op %d (%s) = %+v, want %+v",
+						rep, name, i, ops[i].Label, tl.Ops[i], wantOps[i])
+				}
+			}
+		}
+	}
+}

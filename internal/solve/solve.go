@@ -67,6 +67,12 @@ type Partitioner struct {
 	w           []float64
 	total, maxw float64
 	counts      map[float64]int
+	groups      []group // scratch for the leftover-split phase
+}
+
+type group struct {
+	start, end int
+	sum        float64
 }
 
 // NewPartitioner validates the weights (which must be non-negative) and
@@ -107,8 +113,16 @@ func (pt *Partitioner) count(cap float64) int {
 }
 
 // Cuts returns the k-1 cut positions of the balanced k-way partition;
-// k must be in [1, n].
+// k must be in [1, n]. The result is freshly allocated and safe to
+// retain; transient callers should prefer AppendCuts.
 func (pt *Partitioner) Cuts(k int) ([]int, error) {
+	return pt.AppendCuts(nil, k)
+}
+
+// AppendCuts appends the k-1 cut positions of the balanced k-way
+// partition to dst and returns the extended slice, so probe loops that
+// only inspect the cuts can reuse one buffer across many k.
+func (pt *Partitioner) AppendCuts(dst []int, k int) ([]int, error) {
 	w := pt.w
 	n := len(w)
 	if k < 1 || k > n {
@@ -127,7 +141,8 @@ func (pt *Partitioner) Cuts(k int) ([]int, error) {
 	}
 	// Emit cuts for cap=hi, then spread any leftover group budget by
 	// splitting the largest remaining groups to reach exactly k.
-	var cuts []int
+	base := len(dst)
+	cuts := dst
 	sum := 0.0
 	for i, v := range w {
 		if sum+v > hi && i > 0 {
@@ -137,7 +152,7 @@ func (pt *Partitioner) Cuts(k int) ([]int, error) {
 			sum += v
 		}
 	}
-	if len(cuts) == k-1 {
+	if len(cuts)-base == k-1 {
 		return cuts, nil
 	}
 	// Split the largest remaining groups at their weighted midpoints until
@@ -153,14 +168,13 @@ func (pt *Partitioner) Cuts(k int) ([]int, error) {
 		}
 		return s
 	}
-	type group struct {
-		start, end int
-		sum        float64
+	groups := pt.groups[:0]
+	start := 0
+	for _, c := range cuts[base:] {
+		groups = append(groups, group{start, c, sumOf(start, c)})
+		start = c
 	}
-	groups := make([]group, 0, k)
-	for _, r := range Ranges(cuts, n) {
-		groups = append(groups, group{r[0], r[1], sumOf(r[0], r[1])})
-	}
+	groups = append(groups, group{start, n, sumOf(start, n)})
 	for len(groups) < k {
 		bi, bsum := -1, -1.0
 		for i, g := range groups {
@@ -172,6 +186,7 @@ func (pt *Partitioner) Cuts(k int) ([]int, error) {
 			}
 		}
 		if bi < 0 {
+			pt.groups = groups
 			return nil, fmt.Errorf("solve: cannot split %d items into %d groups", n, k)
 		}
 		g := groups[bi]
@@ -185,7 +200,8 @@ func (pt *Partitioner) Cuts(k int) ([]int, error) {
 		groups[bi] = group{g.start, half, sumOf(g.start, half)}
 		groups[bi+1] = group{half, g.end, sumOf(half, g.end)}
 	}
-	cuts = cuts[:0]
+	pt.groups = groups
+	cuts = cuts[:base]
 	for _, g := range groups[1:] {
 		cuts = append(cuts, g.start)
 	}
@@ -201,20 +217,24 @@ func HillClimb(cuts []int, n int, eval func([]int) float64, passes int) []int {
 	}
 	best := append([]int(nil), cuts...)
 	bestV := eval(best)
+	// One candidate buffer serves every probe; improvements copy back
+	// into best instead of stealing the slice.
+	cand := make([]int, len(best))
 	steps := []int{8, 4, 2, 1}
 	for p := 0; p < passes; p++ {
 		improved := false
 		for _, step := range steps {
 			for i := range best {
 				for _, d := range []int{-step, step} {
-					cand := append([]int(nil), best...)
+					copy(cand, best)
 					cand[i] += d
 					sort.Ints(cand)
 					if !validCuts(cand, n) {
 						continue
 					}
 					if v := eval(cand); v < bestV {
-						best, bestV = cand, v
+						copy(best, cand)
+						bestV = v
 						improved = true
 					}
 				}
@@ -245,8 +265,12 @@ func ACOBoundaries(n, k int, eval func([]int) float64, seed int64) ([]int, error
 		lower[i] = 1
 		upper[i] = n - 1
 	}
+	// canon copies into one reusable scratch slice: the solver never
+	// retains the canonical form, and the final result is copied out.
+	scratch := make([]int, dim)
 	canon := func(x []int) ([]int, bool) {
-		c := append([]int(nil), x...)
+		c := scratch[:len(x)]
+		copy(c, x)
 		sort.Ints(c)
 		return c, validCuts(c, n)
 	}
@@ -266,5 +290,5 @@ func ACOBoundaries(n, k int, eval func([]int) float64, seed int64) ([]int, error
 		return nil, err
 	}
 	c, _ := canon(res.X)
-	return c, nil
+	return append([]int(nil), c...), nil
 }

@@ -123,15 +123,23 @@ func (e Engine) InterRoute() Route {
 	return Route{Hops: hops}
 }
 
-// effBW folds the backend's achieved fraction into a route's bottleneck.
-func effBW(r Route, x Xfer) unit.BytesPerSec {
-	return unit.BytesPerSec(float64(r.Bottleneck()) * x.Eff)
-}
-
-// stepLatency is the per-step latency of a collective over the route:
-// the backend's software latency plus every extra switch traversal.
-func stepLatency(r Route, x Xfer) unit.Seconds {
-	return x.Latency + r.Latency()
+// interCost returns the inter-node route's bottleneck bandwidth and
+// summed hop latency without materializing the Route — the only two
+// quantities the collective costs read off it. Kept in lockstep with
+// InterRoute: the bandwidth comparisons and latency additions happen in
+// the same hop order, so every cost is bit-identical to routing the
+// materialized form.
+func (e Engine) interCost() (unit.BytesPerSec, unit.Seconds) {
+	share := unit.BytesPerSec(float64(e.T.NodeBW()) / e.conc())
+	bw := share
+	var lat unit.Seconds
+	for h := 2; h <= e.T.SwitchHops; h++ {
+		if u := unit.BytesPerSec(float64(share) / e.T.Oversub); u < bw {
+			bw = u
+		}
+		lat += e.T.HopLatency
+	}
+	return bw, lat
 }
 
 func checkSize(n unit.Bytes) {
@@ -148,10 +156,10 @@ func (e Engine) Ring(n unit.Bytes, p int, x Xfer) unit.Seconds {
 		return 0
 	}
 	checkSize(n)
-	r := e.InterRoute()
+	bw, lat := e.interCost()
 	steps := 2 * (p - 1)
 	chunk := unit.Bytes(float64(n) / float64(p))
-	per := unit.TransferTime(chunk, effBW(r, x), stepLatency(r, x))
+	per := unit.TransferTime(chunk, unit.BytesPerSec(float64(bw)*x.Eff), x.Latency+lat)
 	return unit.Seconds(float64(steps) * float64(per))
 }
 
@@ -162,9 +170,9 @@ func (e Engine) ReduceScatter(n unit.Bytes, p int, x Xfer) unit.Seconds {
 		return 0
 	}
 	checkSize(n)
-	r := e.InterRoute()
+	bw, lat := e.interCost()
 	chunk := unit.Bytes(float64(n) / float64(p))
-	per := unit.TransferTime(chunk, effBW(r, x), stepLatency(r, x))
+	per := unit.TransferTime(chunk, unit.BytesPerSec(float64(bw)*x.Eff), x.Latency+lat)
 	return unit.Seconds(float64(p-1) * float64(per))
 }
 
@@ -194,8 +202,7 @@ func (e Engine) Hierarchical(n unit.Bytes, gpus int, x Xfer) unit.Seconds {
 		// Reduce + broadcast: (perNode-1)/perNode of the payload each way
 		// over the intra-node route.
 		frac := unit.Bytes(float64(n) * float64(perNode-1) / float64(perNode))
-		ir := e.IntraRoute()
-		t += 2 * unit.TransferTime(frac, effBW(ir, x), stepLatency(ir, x))
+		t += 2 * unit.TransferTime(frac, unit.BytesPerSec(float64(e.T.IntraBW)*x.Eff), x.Latency)
 	}
 	if nodes > 1 {
 		t += e.Ring(n, nodes, x)
@@ -211,8 +218,8 @@ func (e Engine) PointToPoint(n unit.Bytes, x Xfer) unit.Seconds {
 		return 0
 	}
 	checkSize(n)
-	r := e.InterRoute()
-	return unit.TransferTime(n, effBW(r, x), stepLatency(r, x))
+	bw, lat := e.interCost()
+	return unit.TransferTime(n, unit.BytesPerSec(float64(bw)*x.Eff), x.Latency+lat)
 }
 
 // PointToPointIntra returns the time to move n bytes between two devices
@@ -222,8 +229,7 @@ func (e Engine) PointToPointIntra(n unit.Bytes, x Xfer) unit.Seconds {
 		return 0
 	}
 	checkSize(n)
-	r := e.IntraRoute()
-	return unit.TransferTime(n, effBW(r, x), stepLatency(r, x))
+	return unit.TransferTime(n, unit.BytesPerSec(float64(e.T.IntraBW)*x.Eff), x.Latency)
 }
 
 // MergeThreshold returns the payload at which a p-endpoint ring's
@@ -235,6 +241,6 @@ func (e Engine) MergeThreshold(p int, x Xfer) unit.Bytes {
 	if steps <= 0 {
 		steps = 2
 	}
-	r := e.InterRoute()
-	return unit.Bytes(float64(steps) * float64(stepLatency(r, x)) * float64(effBW(r, x)))
+	bw, lat := e.interCost()
+	return unit.Bytes(float64(steps) * float64(x.Latency+lat) * float64(unit.BytesPerSec(float64(bw)*x.Eff)))
 }
