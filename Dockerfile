@@ -1,0 +1,19 @@
+# karma-serve: the KARMA planner/evaluator HTTP daemon.
+#
+#   docker build -t karma-serve .
+#   docker run --rm -p 8080:8080 karma-serve
+#
+# Two stages: a Go builder and a scratch-thin runtime (the binary is
+# static; the evaluator needs no OS services beyond a TCP socket).
+FROM golang:1.21 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY cmd ./cmd
+COPY internal ./internal
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/karma-serve ./cmd/karma-serve
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/karma-serve /karma-serve
+EXPOSE 8080
+ENV KARMA_SERVE_ADDR=:8080
+ENTRYPOINT ["/karma-serve"]

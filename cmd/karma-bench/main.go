@@ -36,7 +36,8 @@ func main() {
 	ckpt := flag.Bool("ckpt", true,
 		"activation checkpointing in the MP+DP/ZeRO/pipeline baselines of fig8/table4 (the regime real deployments train in; off shows the smaller no-recompute capacity)")
 	precision := flag.String("precision", "fp32",
-		"training regime for fig8/table4: fp32, or fp16 (mixed precision with an fp32 master — halves memory and traffic, calibrating the Fig. 8 right panel toward the paper's ~1.35x)")
+		"training regime for fig8/table4: "+strings.Join(tensor.PrecisionNames(), "|")+
+			" — fp16 (synonym: mixed) is mixed precision with an fp32 master, halving memory and traffic and calibrating the Fig. 8 right panel toward the paper's ~1.35x")
 	pipeline := flag.Bool("pipeline", false,
 		"add the GPipe-style pipeline-parallel baseline family to fig8/table4")
 	topoFlag := flag.String("topo", "flat",
@@ -47,6 +48,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the selected experiments to this file (go tool pprof)")
 	flag.Parse()
 
+	var cpuf *os.File
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -57,13 +59,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "karma-bench: %v\n", err)
 			os.Exit(1)
 		}
+		cpuf = f
 	}
 
 	err := run(*exp, *modelName, *backend, *precision, *topoFlag, *ckpt, *pipeline, *workers)
 
-	// Flushed before any exit path: os.Exit skips deferred calls.
-	if *cpuprofile != "" {
+	// Flushed before any exit path: os.Exit skips deferred calls. Close
+	// reports short writes the profile flush buffered past Stop — the
+	// same contract the -memprofile path keeps.
+	if cpuf != nil {
 		pprof.StopCPUProfile()
+		if cerr := cpuf.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "karma-bench: cpuprofile: %v\n", cerr)
+			if err == nil {
+				os.Exit(1)
+			}
+		}
 	}
 
 	if *memprofile != "" {

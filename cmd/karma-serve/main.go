@@ -1,0 +1,113 @@
+// Command karma-serve exposes the KARMA planner and evaluators as a
+// long-running HTTP daemon (ROADMAP item 2). It answers "can model M
+// train on cluster C, and how fast?" over JSON:
+//
+//	karma-serve -addr :8080
+//	curl -s localhost:8080/v1/evaluate -d '{"family":"karma-dp","model":"megatron-8.3B","gpus":2048,"batch":2048}'
+//	curl -s localhost:8080/v1/sweep -d '{"panel":"fig8-turing"}'
+//	curl -s localhost:8080/v1/feasibility -d '{"family":"zero","model":"turing-nlg-17B","gpus":512,"batch":512}'
+//	curl -s localhost:8080/stats
+//
+// Every flag falls back to a KARMA_SERVE_* environment variable (flag
+// wins), so the same binary configures cleanly under Docker.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"karma/internal/serve"
+)
+
+// envString returns the flag default: $KARMA_SERVE_<name> if set, else def.
+func envString(name, def string) string {
+	if v, ok := os.LookupEnv("KARMA_SERVE_" + name); ok {
+		return v
+	}
+	return def
+}
+
+func envInt(name string, def int) int {
+	if v, ok := os.LookupEnv("KARMA_SERVE_" + name); ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+		fmt.Fprintf(os.Stderr, "karma-serve: ignoring non-integer KARMA_SERVE_%s=%q\n", name, v)
+	}
+	return def
+}
+
+func envDuration(name string, def time.Duration) time.Duration {
+	if v, ok := os.LookupEnv("KARMA_SERVE_" + name); ok {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+		fmt.Fprintf(os.Stderr, "karma-serve: ignoring non-duration KARMA_SERVE_%s=%q\n", name, v)
+	}
+	return def
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", envString("ADDR", ":8080"), "listen address (env KARMA_SERVE_ADDR)")
+		workers     = flag.Int("workers", envInt("WORKERS", 0), "sweep worker pool size, 0 = NumCPU (env KARMA_SERVE_WORKERS)")
+		maxInFlight = flag.Int("max-in-flight", envInt("MAX_IN_FLIGHT", 0), "concurrent evaluation cap, 0 = 2x NumCPU (env KARMA_SERVE_MAX_IN_FLIGHT)")
+		cacheSize   = flag.Int("cache", envInt("CACHE", 0), "response cache entries, 0 = 1024 (env KARMA_SERVE_CACHE)")
+		timeout     = flag.Duration("timeout", envDuration("TIMEOUT", 0), "per-request compute deadline, 0 = 120s (env KARMA_SERVE_TIMEOUT)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "karma-serve: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		MaxInFlight:    *maxInFlight,
+		CacheEntries:   *cacheSize,
+		RequestTimeout: *timeout,
+		Logger:         log,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Info("listening", "addr", *addr)
+
+	select {
+	case err := <-errc:
+		log.Error("serve failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Error("shutdown", "err", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+	log.Info("drained")
+}

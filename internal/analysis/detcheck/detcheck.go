@@ -41,6 +41,10 @@ var Analyzer = &analysis.Analyzer{
 		// The simulator core retired its `running` map for an indexed
 		// heap; keep map iteration from creeping back into the hot loop.
 		"karma/internal/sim",
+		// karma-serve promises byte-identical responses for identical
+		// requests; an unordered iteration in the response or /stats
+		// rendering path would break that silently.
+		"karma/internal/serve",
 	},
 	Run: run,
 }

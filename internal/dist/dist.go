@@ -62,34 +62,36 @@ import (
 const headroomFrac = 0.03
 
 // Result is the outcome of evaluating one distributed configuration.
+// The JSON field names are the karma-serve wire format; experiment
+// panels embed Results, so the tags keep every panel marshalable as-is.
 type Result struct {
 	// Feasible reports whether the configuration fits the cluster; when
 	// false, Reason explains why and the timing fields are zero.
-	Feasible bool
-	Reason   string
+	Feasible bool   `json:"feasible"`
+	Reason   string `json:"reason,omitempty"`
 
 	// EpochTime is the time to process one epoch of the sample set.
-	EpochTime unit.Seconds
+	EpochTime unit.Seconds `json:"epoch_time_s"`
 	// IterTime is the time of one global mini-batch iteration.
-	IterTime unit.Seconds
+	IterTime unit.Seconds `json:"iter_time_s"`
 	// IterPerSec is the iteration rate (Table IV's perf column).
-	IterPerSec float64
+	IterPerSec float64 `json:"iter_per_sec"`
 	// CostPerf is the cost/performance proxy of Table V: GPU-seconds
 	// spent per training sample ($/P up to a constant price factor).
-	CostPerf float64
+	CostPerf float64 `json:"cost_perf"`
 	// GPUs is the device count the configuration uses.
-	GPUs int
+	GPUs int `json:"gpus"`
 	// GlobalBatch is the samples processed per iteration across the run.
-	GlobalBatch int
+	GlobalBatch int `json:"global_batch"`
 	// Backend names the cost model that produced the numbers. Results are
 	// tagged "analytic" at construction (the package-level functions ARE
 	// the analytic backend); the planner-backed evaluator overwrites the
 	// tag with "planned" on the paths it actually simulates, so a
 	// "analytic" tag from Planned marks an explicit fallback.
-	Backend string
+	Backend string `json:"backend"`
 	// Ckpt records whether the configuration ran with activation
 	// checkpointing (the in-core hybrids under HybridOptions.Checkpoint).
-	Ckpt bool
+	Ckpt bool `json:"ckpt"`
 }
 
 // KARMAOptions selects KARMA-DP variants.

@@ -56,7 +56,7 @@ import (
 // feasibility verdict.
 type Planned struct {
 	profiles  memo[profileKey, *profiler.Profile]
-	schedules memo[schedKey, *karma.Schedule]
+	schedules memo[schedKey, planOutcome]
 
 	// failSim, when set, makes every simulation attempt report an error,
 	// forcing the analytic fallback paths. It exists only so the fallback
@@ -97,11 +97,25 @@ func (pe *Planned) profile(g *graph.Graph, node hw.Node, batch int, dt tensor.DT
 	})
 }
 
+// planOutcome is a cached partition-search verdict. karma.Plan is a
+// pure function of (profile, options), so "no feasible schedule" is as
+// deterministic as a schedule and is cached as a value — plannedIter
+// probes the residency regime first and falls back to weight-streaming
+// on failure, and a sweep must not re-run that failing search per grid
+// point. The memo itself never retains errors (transient failures would
+// retry); the error lives inside the value by the caller's choice.
+type planOutcome struct {
+	s   *karma.Schedule
+	err error
+}
+
 // plan returns the cached planner schedule for (profile, options).
 func (pe *Planned) plan(p *profiler.Profile, opts karma.Options) (*karma.Schedule, error) {
-	return pe.schedules.do(schedKey{p: p, opts: opts}, func() (*karma.Schedule, error) {
-		return karma.Plan(p, opts)
+	out, _ := pe.schedules.do(schedKey{p: p, opts: opts}, func() (planOutcome, error) {
+		s, err := karma.Plan(p, opts)
+		return planOutcome{s: s, err: err}, nil
 	})
+	return out.s, out.err
 }
 
 // KARMADataParallel implements Evaluator with the planner-backed replica

@@ -91,4 +91,46 @@ func TestPlannedConcurrentStress(t *testing.T) {
 			t.Errorf("goroutine %d: %v", g, err)
 		}
 	}
+
+	// Eviction-pressure pass: the same workload on an evaluator whose
+	// instance memos are bounded far below the working set, so entries
+	// are constantly evicted and recomputed mid-flight. Every cached
+	// computation is a pure function of its key, so churn may cost time
+	// but must never change a value — and under -race this exercises the
+	// LRU surgery concurrently with singleflight joins.
+	tiny := NewPlanned()
+	tiny.profiles.limit = 2
+	tiny.schedules.limit = 2
+	var ewg sync.WaitGroup
+	eerrs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		ewg.Add(1)
+		go func(g int) {
+			defer ewg.Done()
+			gpus := []int{64, 128, 256, 512}[g%4]
+			z, err := tiny.ZeRO(cfgs[1], cl, 2, gpus, 2, samples, HybridOptions{Phased: true, Checkpoint: true})
+			if err != nil {
+				eerrs[g] = err
+				return
+			}
+			if *z != *refZero[gpus] {
+				eerrs[g] = fmt.Errorf("zero@%d diverged under eviction churn: %+v vs %+v", gpus, z, refZero[gpus])
+				return
+			}
+			shared, err := tiny.MegatronHybrid(cfgs[2], cl, 4, 256, 4, samples, HybridOptions{Checkpoint: true})
+			if err != nil {
+				eerrs[g] = err
+				return
+			}
+			if *shared != *refShared {
+				eerrs[g] = fmt.Errorf("hybrid diverged under eviction churn: %+v vs %+v", shared, refShared)
+			}
+		}(g)
+	}
+	ewg.Wait()
+	for g, err := range eerrs {
+		if err != nil {
+			t.Errorf("eviction goroutine %d: %v", g, err)
+		}
+	}
 }

@@ -61,15 +61,15 @@ func (o FamilyOptions) micro(perReplicaBatch int) int {
 
 // Fig8Row is one GPU count of one Fig. 8 panel.
 type Fig8Row struct {
-	GPUs    int
-	Results map[string]*dist.Result // keyed by method name
+	GPUs    int                     `json:"gpus"`
+	Results map[string]*dist.Result `json:"results"` // keyed by method name
 }
 
 // Fig8Panel is one model's scaling sweep.
 type Fig8Panel struct {
-	Model   string
-	Methods []string
-	Rows    []Fig8Row
+	Model   string    `json:"model"`
+	Methods []string  `json:"methods"`
+	Rows    []Fig8Row `json:"rows"`
 }
 
 // Figure8Megatron reproduces the left/middle panels: the MP+DP hybrid,

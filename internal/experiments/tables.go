@@ -34,19 +34,19 @@ func TableI() *Table {
 
 // TableIVRow is one Megatron-LM configuration's evaluation.
 type TableIVRow struct {
-	Config model.TransformerConfig
+	Config model.TransformerConfig `json:"config"`
 	// MPGPUs is the minimum model-parallel factor (Table IV "MP").
-	MPGPUs int
+	MPGPUs int `json:"mp_gpus"`
 	// HybridGPUs is the paper's MP+DP scale; Hybrid holds that result.
-	HybridGPUs int
-	Hybrid     *dist.Result
+	HybridGPUs int          `json:"hybrid_gpus"`
+	Hybrid     *dist.Result `json:"hybrid"`
 	// KARMAGPUs is the paper's data-parallel KARMA scale (half the
 	// hybrid); KARMA holds that result.
-	KARMAGPUs int
-	KARMA     *dist.Result
+	KARMAGPUs int          `json:"karma_gpus"`
+	KARMA     *dist.Result `json:"karma"`
 	// Pipeline is the GPipe-style baseline at the hybrid's scale with
 	// MPGPUs stages per replica; nil unless FamilyOptions.Pipeline.
-	Pipeline *dist.Result
+	Pipeline *dist.Result `json:"pipeline,omitempty"`
 }
 
 // TableIV evaluates all five Megatron-LM configurations at the paper's
@@ -149,9 +149,9 @@ func TableIVTable(rows []TableIVRow) *Table {
 
 // TableVRow is one global-batch scaling point of Table V.
 type TableVRow struct {
-	GlobalBatch int
-	DP          *dist.Result // data parallel: more GPUs, fixed per-GPU batch
-	KARMA       *dist.Result // KARMA: fixed GPUs, growing per-GPU batch
+	GlobalBatch int          `json:"global_batch"`
+	DP          *dist.Result `json:"dp"`    // data parallel: more GPUs, fixed per-GPU batch
+	KARMA       *dist.Result `json:"karma"` // KARMA: fixed GPUs, growing per-GPU batch
 }
 
 // TableVModel evaluates one model's cost/performance sweep with the

@@ -36,13 +36,15 @@ func topoName(t topo.Topology) string {
 // TopoRow is one interconnect model's evaluation of the Turing-NLG trio.
 type TopoRow struct {
 	// Topo names the interconnect model ("flat", "abci", "fattree:2"...).
-	Topo string
+	Topo string `json:"topo"`
 	// ZeRO is the tuned reference (best MP, capacity batch); KARMA the
 	// data-parallel run at per-GPU parity; Combo ZeRO+KARMA.
-	ZeRO, KARMA, Combo *dist.Result
+	ZeRO  *dist.Result `json:"zero"`
+	KARMA *dist.Result `json:"karma"`
+	Combo *dist.Result `json:"combo"`
 	// Ratio is the ZeRO/Combo epoch ratio — the Fig. 8 calibration
 	// headline this panel tracks across fabrics.
-	Ratio float64
+	Ratio float64 `json:"ratio,omitempty"`
 }
 
 // TopologySweep evaluates the Fig. 8 right-panel methods for the 17B

@@ -227,12 +227,28 @@ func UNet() *graph.Graph {
 // in Table IV of the paper (H = hidden size, A = attention heads,
 // L = layers).
 type TransformerConfig struct {
-	Name   string
-	Hidden int
-	Heads  int
-	Layers int
-	Seq    int
-	Vocab  int
+	Name   string `json:"name,omitempty"`
+	Hidden int    `json:"hidden"`
+	Heads  int    `json:"heads"`
+	Layers int    `json:"layers"`
+	Seq    int    `json:"seq"`
+	Vocab  int    `json:"vocab"`
+}
+
+// TransformerByName returns the named transformer configuration: the
+// five Table IV Megatron-LM sizes or the Fig. 8 Turing-NLG 17B. It is
+// the registry request-driven callers (karma-serve) resolve config
+// names against.
+func TransformerByName(name string) (TransformerConfig, bool) {
+	for _, c := range MegatronConfigs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	if t := TuringNLG(); t.Name == name {
+		return t, true
+	}
+	return TransformerConfig{}, false
 }
 
 // Params returns the approximate trainable parameter count

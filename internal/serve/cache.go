@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sync"
+
+	"karma/internal/dist"
+)
+
+// flightCache is the response-layer cache of karma-serve: a bounded LRU
+// keyed by canonicalized request, with singleflight semantics — the
+// first request for a key computes while identical concurrent requests
+// block on that one computation, so a burst of the same sweep costs one
+// evaluation and every caller gets byte-identical bytes. It is the same
+// contract as the evaluator memos in internal/dist, one layer up: the
+// evaluator caches dedupe shared sub-computations (profiles, partition
+// searches) across *different* requests; this cache dedupes and stores
+// whole responses for *identical* requests.
+//
+// Errors are never retained (a failed computation is forgotten as soon
+// as its error is observed), and every cached computation must be a
+// pure function of its key — which holds for evaluation responses: the
+// canonical key encodes every input, and the response encoder is
+// deterministic.
+type flightCache[V any] struct {
+	mu    sync.Mutex
+	limit int // entry bound; <= 0 means flightCacheDefaultLimit
+	m     map[string]*flightEntry[V]
+	// Intrusive LRU ring; root.next is the most recently used.
+	root                    flightEntry[V]
+	hits, misses, evictions uint64
+}
+
+// flightCacheDefaultLimit bounds a zero flightCache.
+const flightCacheDefaultLimit = 1024
+
+type flightEntry[V any] struct {
+	key        string
+	once       sync.Once
+	v          V
+	err        error
+	prev, next *flightEntry[V]
+}
+
+func newFlightCache[V any](limit int) *flightCache[V] {
+	c := &flightCache[V]{limit: limit}
+	c.root.prev = &c.root
+	c.root.next = &c.root
+	return c
+}
+
+func (c *flightCache[V]) pushFront(e *flightEntry[V]) {
+	e.prev = &c.root
+	e.next = c.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (c *flightCache[V]) unlink(e *flightEntry[V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// do returns the cached value for key, computing it with fn exactly
+// once across all concurrent callers of the key.
+func (c *flightCache[V]) do(key string, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]*flightEntry[V]{}
+	}
+	e := c.m[key]
+	if e != nil {
+		c.hits++
+		c.unlink(e)
+		c.pushFront(e)
+	} else {
+		c.misses++
+		e = &flightEntry[V]{key: key}
+		c.m[key] = e
+		c.pushFront(e)
+		limit := c.limit
+		if limit <= 0 {
+			limit = flightCacheDefaultLimit
+		}
+		for len(c.m) > limit {
+			old := c.root.prev
+			c.unlink(old)
+			delete(c.m, old.key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() { e.v, e.err = fn() })
+	if e.err != nil {
+		c.mu.Lock()
+		if c.m[key] == e {
+			c.unlink(e)
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.v, e.err
+}
+
+// stats snapshots the cache counters in the shared CacheStats shape.
+func (c *flightCache[V]) stats() dist.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return dist.CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.m),
+	}
+}

@@ -96,6 +96,12 @@ func (p Precision) String() string {
 	return "fp32"
 }
 
+// PrecisionNames lists the accepted ParsePrecision spellings: "fp16"
+// and "mixed" are synonyms for MixedFP16 (the regime is fp16 compute
+// with an fp32 master, so both names are in circulation). Flag help and
+// error text both derive from this list so the three stay in agreement.
+func PrecisionNames() []string { return []string{"fp32", "fp16", "mixed"} }
+
 // ParsePrecision maps the conventional names to regimes.
 func ParsePrecision(s string) (Precision, error) {
 	switch s {
@@ -104,7 +110,7 @@ func ParsePrecision(s string) (Precision, error) {
 	case "fp16", "mixed":
 		return MixedFP16, nil
 	default:
-		return FP32Training, fmt.Errorf("tensor: unknown precision %q (have fp32, fp16)", s)
+		return FP32Training, fmt.Errorf("tensor: unknown precision %q (have %s)", s, strings.Join(PrecisionNames(), ", "))
 	}
 }
 

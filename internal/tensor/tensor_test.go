@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -142,5 +143,58 @@ func TestElemsPermutationInvariant(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestParsePrecision covers the accepted set and the error paths: every
+// name PrecisionNames advertises parses, "mixed" is an fp16 synonym, and
+// a rejection names exactly the advertised set (the karma-bench
+// -precision help derives from the same list, so the three surfaces
+// cannot drift apart again).
+func TestParsePrecision(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Precision
+		wantErr bool
+	}{
+		{in: "fp32", want: FP32Training},
+		{in: "fp16", want: MixedFP16},
+		{in: "mixed", want: MixedFP16},
+		{in: "", wantErr: true},
+		{in: "fp64", wantErr: true},
+		{in: "FP16", wantErr: true}, // names are case-sensitive
+		{in: "bf16", wantErr: true},
+		{in: "mixed ", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParsePrecision(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParsePrecision(%q): want error, got %v", tc.in, got)
+				continue
+			}
+			for _, name := range PrecisionNames() {
+				if !strings.Contains(err.Error(), name) {
+					t.Errorf("ParsePrecision(%q) error %q omits accepted name %q", tc.in, err, name)
+				}
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePrecision(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParsePrecision(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestPrecisionNamesParse pins the list/parser agreement directly.
+func TestPrecisionNamesParse(t *testing.T) {
+	for _, name := range PrecisionNames() {
+		if _, err := ParsePrecision(name); err != nil {
+			t.Errorf("advertised name %q does not parse: %v", name, err)
+		}
 	}
 }
