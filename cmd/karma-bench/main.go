@@ -11,6 +11,8 @@
 //	karma-bench -exp fig8           # multi-node scaling
 //	karma-bench -exp fig8 -backend planned   # planner-backed cluster models
 //	karma-bench -exp topo -topo abci         # interconnect sensitivity panel
+//	karma-bench -exp fig8 -explain           # cost attribution per panel cell
+//	karma-bench -exp fig8 -trace-out traces/ # Chrome traces of each row's winner
 package main
 
 import (
@@ -44,6 +46,10 @@ func main() {
 		"interconnect model collectives route over (internal/topo): flat (the seed's single contended ring), abci (Table II's 2-NIC rail-optimized fat tree), or fattree:<ratio> (leaf uplinks oversubscribed ratio:1)")
 	workers := flag.Int("workers", 0,
 		"goroutines fanning grid points across each sweep (0 = NumCPU); every worker count renders identical tables")
+	explain := flag.Bool("explain", false,
+		"print a cost-attribution table (dist.Breakdown: compute/recompute/swap/exchange/collective/bubble/update as % of iteration) after each fig8/table4 panel")
+	traceOut := flag.String("trace-out", "",
+		"write the fastest feasible method of every fig8 panel row as a Chrome trace (chrome://tracing, Perfetto) into this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the selected experiments to this file (go tool pprof)")
 	flag.Parse()
@@ -62,7 +68,7 @@ func main() {
 		cpuf = f
 	}
 
-	err := run(*exp, *modelName, *backend, *precision, *topoFlag, *ckpt, *pipeline, *workers)
+	err := run(*exp, *modelName, *backend, *precision, *topoFlag, *traceOut, *ckpt, *pipeline, *explain, *workers)
 
 	// Flushed before any exit path: os.Exit skips deferred calls. Close
 	// reports short writes the profile flush buffered past Stop — the
@@ -100,7 +106,7 @@ func main() {
 	}
 }
 
-func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline bool, workers int) error {
+func run(exp, modelName, backend, precision, topoName, traceOut string, ckpt, pipeline, explain bool, workers int) error {
 	node := hw.ABCINode()
 	cl := hw.ABCI()
 	tp, err := topo.Parse(topoName)
@@ -173,6 +179,17 @@ func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline boo
 	}
 
 	if all || exp == "fig8" {
+		// The trace export always runs the planner (the export is the
+		// planner's schedule by definition); reuse ev when it already is
+		// the planned backend so its memos carry over.
+		var pe *dist.Planned
+		if traceOut != "" {
+			if p, ok := ev.(*dist.Planned); ok {
+				pe = p
+			} else {
+				pe = dist.NewPlanned()
+			}
+		}
 		for _, cfg := range []struct {
 			idx  int
 			gpus []int
@@ -188,6 +205,17 @@ func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline boo
 				return err
 			}
 			fmt.Println()
+			if explain {
+				if _, err := panel.ExplainTable().WriteTo(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+			if pe != nil {
+				if err := writePanelTraces(traceOut, panel, cfg.idx, cl, pe, fo); err != nil {
+					return err
+				}
+			}
 		}
 		turing, err := experiments.Figure8Turing(cl, []int{512, 1024, 2048}, ev, fo)
 		if err != nil {
@@ -197,6 +225,17 @@ func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline boo
 			return err
 		}
 		fmt.Println()
+		if explain {
+			if _, err := turing.ExplainTable().WriteTo(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if pe != nil {
+			if err := writePanelTraces(traceOut, turing, turingPanel, cl, pe, fo); err != nil {
+				return err
+			}
+		}
 	}
 
 	if all || exp == "table4" {
@@ -208,6 +247,12 @@ func run(exp, modelName, backend, precision, topoName string, ckpt, pipeline boo
 			return err
 		}
 		fmt.Println()
+		if explain {
+			if _, err := experiments.TableIVExplainTable(rows).WriteTo(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
 	}
 
 	if all || exp == "table5" {

@@ -6,6 +6,8 @@
 //	curl -s localhost:8080/v1/evaluate -d '{"family":"karma-dp","model":"megatron-8.3B","gpus":2048,"batch":2048}'
 //	curl -s localhost:8080/v1/sweep -d '{"panel":"fig8-turing"}'
 //	curl -s localhost:8080/v1/feasibility -d '{"family":"zero","model":"turing-nlg-17B","gpus":512,"batch":512}'
+//	curl -s 'localhost:8080/v1/plan?family=karma-dp&model=turing-nlg-17B&gpus=512&batch=1'
+//	curl -s 'localhost:8080/v1/trace?family=mp%2Bdp&model=megatron-8.3B&mp=8&gpus=512&batch=8&ckpt=true' > trace.json
 //	curl -s localhost:8080/stats
 //
 // Every flag falls back to a KARMA_SERVE_* environment variable (flag
@@ -46,6 +48,16 @@ func envInt(name string, def int) int {
 	return def
 }
 
+func envBool(name string, def bool) bool {
+	if v, ok := os.LookupEnv("KARMA_SERVE_" + name); ok {
+		if b, err := strconv.ParseBool(v); err == nil {
+			return b
+		}
+		fmt.Fprintf(os.Stderr, "karma-serve: ignoring non-boolean KARMA_SERVE_%s=%q\n", name, v)
+	}
+	return def
+}
+
 func envDuration(name string, def time.Duration) time.Duration {
 	if v, ok := os.LookupEnv("KARMA_SERVE_" + name); ok {
 		if d, err := time.ParseDuration(v); err == nil {
@@ -63,6 +75,7 @@ func main() {
 		maxInFlight = flag.Int("max-in-flight", envInt("MAX_IN_FLIGHT", 0), "concurrent evaluation cap, 0 = 2x NumCPU (env KARMA_SERVE_MAX_IN_FLIGHT)")
 		cacheSize   = flag.Int("cache", envInt("CACHE", 0), "response cache entries, 0 = 1024 (env KARMA_SERVE_CACHE)")
 		timeout     = flag.Duration("timeout", envDuration("TIMEOUT", 0), "per-request compute deadline, 0 = 120s (env KARMA_SERVE_TIMEOUT)")
+		pprofOn     = flag.Bool("pprof", envBool("PPROF", false), "mount /debug/pprof/ profiling endpoints (env KARMA_SERVE_PPROF)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -77,6 +90,7 @@ func main() {
 		CacheEntries:   *cacheSize,
 		RequestTimeout: *timeout,
 		Logger:         log,
+		Pprof:          *pprofOn,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

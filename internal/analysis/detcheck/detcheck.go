@@ -45,6 +45,10 @@ var Analyzer = &analysis.Analyzer{
 		// requests; an unordered iteration in the response or /stats
 		// rendering path would break that silently.
 		"karma/internal/serve",
+		// Exported traces are cached and compared byte-for-byte across
+		// worker counts; an unordered iteration in the renderer would
+		// shuffle events between identical requests.
+		"karma/internal/trace",
 	},
 	Run: run,
 }

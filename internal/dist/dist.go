@@ -92,6 +92,10 @@ type Result struct {
 	// Ckpt records whether the configuration ran with activation
 	// checkpointing (the in-core hybrids under HybridOptions.Checkpoint).
 	Ckpt bool `json:"ckpt"`
+	// Breakdown attributes IterTime across the pipeline's phases (nil for
+	// infeasible results). Its critical-path components sum to IterTime in
+	// both backends — every verdict is self-explaining.
+	Breakdown *Breakdown `json:"breakdown,omitempty"`
 }
 
 // KARMAOptions selects KARMA-DP variants.
@@ -197,10 +201,33 @@ type replicaCost struct {
 	// stream is the fraction of the working set crossing the link each
 	// iteration (0 when the replica runs in-core).
 	stream float64
+	// h2d, d2h and hostUpdate are informational busy times (Breakdown's
+	// per-stream view); they do not enter iter().
+	h2d, d2h, hostUpdate unit.Seconds
 }
 
 func (rc replicaCost) iter() unit.Seconds {
 	return rc.fwd + rc.bwd + rc.recompute + rc.swapStall + rc.serialUpdate + rc.updateStall
+}
+
+// breakdown attributes the replica's critical path plus the exchange
+// exposure; components sum to iter (= rc.iter() + exStall) exactly.
+func (rc replicaCost) breakdown(exTotal, exStall, iter unit.Seconds) *Breakdown {
+	b := &Breakdown{
+		Compute:       rc.fwd + rc.bwd,
+		Recompute:     rc.recompute,
+		SwapStall:     rc.swapStall,
+		ExchangeStall: exStall,
+		Update:        rc.serialUpdate + rc.updateStall,
+		Busy: StreamBusy{
+			Compute: rc.fwd + rc.bwd + rc.recompute + rc.serialUpdate,
+			H2D:     rc.h2d,
+			D2H:     rc.d2h,
+			Host:    rc.hostUpdate,
+			Network: exTotal,
+		},
+	}
+	return b.withOccupancy(iter)
 }
 
 // karmaReplica evaluates one out-of-core replica at the profile's batch.
@@ -289,6 +316,7 @@ func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) 
 	}
 	hostFLOPs := unit.FLOPs(hostFrac * float64(updateFLOPs))
 	hostT := unit.ComputeTime(hostFLOPs, cl.Node.Host.SustainedFLOPS())
+	rc.hostUpdate = hostT
 	if hostT > fwd {
 		// CPU update overlaps the next iteration's forward pass.
 		rc.updateStall = hostT - fwd
@@ -296,6 +324,8 @@ func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) 
 
 	swapBW := hw.SwapThroughput(cl.Node)
 	lat := unit.Seconds(float64(len(p.Blocks)) * float64(cl.Node.Link.Latency))
+	rc.h2d = unit.TransferTime(unit.Bytes(in), swapBW, lat)
+	rc.d2h = unit.TransferTime(unit.Bytes(out), swapBW, lat)
 	dir := math.Max(in, out)
 	link := unit.TransferTime(unit.Bytes(dir), swapBW, lat)
 	if compute := rc.fwd + rc.bwd + rc.recompute; link > compute {
@@ -310,15 +340,23 @@ func karmaReplica(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions) 
 // ZeROShard the exchange is a reduce-scatter plus the all-gather of
 // updated parameters — the same ring volume in this cost model.
 func gradExchange(grads unit.Bytes, cl hw.Cluster, gpus int, window unit.Seconds) unit.Seconds {
+	_, stall := gradExchangeTimes(grads, cl, gpus, window)
+	return stall
+}
+
+// gradExchangeTimes returns both the full collective time (the network
+// busy view) and the stall beyond the overlap window (the critical-path
+// view) — same arithmetic as gradExchange.
+func gradExchangeTimes(grads unit.Bytes, cl hw.Cluster, gpus int, window unit.Seconds) (total, stall unit.Seconds) {
 	if gpus <= 1 {
-		return 0
+		return 0, 0
 	}
 	b := comm.Pick(gpus)
 	t := comm.HierarchicalAllReduce(grads, cl, gpus, b)
 	if t <= window {
-		return 0
+		return t, 0
 	}
-	return t - window
+	return t, t - window
 }
 
 // KARMADataParallel evaluates KARMA's pure data-parallel training of g:
@@ -345,8 +383,11 @@ func KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, sam
 	if rc == nil {
 		return infeasible(gpus, global, "%s", reason), nil
 	}
-	iter := rc.iter() + gradExchange(p.TotalWeightBytes, cl, gpus, rc.bwd)
-	return finalize(iter, gpus, global, samples), nil
+	exTotal, exStall := gradExchangeTimes(p.TotalWeightBytes, cl, gpus, rc.bwd)
+	iter := rc.iter() + exStall
+	r := finalize(iter, gpus, global, samples)
+	r.Breakdown = rc.breakdown(exTotal, exStall, iter)
+	return r, nil
 }
 
 // DataParallel evaluates conventional in-core data parallelism: gpus
@@ -375,6 +416,14 @@ func DataParallel(g *graph.Graph, cl hw.Cluster, gpus, perReplicaBatch, samples 
 	}
 	fwd, bwd, updateFLOPs := p.Totals()
 	upd := unit.ComputeTime(updateFLOPs, cl.Node.Device.SustainedFLOPS())
-	iter := fwd + bwd + upd + gradExchange(p.TotalWeightBytes, cl, gpus, bwd)
-	return finalize(iter, gpus, global, samples), nil
+	exTotal, exStall := gradExchangeTimes(p.TotalWeightBytes, cl, gpus, bwd)
+	iter := fwd + bwd + upd + exStall
+	r := finalize(iter, gpus, global, samples)
+	r.Breakdown = (&Breakdown{
+		Compute:       fwd + bwd,
+		ExchangeStall: exStall,
+		Update:        upd,
+		Busy:          StreamBusy{Compute: fwd + bwd + upd, Network: exTotal},
+	}).withOccupancy(iter)
+	return r, nil
 }

@@ -190,9 +190,18 @@ func mpARPayload(cfg model.TransformerConfig, p *profiler.Profile) unit.Bytes {
 // network), and the optimizer update.
 type hybridCost struct {
 	fwdPhase, bwdPhase, update unit.Seconds
+	// bd attributes the same algebra phase by phase; its components sum
+	// to iter() by construction.
+	bd Breakdown
 }
 
 func (c hybridCost) iter() unit.Seconds { return c.fwdPhase + c.bwdPhase + c.update }
+
+// breakdown returns the attribution for attachment to a Result.
+func (c hybridCost) breakdown() *Breakdown {
+	b := c.bd
+	return b.withOccupancy(c.iter())
+}
 
 // megatronCost evaluates the MP-sharded transformer iteration from the
 // shard profile and its in-core schedule — the closed form mirroring the
@@ -233,12 +242,50 @@ func megatronCost(cfg model.TransformerConfig, shard *model.Shard, p *profiler.P
 		updWork /= float64(replicas)
 	}
 	c := hybridCost{update: unit.ComputeTime(unit.FLOPs(updWork), cl.Node.Device.SustainedFLOPS())}
+	c.bd.Update = c.update
+	// Informational per-stream busy: device math on the compute stream,
+	// the MP collectives on NVLink when the group fits inside a node
+	// (matching injectMPCollectives' kind choice), and the replica
+	// exchange on the inter-node network.
+	c.bd.Busy.Compute = fwd + bwd + rec + c.update
+	if mpT := fwdART + bwdART + replayART; mp <= cl.Node.Devices {
+		c.bd.Busy.NVLink = mpT
+	} else {
+		c.bd.Busy.Network = mpT
+	}
+	c.bd.Busy.Network += exT
 
 	// The backward critical chain: each input-gradient collective
 	// launches after its block's dgrad half and overlaps the wgrad half
 	// (Megatron-LM's standard overlap), while interior checkpoint-run
 	// replays re-reduce their boundaries serially.
 	bwdChain := bwd/2 + max(bwd/2, bwdART) + rec + replayART
+	// Collective exposure inside the chain: the part of the dgrad-side
+	// all-reduces the wgrad half could not hide.
+	chainColl := max(bwd/2, bwdART) - bwd/2
+	// attrBwd attributes a backward phase of max(bwdChain, alt) where
+	// alt = bwdART + replayART + exW is the exchange-side chain and exW
+	// its serialized exchange span.
+	attrBwd := func(alt, exW unit.Seconds) {
+		c.bd.Compute += bwd
+		c.bd.Recompute += rec
+		c.bd.Collective += replayART
+		if bwdChain >= alt {
+			c.bd.Collective += chainColl
+			return
+		}
+		// Comm-bound: the span beyond compute and replay splits between
+		// the MP collectives and the exchange in proportion to their
+		// serialized extents, the exchange share taking the exact
+		// remainder so the components still sum to the phase.
+		residual := alt - bwd - rec - replayART
+		var collPart unit.Seconds
+		if w := bwdART + exW; w > 0 {
+			collPart = unit.Seconds(float64(residual) * float64(bwdART) / float64(w))
+		}
+		c.bd.Collective += collPart
+		c.bd.ExchangeStall += residual - collPart
+	}
 	switch {
 	case zero:
 		// Reduce-scatter overlaps backward; the parameter all-gather of
@@ -246,15 +293,28 @@ func megatronCost(cfg model.TransformerConfig, shard *model.Shard, p *profiler.P
 		half := exT / 2
 		c.fwdPhase = fwdART + max(fwd, half)
 		c.bwdPhase = max(bwdChain, bwdART+replayART+half)
+		c.bd.Collective += fwdART
+		c.bd.Compute += fwd
+		if half > fwd {
+			c.bd.ExchangeStall += half - fwd
+		}
+		attrBwd(bwdART+replayART+half, half)
 	case o.Phased:
 		// Per-block grouping drains the exchange behind the backward
 		// collectives on the same network; only the excess stalls.
 		c.fwdPhase = fwd + fwdART
 		c.bwdPhase = max(bwdChain, bwdART+replayART+exT)
+		c.bd.Compute += fwd
+		c.bd.Collective += fwdART
+		attrBwd(bwdART+replayART+exT, exT)
 	default:
 		// One bulk collective after backward completes.
 		c.fwdPhase = fwd + fwdART
 		c.bwdPhase = bwdChain + exT
+		c.bd.Compute += fwd
+		c.bd.Collective += fwdART
+		attrBwd(0, 0) // chain-bound by construction
+		c.bd.ExchangeStall += exT
 	}
 	return c
 }
@@ -275,6 +335,7 @@ func MegatronHybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perRep
 	c := megatronCost(cfg, shard, p, s, cl, mp, replicas, false, o)
 	r := finalize(c.iter(), gpus, replicas*perReplicaBatch, samples)
 	r.Ckpt = o.Checkpoint
+	r.Breakdown = c.breakdown()
 	return r, nil
 }
 
@@ -296,5 +357,6 @@ func ZeRO(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, perReplicaBatch,
 	c := megatronCost(cfg, shard, p, s, cl, mp, replicas, true, o)
 	r := finalize(c.iter(), gpus, replicas*perReplicaBatch, samples)
 	r.Ckpt = o.Checkpoint
+	r.Breakdown = c.breakdown()
 	return r, nil
 }

@@ -206,10 +206,19 @@ type pipeCost struct {
 	exchangeStall unit.Seconds
 	// update is the slowest stage's optimizer step.
 	update unit.Seconds
+	// bd attributes the same algebra from the bottleneck stage's point of
+	// view; its components sum to iter() by construction.
+	bd Breakdown
 }
 
 func (c pipeCost) iter() unit.Seconds {
 	return c.traversal + c.steady + c.exchangeStall + c.update
+}
+
+// breakdown returns the attribution for attachment to a Result.
+func (c pipeCost) breakdown() *Breakdown {
+	b := c.bd
+	return b.withOccupancy(c.iter())
 }
 
 // pipelineCost evaluates the GPipe fill-drain schedule in closed form:
@@ -220,20 +229,38 @@ func (c pipeCost) iter() unit.Seconds {
 // slowest stage's update closes the iteration.
 func pipelineCost(sts []pipeStage, cl hw.Cluster, stages, replicas, micro int, o HybridOptions) pipeCost {
 	backend := comm.Pick(stages * replicas)
-	wire, _ := pipeWire(cl, stages, backend)
+	wire, local := pipeWire(cl, stages, backend)
 
 	var c pipeCost
 	var bottleneck unit.Seconds
-	for _, st := range sts {
+	sb := 0
+	for s, st := range sts {
 		c.traversal += st.perMicro() + wire(st.OutBytes)*2 // boundary: activation out, gradient back
 		if r := st.rate(wire); r > bottleneck {
 			bottleneck = r
+			sb = s
 		}
 		if u := unit.ComputeTime(st.UpdateFLOPs, cl.Node.Device.SustainedFLOPS()); u > c.update {
 			c.update = u
 		}
 	}
 	c.steady = unit.Seconds(float64(micro-1) * float64(bottleneck))
+
+	// Attribution from the bottleneck stage's seat: its micro-batch math
+	// is compute (and recompute), everything it waits on — other stages'
+	// traversal, boundary wires, and its own wire-bound steady-state
+	// excess — is bubble. The components sum to iter() by construction.
+	bt := sts[sb]
+	c.bd.Compute = unit.Seconds(float64(micro) * float64(bt.Fwd+bt.Bwd))
+	c.bd.Recompute = unit.Seconds(float64(micro) * float64(bt.Recompute))
+	c.bd.Bubble = (c.traversal - bt.perMicro()) +
+		unit.Seconds(float64(micro-1)*float64(bottleneck-bt.perMicro()))
+	c.bd.Busy.Compute = unit.Seconds(float64(micro)*float64(bt.perMicro())) + c.update
+	if wireT := unit.Seconds(float64(micro) * float64(wire(bt.InBytes)+wire(bt.OutBytes))); local {
+		c.bd.Busy.NVLink = wireT
+	} else {
+		c.bd.Busy.Network = wireT
+	}
 
 	// Exchange: stage s's gradients complete at its last backward; while
 	// they reduce, stages before it are still draining. Under o.Phased
@@ -257,9 +284,14 @@ func pipelineCost(sts []pipeStage, cl hw.Cluster, stages, replicas, micro int, o
 			if stall > c.exchangeStall {
 				c.exchangeStall = stall
 			}
+			if s == sb {
+				c.bd.Busy.Network += exT
+			}
 			window += sts[s].Bwd + sts[s].Recompute
 		}
 	}
+	c.bd.ExchangeStall = c.exchangeStall
+	c.bd.Update = c.update
 	return c
 }
 
@@ -281,6 +313,7 @@ func Pipeline(cfg model.TransformerConfig, cl hw.Cluster, stages, gpus, perRepli
 	c := pipelineCost(sts, cl, stages, replicas, micro, o)
 	r := finalize(c.iter(), gpus, replicas*perReplicaBatch, samples)
 	r.Ckpt = o.Checkpoint
+	r.Breakdown = c.breakdown()
 	return r, nil
 }
 

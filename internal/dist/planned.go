@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"karma/internal/comm"
 	"karma/internal/graph"
@@ -12,6 +13,7 @@ import (
 	"karma/internal/model"
 	"karma/internal/plan"
 	"karma/internal/profiler"
+	"karma/internal/sim"
 	"karma/internal/tensor"
 	"karma/internal/unit"
 )
@@ -58,11 +60,38 @@ type Planned struct {
 	profiles  memo[profileKey, *profiler.Profile]
 	schedules memo[schedKey, planOutcome]
 
+	// observe, when set, receives the wall-clock duration of each
+	// evaluation phase (see Observe). nil on the hot path: no clock reads.
+	observe func(phase string, seconds float64)
+
 	// failSim, when set, makes every simulation attempt report an error,
 	// forcing the analytic fallback paths. It exists only so the fallback
 	// tagging contract (Backend stays "analytic", Ckpt still recorded)
 	// can be regression-tested; nothing outside the tests sets it.
 	failSim bool
+}
+
+// Observe registers a callback receiving the wall-clock seconds spent in
+// each evaluation phase: "search" (the karma.Plan partition search),
+// "plan_build" (plan lowering and collective injection), and "simulate"
+// (the event simulator). Register before serving evaluations; the
+// callback may be invoked concurrently and must synchronize itself.
+// With no observer registered the evaluator never reads the clock.
+func (pe *Planned) Observe(fn func(phase string, seconds float64)) {
+	pe.observe = fn
+}
+
+// timed runs fn, reporting its duration to the observer when one is
+// registered.
+func (pe *Planned) timed(phase string, fn func()) {
+	if pe.observe == nil {
+		fn()
+		return
+	}
+	//karma:det-ok phase timings are observability wall-clock; no model output depends on them
+	start := time.Now()
+	fn()
+	pe.observe(phase, time.Since(start).Seconds())
 }
 
 type profileKey struct {
@@ -159,7 +188,7 @@ func (pe *Planned) KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perRep
 		}
 		return stamp(r), nil
 	}
-	iter, err := pe.plannedIter(p, cl, gpus, o, gs)
+	iter, bd, err := pe.plannedIter(p, cl, gpus, o, gs)
 	if err != nil {
 		// The search found no simulable schedule for a configuration the
 		// shared precheck deems feasible: keep the feasibility verdict
@@ -170,41 +199,65 @@ func (pe *Planned) KARMADataParallel(g *graph.Graph, cl hw.Cluster, gpus, perRep
 		}
 		return r, ferr
 	}
-	return stamp(finalize(iter, gpus, global, samples)), nil
+	r := finalize(iter, gpus, global, samples)
+	r.Breakdown = bd
+	return stamp(r), nil
 }
 
 // plannedIter plans one replica and simulates its iteration with the
-// phased gradient exchange overlapped.
-func (pe *Planned) plannedIter(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions, gs float64) (unit.Seconds, error) {
+// phased gradient exchange overlapped. The returned breakdown derives
+// from the simulated timeline (timelineBreakdown) with the update cost
+// — which the simulation does not schedule — added to both the
+// iteration and its Update component, so the attribution still sums to
+// the iteration time.
+func (pe *Planned) plannedIter(p *profiler.Profile, cl hw.Cluster, gpus int, o KARMAOptions, gs float64) (unit.Seconds, *Breakdown, error) {
 	if pe.failSim {
-		return 0, errForcedFallback
+		return 0, nil, errForcedFallback
 	}
 	// Prefer the single-GPU residency regime (weights resident, only
 	// activations stream); when weights cannot stay resident, plan the
 	// §III-G weight-streaming regime instead.
 	opts := karma.Options{GradScale: gs, Seed: 1}
-	s, err := pe.plan(p, opts)
-	if err != nil {
-		opts.StreamWeights = true
-		if s, err = pe.plan(p, opts); err != nil {
-			return 0, err
+	var s *karma.Schedule
+	var err error
+	pe.timed("search", func() {
+		s, err = pe.plan(p, opts)
+		if err != nil {
+			opts.StreamWeights = true
+			s, err = pe.plan(p, opts)
 		}
-	}
-	pl, err := karma.BuildPlan(s)
+	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	if o.UpdateOnDevice {
-		addMomentumTraffic(pl, s, cl, o, gpus)
-	}
-	if gpus > 1 {
-		injectExchange(pl, s, cl, gpus)
-	}
-	_, tl, err := pl.Simulate(s.Budget)
+	var pl *plan.Plan
+	pe.timed("plan_build", func() {
+		pl, err = karma.BuildPlan(s)
+		if err != nil {
+			return
+		}
+		if o.UpdateOnDevice {
+			addMomentumTraffic(pl, s, cl, o, gpus)
+		}
+		if gpus > 1 {
+			injectExchange(pl, s, cl, gpus)
+		}
+	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return tl.Makespan + updateCost(s, cl, o, gs), nil
+	var c *plan.Compiled
+	var tl *sim.Timeline
+	pe.timed("simulate", func() {
+		c, tl, err = pl.Simulate(s.Budget)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	upd := updateCost(s, cl, o, gs)
+	b := timelineBreakdown(c, tl)
+	b.Update += upd
+	return tl.Makespan + upd, b, nil
 }
 
 // updateCost returns the weight-update time on the iteration's critical

@@ -45,48 +45,77 @@ func (pe *Planned) hybrid(cfg model.TransformerConfig, cl hw.Cluster, mp, gpus, 
 		res.Ckpt = o.Checkpoint
 		return res
 	}
-	iter, err := pe.hybridIter(cfg, shard, p, s, cl, mp, replicas, zero, o)
+	iter, bd, err := pe.hybridIter(cfg, shard, p, s, cl, mp, replicas, zero, o)
 	if err != nil {
 		c := megatronCost(cfg, shard, p, s, cl, mp, replicas, zero, o)
-		return r(c.iter()), nil // Backend stays "analytic": explicit fallback
+		res := r(c.iter()) // Backend stays "analytic": explicit fallback
+		res.Breakdown = c.breakdown()
+		return res, nil
 	}
 	res := r(iter)
 	res.Backend = pe.Name()
+	res.Breakdown = bd
 	return res, nil
 }
 
-// hybridIter lowers the shard schedule to a plan, injects the exchange
-// and the MP collectives, and simulates one iteration.
-func (pe *Planned) hybridIter(cfg model.TransformerConfig, shard *model.Shard, p *profiler.Profile, s *karma.Schedule, cl hw.Cluster, mp, replicas int, zero bool, o HybridOptions) (unit.Seconds, error) {
-	if pe.failSim {
-		return 0, errForcedFallback
-	}
-	sc := hybridScratchPool.Get().(*hybridScratch)
-	defer hybridScratchPool.Put(sc)
+// buildHybridPlan lowers the shard schedule to the plan IR and injects
+// the MP collectives, the data-parallel exchange and the closing update
+// — the shared front half of hybridIter and the export API. The arenas
+// back the injectors' rebuilt stage lists (pooled in the evaluator's hot
+// path, fresh for exports that outlive the call).
+func buildHybridPlan(cfg model.TransformerConfig, shard *model.Shard, p *profiler.Profile, s *karma.Schedule, cl hw.Cluster, mp, replicas int, zero bool, o HybridOptions, ex, mpArena *stageArena) (*plan.Plan, error) {
 	pl, err := karma.BuildPlan(s)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	// Exchange first, collectives second: the walk below then queues each
 	// backward's blocking all-reduce ahead of the exchange phase it
 	// unblocks, the priority a real implementation gives the collective
 	// the next layer's compute is stalled on.
-	injectHybridExchange(pl, s, cl, replicas, mp*replicas, zero, o, &sc.ex)
-	injectMPCollectives(pl, s, shard, p, cfg, cl, mp, replicas, &sc.mp)
+	injectHybridExchange(pl, s, cl, replicas, mp*replicas, zero, o, ex)
+	injectMPCollectives(pl, s, shard, p, cfg, cl, mp, replicas, mpArena)
 	appendHybridUpdate(pl, s, cl, zero, replicas)
+	return pl, nil
+}
+
+// hybridIter lowers the shard schedule to a plan, injects the exchange
+// and the MP collectives, and simulates one iteration. The breakdown
+// derives from the simulated timeline; the update is a scheduled op
+// here, so no supplement is needed and the components sum to the
+// makespan by construction.
+func (pe *Planned) hybridIter(cfg model.TransformerConfig, shard *model.Shard, p *profiler.Profile, s *karma.Schedule, cl hw.Cluster, mp, replicas int, zero bool, o HybridOptions) (unit.Seconds, *Breakdown, error) {
+	if pe.failSim {
+		return 0, nil, errForcedFallback
+	}
+	sc := hybridScratchPool.Get().(*hybridScratch)
+	defer hybridScratchPool.Put(sc)
+	var pl *plan.Plan
+	var err error
+	pe.timed("plan_build", func() {
+		pl, err = buildHybridPlan(cfg, shard, p, s, cl, mp, replicas, zero, o, &sc.ex, &sc.mp)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
 	// Compile and run on the scratch's long-lived compiler and simulator
 	// (exactly what pl.Simulate does on fresh ones, error strings
 	// included) so the per-configuration evaluation stays allocation-lean.
-	c, err := sc.comp.Compile(pl)
+	var c *plan.Compiled
+	var tl *sim.Timeline
+	pe.timed("simulate", func() {
+		c, err = sc.comp.Compile(pl)
+		if err != nil {
+			return
+		}
+		//karma:plan-ok ops come from Compile on this same plan; the pooled Runner just skips Simulate's per-call allocations
+		if tl, err = sc.run.Run(c.Ops, s.Budget); err != nil {
+			err = fmt.Errorf("plan %s: %w", pl.Name, err)
+		}
+	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	//karma:plan-ok ops come from Compile on this same plan; the pooled Runner just skips Simulate's per-call allocations
-	tl, err := sc.run.Run(c.Ops, s.Budget)
-	if err != nil {
-		return 0, fmt.Errorf("plan %s: %w", pl.Name, err)
-	}
-	return tl.Makespan, nil
+	return tl.Makespan, timelineBreakdown(c, tl), nil
 }
 
 // hybridScratch is the reusable evaluation state of one planned-hybrid

@@ -7,6 +7,7 @@ import (
 	"karma/internal/hw"
 	"karma/internal/model"
 	"karma/internal/plan"
+	"karma/internal/sim"
 	"karma/internal/unit"
 )
 
@@ -40,21 +41,29 @@ func (pe *Planned) Pipeline(cfg model.TransformerConfig, cl hw.Cluster, stages, 
 		res.Ckpt = o.Checkpoint
 		return res
 	}
-	iter, err := pe.pipeIter(sts, cl, stages, replicas, micro, o)
+	iter, bd, err := pe.pipeIter(sts, cl, stages, replicas, micro, o)
 	if err != nil {
 		c := pipelineCost(sts, cl, stages, replicas, micro, o)
-		return r(c.iter()), nil // Backend stays "analytic": explicit fallback
+		res := r(c.iter()) // Backend stays "analytic": explicit fallback
+		res.Breakdown = c.breakdown()
+		return res, nil
 	}
 	res := r(iter)
 	res.Backend = pe.Name()
+	res.Breakdown = bd
 	return res, nil
 }
 
 // pipeIter simulates the bottleneck stage's micro-batch loop and closes
 // the iteration with the analytic fill/drain, exchange and update terms.
-func (pe *Planned) pipeIter(sts []pipeStage, cl hw.Cluster, stages, replicas, micro int, o HybridOptions) (unit.Seconds, error) {
+// The breakdown derives from the simulated timeline; the closed-form
+// supplement lands on the components it represents (other stages'
+// traversal and wires are pipeline bubble from the bottleneck's seat,
+// the exchange stall and update on their own components), so the
+// attribution still sums to the iteration time.
+func (pe *Planned) pipeIter(sts []pipeStage, cl hw.Cluster, stages, replicas, micro int, o HybridOptions) (unit.Seconds, *Breakdown, error) {
 	if pe.failSim {
-		return 0, errForcedFallback
+		return 0, nil, errForcedFallback
 	}
 	backend := comm.Pick(stages * replicas)
 	wire, local := pipeWire(cl, stages, backend)
@@ -67,10 +76,18 @@ func (pe *Planned) pipeIter(sts []pipeStage, cl hw.Cluster, stages, replicas, mi
 		}
 	}
 	st := sts[sb]
-	pl := buildStagePlan(st, micro, wire, local, sb, len(sts))
-	_, tl, err := pl.Simulate(pipelineBudget(st, cl, o))
+	var pl *plan.Plan
+	pe.timed("plan_build", func() {
+		pl = buildStagePlan(st, micro, wire, local, sb, len(sts))
+	})
+	var cp *plan.Compiled
+	var tl *sim.Timeline
+	var err error
+	pe.timed("simulate", func() {
+		cp, tl, err = pl.Simulate(pipelineBudget(st, cl, o))
+	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 
 	// Closed-form supplement: the traversal through every other stage and
@@ -79,16 +96,24 @@ func (pe *Planned) pipeIter(sts []pipeStage, cl hw.Cluster, stages, replicas, mi
 	// plus the exchange stall and update shared with the analytic model.
 	c := pipelineCost(sts, cl, stages, replicas, micro, o)
 	supplement := c.exchangeStall + c.update
+	var bubble unit.Seconds
 	for s, other := range sts {
 		if s == sb {
 			continue
 		}
 		supplement += other.perMicro()
+		bubble += other.perMicro()
 		if s != sb-1 { // boundary s→s+1; sb's own two are simulated
 			supplement += 2 * wire(other.OutBytes)
+			bubble += 2 * wire(other.OutBytes)
 		}
 	}
-	return tl.Makespan + supplement, nil
+	iter := tl.Makespan + supplement
+	b := timelineBreakdown(cp, tl)
+	b.Bubble += bubble
+	b.ExchangeStall += c.exchangeStall
+	b.Update += c.update
+	return iter, b.withOccupancy(iter), nil
 }
 
 // buildStagePlan lowers one stage's GPipe micro-batch loop to the plan

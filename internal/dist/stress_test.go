@@ -9,6 +9,21 @@ import (
 	"karma/internal/model"
 )
 
+// sameResult compares two results by value, following the Breakdown
+// pointer (plain struct equality stopped meaning "same verdict" when
+// Result gained the attribution payload).
+func sameResult(a, b *Result) bool {
+	if (a.Breakdown == nil) != (b.Breakdown == nil) {
+		return false
+	}
+	if a.Breakdown != nil && *a.Breakdown != *b.Breakdown {
+		return false
+	}
+	x, y := *a, *b
+	x.Breakdown, y.Breakdown = nil, nil
+	return x == y
+}
+
 // TestPlannedConcurrentStress hammers one shared Planned evaluator from
 // many goroutines — the exact shape a parallel sweep produces. Half the
 // work hits overlapping cache keys (every goroutine evaluates the same
@@ -57,7 +72,7 @@ func TestPlannedConcurrentStress(t *testing.T) {
 				errs[g] = err
 				return
 			}
-			if *shared != *refShared {
+			if !sameResult(shared, refShared) {
 				errs[g] = fmt.Errorf("shared hybrid diverged: %+v vs %+v", shared, refShared)
 				return
 			}
@@ -69,7 +84,7 @@ func TestPlannedConcurrentStress(t *testing.T) {
 				errs[g] = err
 				return
 			}
-			if *z != *refZero[gpus] {
+			if !sameResult(z, refZero[gpus]) {
 				errs[g] = fmt.Errorf("zero@%d diverged: %+v vs %+v", gpus, z, refZero[gpus])
 				return
 			}
@@ -80,7 +95,7 @@ func TestPlannedConcurrentStress(t *testing.T) {
 				errs[g] = err
 				return
 			}
-			if *p != *refPipe {
+			if !sameResult(p, refPipe) {
 				errs[g] = fmt.Errorf("pipeline diverged: %+v vs %+v", p, refPipe)
 			}
 		}(g)
@@ -113,7 +128,7 @@ func TestPlannedConcurrentStress(t *testing.T) {
 				eerrs[g] = err
 				return
 			}
-			if *z != *refZero[gpus] {
+			if !sameResult(z, refZero[gpus]) {
 				eerrs[g] = fmt.Errorf("zero@%d diverged under eviction churn: %+v vs %+v", gpus, z, refZero[gpus])
 				return
 			}
@@ -122,7 +137,7 @@ func TestPlannedConcurrentStress(t *testing.T) {
 				eerrs[g] = err
 				return
 			}
-			if *shared != *refShared {
+			if !sameResult(shared, refShared) {
 				eerrs[g] = fmt.Errorf("hybrid diverged under eviction churn: %+v vs %+v", shared, refShared)
 			}
 		}(g)

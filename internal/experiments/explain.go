@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"karma/internal/dist"
+	"karma/internal/unit"
+)
+
+// The explain tables render each panel's cost attribution — where every
+// iteration's time goes, per dist.Breakdown — next to the verdicts the
+// byte-pinned panel tables report. They are separate tables (karma-bench
+// -explain) so the golden panel renderings stay untouched.
+
+// explainHeaders name the seven critical-path components plus the
+// compute-stream occupancy.
+var explainHeaders = []string{
+	"compute", "recompute", "swap", "exchange", "collective", "bubble", "update", "occ",
+}
+
+// breakdownCells renders one result's attribution as
+// percent-of-iteration columns; infeasible or breakdown-less results
+// render as dashes.
+func breakdownCells(r *dist.Result) []string {
+	if r == nil || !r.Feasible || r.Breakdown == nil || r.IterTime <= 0 {
+		out := make([]string, len(explainHeaders))
+		for i := range out {
+			out[i] = "-"
+		}
+		return out
+	}
+	b := r.Breakdown
+	iter := float64(r.IterTime)
+	pct := func(v unit.Seconds) string {
+		return fmt.Sprintf("%.1f%%", 100*float64(v)/iter)
+	}
+	return []string{
+		pct(b.Compute), pct(b.Recompute), pct(b.SwapStall), pct(b.ExchangeStall),
+		pct(b.Collective), pct(b.Bubble), pct(b.Update),
+		fmt.Sprintf("%.2f", b.Occupancy),
+	}
+}
+
+// ExplainTable renders the panel's cost attribution: one row per
+// (GPU count, method), components as percent of the iteration.
+func (p *Fig8Panel) ExplainTable() *Table {
+	t := &Table{
+		ID:      "fig8-" + p.Model + "-explain",
+		Title:   fmt.Sprintf("cost attribution (%% of iteration), %s", p.Model),
+		Headers: append([]string{"gpus", "method"}, explainHeaders...),
+	}
+	for _, row := range p.Rows {
+		for _, m := range p.Methods {
+			t.Rows = append(t.Rows,
+				append([]string{fmt.Sprintf("%d", row.GPUs), m}, breakdownCells(row.Results[m])...))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the seven components sum to the iteration time; occ is compute-stream busy over the iteration")
+	return t
+}
+
+// TableIVExplainTable renders Table IV's cost attribution: one row per
+// (configuration, method).
+func TableIVExplainTable(rows []TableIVRow) *Table {
+	t := &Table{
+		ID:      "table4-explain",
+		Title:   "cost attribution (% of iteration) for the Table IV configurations",
+		Headers: append([]string{"P", "method"}, explainHeaders...),
+	}
+	for _, r := range rows {
+		p := fmt.Sprintf("%.1fB", float64(r.Config.Params())/1e9)
+		t.Rows = append(t.Rows, append([]string{p, "mp+dp"}, breakdownCells(r.Hybrid)...))
+		t.Rows = append(t.Rows, append([]string{p, "karma-dp"}, breakdownCells(r.KARMA)...))
+		if r.Pipeline != nil {
+			t.Rows = append(t.Rows, append([]string{p, "pipeline"}, breakdownCells(r.Pipeline)...))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the seven components sum to the iteration time; occ is compute-stream busy over the iteration")
+	return t
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"karma/internal/plan"
+)
+
+// exportBody is the /v1/evaluate request the export tests share: a
+// planner-backed hybrid whose plan has real multi-stream structure.
+const exportBody = `{"family":"mp+dp","model":"megatron-2.5B","mp":4,"gpus":256,"batch":4,"ckpt":true}`
+
+// chromeTrace is the subset of the trace-event schema the tests check.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name  string  `json:"name"`
+		Cat   string  `json:"cat"`
+		Phase string  `json:"ph"`
+		TS    float64 `json:"ts"`
+		PID   int     `json:"pid"`
+		TID   int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// TestPlanEndpoint pins the /v1/plan contract: the exported plan
+// round-trips through plan.Decode and rides next to the evaluator's
+// verdict (with its breakdown).
+func TestPlanEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, body := post(t, s, "/v1/plan", exportBody)
+	if code != http.StatusOK {
+		t.Fatalf("plan = %d: %s", code, body)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if len(resp.Plan) == 0 {
+		t.Fatal("response carries no plan")
+	}
+	pl, err := plan.Decode(bytes.NewReader(resp.Plan))
+	if err != nil {
+		t.Fatalf("exported plan does not round-trip through plan.Decode: %v", err)
+	}
+	if len(pl.Stages) == 0 {
+		t.Error("decoded plan has no stages")
+	}
+	if resp.Result == nil || !resp.Result.Feasible {
+		t.Fatalf("plan must ride with a feasible verdict, got %+v", resp.Result)
+	}
+	if resp.Result.Backend != "planned" {
+		t.Errorf("export backend = %q, want planned (forced)", resp.Result.Backend)
+	}
+	if resp.Result.Breakdown == nil {
+		t.Error("export verdict carries no breakdown")
+	}
+}
+
+// TestTraceEndpoint pins the /v1/trace contract: valid Chrome
+// trace-event JSON, byte-identical across worker counts, a GET query
+// variant sharing the POST cache entry, and the cache hit visible in
+// /stats.
+func TestTraceEndpoint(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 3, 8} {
+		s := newTestServer(t, Config{Workers: workers})
+		code, body := post(t, s, "/v1/trace", exportBody)
+		if code != http.StatusOK {
+			t.Fatalf("workers=%d: trace = %d: %s", workers, code, body)
+		}
+		if ref == nil {
+			ref = body
+		} else if !bytes.Equal(ref, body) {
+			t.Fatalf("workers=%d produced a different trace body", workers)
+		}
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(ref, &tr); err != nil {
+		t.Fatalf("trace body is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	tids := map[int]bool{}
+	for i, e := range tr.TraceEvents {
+		if e.Name == "" || e.Cat == "" || e.PID != 1 || e.TID < 1 {
+			t.Fatalf("event %d malformed: %+v", i, e)
+		}
+		if e.Phase != "X" && e.Phase != "i" {
+			t.Fatalf("event %d has phase %q, want X or i", i, e.Phase)
+		}
+		tids[e.TID] = true
+	}
+	if len(tids) < 2 {
+		t.Errorf("trace uses %d streams, want at least compute plus one copy/comm stream", len(tids))
+	}
+
+	// The GET variant canonicalizes to the same key as the POST body, so
+	// a fresh server serves the second request from cache — observable as
+	// a response-cache hit in /stats.
+	s := newTestServer(t, Config{})
+	const query = "/v1/trace?family=mp%2Bdp&model=megatron-2.5B&mp=4&gpus=256&batch=4&ckpt=true"
+	code, got := get(t, s, query)
+	if code != http.StatusOK {
+		t.Fatalf("GET trace = %d: %s", code, got)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("GET trace body differs from the POST body")
+	}
+	if code, body := post(t, s, "/v1/trace", exportBody); code != http.StatusOK {
+		t.Fatalf("POST after GET = %d: %s", code, body)
+	}
+	code, stats := get(t, s, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if !strings.Contains(string(stats), `karma_serve_cache_hits_total{cache="response"} 1`) {
+		t.Errorf("GET and POST must share one cache entry; stats:\n%s", stats)
+	}
+}
+
+// TestExportBadRequests pins the rejection paths specific to the export
+// endpoints.
+func TestExportBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, path string
+		wantCode   int
+	}{
+		{"dp has no plan", "/v1/plan?family=dp&model=resnet50&gpus=16&batch=32", http.StatusBadRequest},
+		{"unknown query param", "/v1/trace?family=karma-dp&model=resnet50&gpus=16&batch=32&gpuz=1", http.StatusBadRequest},
+		{"bad int", "/v1/trace?family=karma-dp&model=resnet50&gpus=many&batch=32", http.StatusBadRequest},
+		{"bad bool", "/v1/trace?family=karma-dp&model=resnet50&gpus=16&batch=32&ckpt=maybe", http.StatusBadRequest},
+		{"missing model", "/v1/plan?family=karma-dp&gpus=16&batch=32", http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := get(t, s, tc.path)
+			if code != tc.wantCode {
+				t.Fatalf("code = %d, want %d: %s", code, tc.wantCode, body)
+			}
+			var e apiError
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Errorf("error body must be {\"error\": ...}, got %q (%v)", body, err)
+			}
+		})
+	}
+}

@@ -24,6 +24,14 @@ type metrics struct {
 	requests map[requestKey]uint64
 	inFlight int
 	hist     map[string]*histogram
+	phases   map[string]*phaseStat
+}
+
+// phaseStat accumulates one evaluation phase's wall-clock time (the
+// Planned evaluator's Observe feed: search, plan_build, simulate).
+type phaseStat struct {
+	sum   float64
+	count uint64
 }
 
 type requestKey struct {
@@ -41,7 +49,23 @@ func newMetrics() *metrics {
 	return &metrics{
 		requests: map[requestKey]uint64{},
 		hist:     map[string]*histogram{},
+		phases:   map[string]*phaseStat{},
 	}
+}
+
+// evalPhase records one evaluation phase duration; it is the callback
+// registered with the planned evaluator's Observe hook and may be
+// invoked from concurrent evaluations.
+func (m *metrics) evalPhase(phase string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.phases[phase]
+	if p == nil {
+		p = &phaseStat{}
+		m.phases[phase] = p
+	}
+	p.sum += seconds
+	p.count++
 }
 
 func (m *metrics) requestStart() {
@@ -76,11 +100,19 @@ type cacheStats struct {
 	s    dist.CacheStats
 }
 
-// render writes the Prometheus text exposition: request counters, the
-// in-flight gauge, per-endpoint latency histograms, and one block of
+// buildInfo labels the karma_build_info gauge: the Go toolchain that
+// built the binary and the main-module version when one is stamped.
+type buildInfo struct {
+	goVersion string
+	version   string
+}
+
+// render writes the Prometheus text exposition: the build-info gauge,
+// request counters, the in-flight gauge, per-endpoint latency
+// histograms, the evaluation-phase timing series, and one block of
 // hit/miss/eviction/entry series per cache layer (response cache,
 // shared evaluator memos, planner instance memos).
-func (m *metrics) render(sb *strings.Builder, caches []cacheStats) {
+func (m *metrics) render(sb *strings.Builder, bi buildInfo, caches []cacheStats) {
 	m.mu.Lock()
 	keys := make([]requestKey, 0, len(m.requests))
 	for k := range m.requests { //karma:det-ok keys are sorted before rendering
@@ -105,8 +137,19 @@ func (m *metrics) render(sb *strings.Builder, caches []cacheStats) {
 	for i, k := range keys {
 		counts[i] = m.requests[k]
 	}
+	phaseNames := make([]string, 0, len(m.phases))
+	phaseSnaps := map[string]phaseStat{}
+	for k, p := range m.phases { //karma:det-ok keys are sorted before rendering
+		phaseNames = append(phaseNames, k)
+		phaseSnaps[k] = *p
+	}
+	sort.Strings(phaseNames)
 	inFlight := m.inFlight
 	m.mu.Unlock()
+
+	fmt.Fprintf(sb, "# HELP karma_build_info Build metadata of the serving binary, as labels.\n")
+	fmt.Fprintf(sb, "# TYPE karma_build_info gauge\n")
+	fmt.Fprintf(sb, "karma_build_info{go=%q,version=%q} 1\n", bi.goVersion, bi.version)
 
 	fmt.Fprintf(sb, "# HELP karma_serve_requests_total Requests served, by endpoint and status code.\n")
 	fmt.Fprintf(sb, "# TYPE karma_serve_requests_total counter\n")
@@ -128,6 +171,16 @@ func (m *metrics) render(sb *strings.Builder, caches []cacheStats) {
 		fmt.Fprintf(sb, "karma_serve_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.counts[len(latencyBuckets)])
 		fmt.Fprintf(sb, "karma_serve_request_seconds_sum{endpoint=%q} %s\n", ep, formatFloat(h.sum))
 		fmt.Fprintf(sb, "karma_serve_request_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+
+	if len(phaseNames) > 0 {
+		fmt.Fprintf(sb, "# HELP karma_serve_eval_phase_seconds Wall-clock time inside planner evaluation phases (search, plan_build, simulate).\n")
+		fmt.Fprintf(sb, "# TYPE karma_serve_eval_phase_seconds summary\n")
+		for _, name := range phaseNames {
+			p := phaseSnaps[name]
+			fmt.Fprintf(sb, "karma_serve_eval_phase_seconds_sum{phase=%q} %s\n", name, formatFloat(p.sum))
+			fmt.Fprintf(sb, "karma_serve_eval_phase_seconds_count{phase=%q} %d\n", name, p.count)
+		}
 	}
 
 	fmt.Fprintf(sb, "# HELP karma_serve_cache_hits_total Cache lookups that found an entry, by cache layer.\n")

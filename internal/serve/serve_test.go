@@ -42,8 +42,60 @@ func get(t *testing.T, s *Server, path string) (int, []byte) {
 func TestHealthz(t *testing.T) {
 	s := newTestServer(t, Config{})
 	code, body := get(t, s, "/healthz")
-	if code != http.StatusOK || string(body) != "ok\n" {
-		t.Fatalf("healthz = %d %q, want 200 \"ok\\n\"", code, body)
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d %q, want 200", code, body)
+	}
+	var h struct {
+		Status  string `json:"status"`
+		Go      string `json:"go"`
+		Version string `json:"version"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz body is not JSON: %v: %q", err, body)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if !strings.HasPrefix(h.Go, "go") || h.Version == "" {
+		t.Errorf("healthz must carry build info, got %+v", h)
+	}
+}
+
+// TestRequestID pins the correlation contract: a generated ID is echoed
+// in the response header, an inbound X-Request-ID is honored, and error
+// bodies carry the ID while success bodies (cached, shared) do not.
+func TestRequestID(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if id := rec.Header().Get("X-Request-ID"); len(id) != 16 {
+		t.Errorf("generated request ID = %q, want 16 hex chars", id)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/v1/evaluate", strings.NewReader(`{"family":"bogus"}`))
+	req.Header.Set("X-Request-ID", "trace-me-7")
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if id := rec.Header().Get("X-Request-ID"); id != "trace-me-7" {
+		t.Errorf("inbound request ID not echoed: got %q", id)
+	}
+	var e apiError
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body: %v", err)
+	}
+	if e.RequestID != "trace-me-7" {
+		t.Errorf("error body request_id = %q, want trace-me-7", e.RequestID)
+	}
+
+	code, body := post(t, s, "/v1/evaluate",
+		`{"family":"karma-dp","model":"megatron-0.3B","gpus":128,"batch":128}`)
+	if code != http.StatusOK {
+		t.Fatalf("evaluate = %d: %s", code, body)
+	}
+	if bytes.Contains(body, []byte("request_id")) {
+		t.Errorf("success bodies are cached across requests and must not carry a request ID: %s", body)
 	}
 }
 
@@ -71,6 +123,11 @@ func TestEvaluateEndpoint(t *testing.T) {
 	}
 	if !bytes.Contains(body, []byte(`"epoch_time_s"`)) {
 		t.Errorf("response must use the documented JSON field names, got %s", body)
+	}
+	if r.Breakdown == nil {
+		t.Error("feasible evaluation must carry a cost breakdown")
+	} else if r.Breakdown.Components() <= 0 {
+		t.Errorf("breakdown components sum to %v, want > 0", r.Breakdown.Components())
 	}
 }
 

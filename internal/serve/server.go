@@ -4,11 +4,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/evaluate    one configuration -> dist.Result
+//	POST /v1/evaluate    one configuration -> dist.Result (+ breakdown)
 //	POST /v1/feasibility one configuration -> verdict + Reason only
 //	POST /v1/sweep       one experiment panel (fig8/table4/table5/topo)
-//	GET  /healthz        liveness
-//	GET  /stats          Prometheus text: requests, latency, caches
+//	BOTH /v1/plan        one configuration -> compiled plan.Plan JSON
+//	BOTH /v1/trace       one configuration -> Chrome trace-event JSON
+//	GET  /healthz        liveness + build info
+//	GET  /stats          Prometheus text: requests, latency, phases, caches
+//
+// /v1/plan and /v1/trace accept the /v1/evaluate JSON body via POST, or
+// the same fields as query parameters via GET (curl-friendly); both run
+// the planned backend regardless of the requested one — the export is
+// the planner's schedule by definition.
+//
+// Every request carries an ID: the inbound X-Request-ID when the client
+// set one, a generated hex token otherwise. It is echoed in the
+// X-Request-ID response header, attached to every structured log line,
+// and embedded in JSON error bodies — success bodies never carry it, so
+// cached responses stay byte-identical across requests.
 //
 // The serving stack is three bounded layers. A canonicalized-request
 // LRU response cache (flightCache) returns byte-identical bodies for
@@ -28,12 +41,16 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -60,6 +77,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logger receives one structured line per request. nil discards.
 	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// the profiler exposes stacks and heap contents, so a deployment
+	// opts in explicitly (karma-serve's -pprof flag).
+	Pprof bool
 }
 
 // Server is the karma-serve HTTP handler set.
@@ -70,6 +91,7 @@ type Server struct {
 	cache   *flightCache[[]byte]
 	graphs  *flightCache[*graph.Graph]
 	metrics *metrics
+	build   buildInfo
 	slots   chan struct{}
 	mux     *http.ServeMux
 	// evalHook, when set, runs at the start of every cache-miss
@@ -104,24 +126,74 @@ func New(cfg Config) *Server {
 		cache:   newFlightCache[[]byte](cfg.CacheEntries),
 		graphs:  newFlightCache[*graph.Graph](64),
 		metrics: newMetrics(),
+		build:   readBuildInfo(),
 		slots:   make(chan struct{}, cfg.MaxInFlight),
+	}
+	// Feed the planner's phase timings (search / plan_build / simulate)
+	// into the /stats series. The hook only costs clock reads when
+	// registered, which a serving process always wants.
+	if pe, ok := s.evals["planned"].(*dist.Planned); ok {
+		pe.Observe(s.metrics.evalPhase)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
 	mux.HandleFunc("/v1/feasibility", s.instrument("/v1/feasibility", s.handleFeasibility))
 	mux.HandleFunc("/v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("/v1/plan", s.instrument("/v1/plan", s.handlePlan))
+	mux.HandleFunc("/v1/trace", s.instrument("/v1/trace", s.handleTrace))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
+}
+
+// readBuildInfo snapshots the binary's build metadata for /healthz and
+// the karma_build_info gauge.
+func readBuildInfo() buildInfo {
+	bi := buildInfo{goVersion: runtime.Version(), version: "unknown"}
+	if info, ok := debug.ReadBuildInfo(); ok && info.Main.Version != "" {
+		bi.version = info.Main.Version
+	}
+	return bi
 }
 
 // Handler returns the root handler (mount it on an http.Server).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// apiError is the JSON error body.
+// apiError is the JSON error body. The request ID rides along so a
+// client can quote the exact failing request at the server's logs;
+// success bodies never carry it (they are cached and shared across
+// requests).
 type apiError struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// requestIDKey is the context key instrument stores the request ID
+// under.
+type requestIDKey struct{}
+
+// requestID returns the ID instrument attached to this request.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-char correlation token.
+func newRequestID() string {
+	//karma:det-ok request IDs are correlation tokens; no model output depends on them
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // statusRecorder captures the response code for logging and metrics.
@@ -135,12 +207,20 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the request middleware: in-flight
+// instrument wraps a handler with the request middleware: request-ID
+// assignment (inbound X-Request-ID honored, a fresh token minted
+// otherwise, either way echoed in the response header), in-flight
 // accounting, latency observation, and one structured log line.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		//karma:det-ok request latency and logs are wall-clock by nature; no model output depends on them
 		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		w.Header().Set("X-Request-ID", id)
 		s.metrics.requestStart()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
@@ -152,6 +232,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			"code", rec.code,
 			"duration", elapsed,
 			"remote", r.RemoteAddr,
+			"request_id", id,
 		)
 	}
 }
@@ -163,9 +244,9 @@ func writeJSON(w http.ResponseWriter, code int, body []byte) {
 	w.Write(body)
 }
 
-// writeError writes a JSON error body.
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	b, _ := json.Marshal(apiError{Error: fmt.Sprintf(format, args...)})
+// writeError writes a JSON error body carrying the request's ID.
+func writeError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	b, _ := json.Marshal(apiError{Error: fmt.Sprintf(format, args...), RequestID: requestID(r)})
 	writeJSON(w, code, append(b, '\n'))
 }
 
@@ -202,6 +283,19 @@ func decodeStrict(r *http.Request, v any) error {
 // the cache — pure CPU work cannot be preempted midway, only awaited or
 // abandoned — and the abandoning request reports 504.
 func (s *Server) compute(ctx context.Context, endpoint, key string, fn func() (any, error)) ([]byte, int, error) {
+	return s.computeRaw(ctx, endpoint, key, func() ([]byte, error) {
+		v, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		return encode(v)
+	})
+}
+
+// computeRaw is compute for endpoints whose cached body is not the
+// canonical compact-JSON encoding (the Chrome trace is served verbatim
+// as its writer produced it).
+func (s *Server) computeRaw(ctx context.Context, endpoint, key string, fn func() ([]byte, error)) ([]byte, int, error) {
 	type outcome struct {
 		body []byte
 		err  error
@@ -214,11 +308,7 @@ func (s *Server) compute(ctx context.Context, endpoint, key string, fn func() (a
 			}
 			s.slots <- struct{}{}
 			defer func() { <-s.slots }()
-			v, err := fn()
-			if err != nil {
-				return nil, err
-			}
-			return encode(v)
+			return fn()
 		})
 		ch <- outcome{body: body, err: err}
 	}()
@@ -238,7 +328,7 @@ func (s *Server) compute(ctx context.Context, endpoint, key string, fn func() (a
 func postJSON(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "use POST with a JSON body")
+		writeError(w, r, http.StatusMethodNotAllowed, "use POST with a JSON body")
 		return false
 	}
 	return true
@@ -270,16 +360,16 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, endpoint str
 	}
 	var req EvaluateRequest
 	if err := decodeStrict(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if err := req.normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	key, err := canonicalKey(endpoint, &req)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -292,7 +382,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request, endpoint str
 		return project(res), nil
 	})
 	if err != nil {
-		writeError(w, code, "%v", err)
+		writeError(w, r, code, "%v", err)
 		return
 	}
 	writeJSON(w, code, body)
@@ -304,16 +394,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	var req SweepRequest
 	if err := decodeStrict(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if err := req.normalize(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	key, err := canonicalKey("/v1/sweep", &req)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -322,15 +412,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return req.run(s.evals[req.Backend], s.cfg.Workers)
 	})
 	if err != nil {
-		writeError(w, code, "%v", err)
+		writeError(w, r, code, "%v", err)
 		return
 	}
 	writeJSON(w, code, body)
 }
 
+// healthBody is the /healthz response: liveness plus the build identity
+// of the serving binary, so a probe (or a human with curl) can tell
+// which build answered.
+type healthBody struct {
+	Status  string `json:"status"`
+	Go      string `json:"go"`
+	Version string `json:"version"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	body, err := encode(healthBody{Status: "ok", Go: s.build.goVersion, Version: s.build.version})
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -344,7 +447,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if planned != nil {
 		caches = append(caches, cacheStats{name: "evaluator_planned", s: planned.CacheStats()})
 	}
-	s.metrics.render(&sb, caches)
+	s.metrics.render(&sb, s.build, caches)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, sb.String())
 }

@@ -23,15 +23,14 @@ type Event struct {
 	End    unit.Seconds
 }
 
-// Collect pairs ops with their simulated results, dropping zero-length
-// events (they render as noise).
+// Collect pairs ops with their simulated results. Zero-duration ops
+// (barriers, markers, ops whose cost rounded to nothing) are kept:
+// WriteChrome renders them as instant events so they stay visible in
+// exported traces instead of silently disappearing.
 func Collect(ops []sim.Op, tl *sim.Timeline) []Event {
 	out := make([]Event, 0, len(ops))
 	for i, op := range ops {
 		r := tl.Ops[i]
-		if r.End <= r.Start {
-			continue
-		}
 		out = append(out, Event{Label: op.Label, Stream: op.Stream, Start: r.Start, End: r.End})
 	}
 	sort.SliceStable(out, func(a, b int) bool {
@@ -96,23 +95,26 @@ func Gantt(w io.Writer, events []Event, makespan unit.Seconds, width int) error 
 	return err
 }
 
-// chromeEvent is the trace-event JSON schema (complete "X" events).
+// chromeEvent is the trace-event JSON schema: complete "X" events for
+// ops with duration, instant "i" events for zero-duration markers.
 type chromeEvent struct {
 	Name    string  `json:"name"`
 	Cat     string  `json:"cat"`
 	Phase   string  `json:"ph"`
 	StartUS float64 `json:"ts"`
-	DurUS   float64 `json:"dur"`
+	DurUS   float64 `json:"dur,omitempty"`
+	Scope   string  `json:"s,omitempty"`
 	PID     int     `json:"pid"`
 	TID     int     `json:"tid"`
 }
 
 // WriteChrome emits the events as Chrome trace-event JSON: one thread per
-// stream, microsecond timestamps.
+// stream, microsecond timestamps. Zero-duration events become instant
+// events (ph "i", thread scope) so markers stay visible.
 func WriteChrome(w io.Writer, events []Event) error {
 	out := make([]chromeEvent, 0, len(events))
 	for _, e := range events {
-		out = append(out, chromeEvent{
+		ce := chromeEvent{
 			Name:    e.Label,
 			Cat:     e.Stream.String(),
 			Phase:   "X",
@@ -120,7 +122,13 @@ func WriteChrome(w io.Writer, events []Event) error {
 			DurUS:   float64(e.End-e.Start) * 1e6,
 			PID:     1,
 			TID:     int(e.Stream) + 1,
-		})
+		}
+		if e.End <= e.Start {
+			ce.Phase = "i"
+			ce.DurUS = 0
+			ce.Scope = "t"
+		}
+		out = append(out, ce)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": out})
@@ -128,14 +136,16 @@ func WriteChrome(w io.Writer, events []Event) error {
 
 // Utilization summarizes per-stream busy fractions over the makespan.
 func Utilization(events []Event, makespan unit.Seconds) map[sim.Stream]float64 {
-	busy := map[sim.Stream]unit.Seconds{}
+	var busy [int(sim.NVLink) + 1]unit.Seconds
 	for _, e := range events {
-		busy[e.Stream] += e.End - e.Start
+		if s := int(e.Stream); s >= 0 && s < len(busy) {
+			busy[s] += e.End - e.Start
+		}
 	}
 	out := map[sim.Stream]float64{}
-	for s, b := range busy {
-		if makespan > 0 {
-			out[s] = float64(b) / float64(makespan)
+	for s := range busy {
+		if busy[s] > 0 && makespan > 0 {
+			out[sim.Stream(s)] = float64(busy[s]) / float64(makespan)
 		}
 	}
 	return out

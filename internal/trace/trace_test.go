@@ -28,16 +28,19 @@ func sampleTimeline(t *testing.T) ([]sim.Op, *sim.Timeline) {
 func TestCollect(t *testing.T) {
 	ops, tl := sampleTimeline(t)
 	ev := Collect(ops, tl)
-	// Zero-duration op dropped.
-	if len(ev) != 3 {
-		t.Fatalf("events = %d, want 3", len(ev))
+	// Zero-duration ops are kept (regression: they used to be dropped).
+	if len(ev) != 4 {
+		t.Fatalf("events = %d, want 4", len(ev))
 	}
 	// Sorted by stream then start.
-	if ev[0].Stream != sim.Compute || ev[2].Stream != sim.D2H {
+	if ev[0].Stream != sim.Compute || ev[3].Stream != sim.D2H {
 		t.Errorf("ordering wrong: %+v", ev)
 	}
-	if ev[0].Label != "F0" || ev[1].Label != "F1" {
+	if ev[0].Label != "F0" || ev[1].Label != "F1" || ev[2].Label != "zero" {
 		t.Errorf("compute order wrong: %+v", ev)
+	}
+	if ev[2].End != ev[2].Start {
+		t.Errorf("zero-duration event must have End == Start: %+v", ev[2])
 	}
 }
 
@@ -84,16 +87,25 @@ func TestWriteChrome(t *testing.T) {
 			Phase string  `json:"ph"`
 			TS    float64 `json:"ts"`
 			Dur   float64 `json:"dur"`
+			Scope string  `json:"s"`
 			TID   int     `json:"tid"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(doc.TraceEvents) != 3 {
+	if len(doc.TraceEvents) != 4 {
 		t.Fatalf("events = %d", len(doc.TraceEvents))
 	}
 	for _, e := range doc.TraceEvents {
+		if e.Name == "zero" {
+			// Regression: zero-duration ops render as instant events
+			// instead of being dropped.
+			if e.Phase != "i" || e.Dur != 0 || e.Scope != "t" {
+				t.Errorf("zero-duration event must be ph \"i\": %+v", e)
+			}
+			continue
+		}
 		if e.Phase != "X" || e.Dur <= 0 {
 			t.Errorf("bad event %+v", e)
 		}
@@ -101,6 +113,10 @@ func TestWriteChrome(t *testing.T) {
 	// F0 runs [0,1s] -> ts 0, dur 1e6 us.
 	if doc.TraceEvents[0].Name != "F0" || doc.TraceEvents[0].Dur != 1e6 {
 		t.Errorf("F0 event wrong: %+v", doc.TraceEvents[0])
+	}
+	// "dur" is omitted for instant events (the schema keeps them compact).
+	if bytes.Contains(buf.Bytes(), []byte(`"name":"zero","cat":"compute","ph":"i","ts":2e+06,"dur"`)) {
+		t.Errorf("instant event must omit dur:\n%s", buf.String())
 	}
 }
 
